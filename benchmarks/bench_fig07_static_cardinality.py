@@ -1,0 +1,27 @@
+"""Figure 7: static total time vs data set cardinality (Independent / Anti-correlated).
+
+The sweep regenerates the figure's series (written to benchmarks/results/);
+the per-method benchmarks time one query each at the profile's default
+setting so the pytest-benchmark summary shows the TSS vs SDC+ gap directly.
+"""
+
+import pytest
+
+from repro.bench.experiments import static_cardinality
+
+
+def test_fig07_series(benchmark, bench_profile, save_table, run_once):
+    table = run_once(benchmark, static_cardinality, bench_profile)
+    save_table(table)
+    assert len(table.rows) == 2 * len(bench_profile.cardinalities)
+    # Shape check: TSS never loses badly, and wins on the largest anti-correlated setting.
+    last_anti = [r for r in table.rows if r["distribution"] == "anticorrelated"][-1]
+    assert last_anti["TSS total (s)"] <= last_anti["SDC+ total (s)"] * 1.2
+
+
+@pytest.mark.parametrize("distribution", ["independent", "anticorrelated"])
+@pytest.mark.parametrize("method", ["TSS", "SDC+"])
+def test_fig07_default_setting(benchmark, static_default_runner, distribution, method):
+    runner = static_default_runner[distribution]
+    run = benchmark.pedantic(runner.run, args=(method,), rounds=3, iterations=1)
+    assert run.skyline_size > 0

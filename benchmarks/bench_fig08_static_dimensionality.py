@@ -1,0 +1,28 @@
+"""Figure 8: static total time vs dimensionality (|TO|, |PO|)."""
+
+import pytest
+
+from repro.bench.experiments import static_dimensionality
+
+
+def test_fig08_series(benchmark, bench_profile, save_table, run_once):
+    table = run_once(benchmark, static_dimensionality, bench_profile)
+    save_table(table)
+    assert len(table.rows) == 2 * len(bench_profile.dimensionalities)
+    # Shape check: the skyline (and hence the cost) grows with dimensionality.
+    independent = [r for r in table.rows if r["distribution"] == "independent"]
+    assert independent[-1]["skyline"] >= independent[0]["skyline"]
+
+
+@pytest.mark.parametrize("dims", [(2, 1), (4, 2)])
+@pytest.mark.parametrize("method", ["TSS", "SDC+"])
+def test_fig08_extremes(benchmark, bench_profile, dims, method):
+    from repro.bench.runner import StaticRunner
+
+    runner = StaticRunner(
+        bench_profile.static_spec(
+            "independent", num_total_order=dims[0], num_partial_order=dims[1]
+        )
+    )
+    run = benchmark.pedantic(runner.run, args=(method,), rounds=1, iterations=1)
+    assert run.skyline_size > 0

@@ -1,0 +1,25 @@
+"""Figure 9: static total time vs DAG height (PO domain size grows exponentially)."""
+
+import pytest
+
+from repro.bench.experiments import static_dag_height
+
+
+def test_fig09_series(benchmark, bench_profile, save_table, run_once):
+    table = run_once(benchmark, static_dag_height, bench_profile)
+    save_table(table)
+    assert len(table.rows) == 2 * len(bench_profile.dag_heights)
+    # Shape check: taller DAGs mean larger PO domains and larger skylines.
+    for distribution in ("independent", "anticorrelated"):
+        rows = [r for r in table.rows if r["distribution"] == distribution]
+        assert rows[-1]["skyline"] >= rows[0]["skyline"]
+
+
+@pytest.mark.parametrize("height", [2, 6])
+@pytest.mark.parametrize("method", ["TSS", "SDC+"])
+def test_fig09_height_extremes(benchmark, bench_profile, height, method):
+    from repro.bench.runner import StaticRunner
+
+    runner = StaticRunner(bench_profile.static_spec("anticorrelated", dag_height=height))
+    run = benchmark.pedantic(runner.run, args=(method,), rounds=1, iterations=1)
+    assert run.skyline_size > 0

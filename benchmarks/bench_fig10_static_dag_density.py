@@ -1,0 +1,22 @@
+"""Figure 10: static total time vs DAG density (denser DAGs hurt the baselines more)."""
+
+import pytest
+
+from repro.bench.experiments import static_dag_density
+
+
+def test_fig10_series(benchmark, bench_profile, save_table, run_once):
+    table = run_once(benchmark, static_dag_density, bench_profile)
+    save_table(table)
+    assert len(table.rows) == 2 * len(bench_profile.dag_densities)
+    assert all(row["skyline"] > 0 for row in table.rows)
+
+
+@pytest.mark.parametrize("density", [0.2, 1.0])
+@pytest.mark.parametrize("method", ["TSS", "SDC+"])
+def test_fig10_density_extremes(benchmark, bench_profile, density, method):
+    from repro.bench.runner import StaticRunner
+
+    runner = StaticRunner(bench_profile.static_spec("anticorrelated", dag_density=density))
+    run = benchmark.pedantic(runner.run, args=(method,), rounds=1, iterations=1)
+    assert run.skyline_size > 0

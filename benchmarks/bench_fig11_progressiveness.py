@@ -1,0 +1,37 @@
+"""Figure 11: progressiveness — time to retrieve a given fraction of the skyline."""
+
+import pytest
+
+from repro.bench.experiments import static_progressiveness
+from repro.bench.runner import PROGRESS_FRACTIONS
+
+
+def test_fig11_series(benchmark, bench_profile, save_table, run_once):
+    table = run_once(benchmark, static_progressiveness, bench_profile)
+    save_table(table)
+    assert len(table.rows) == 2 * len(PROGRESS_FRACTIONS)
+    for distribution in ("independent", "anticorrelated"):
+        rows = [r for r in table.rows if r["distribution"] == distribution]
+        tss_times = [r["TSS time (s)"] for r in rows]
+        sdc_times = [r["SDC+ time (s)"] for r in rows]
+        # Retrieval times are non-decreasing in the fraction retrieved.
+        assert tss_times == sorted(tss_times)
+        assert sdc_times == sorted(sdc_times)
+        # Shape check: SDC+ releases results per stratum, so its curve has
+        # plateaus (consecutive percentages reached at the same time), whereas
+        # TSS streams results and finishes the full skyline sooner.
+        plateaus = sum(1 for a, b in zip(sdc_times, sdc_times[1:]) if b - a < 1e-3)
+        assert plateaus >= 1
+        assert tss_times[-1] <= sdc_times[-1]
+
+
+@pytest.mark.parametrize("distribution", ["independent", "anticorrelated"])
+def test_fig11_time_to_first_half(benchmark, static_default_runner, distribution):
+    runner = static_default_runner[distribution]
+
+    def first_half():
+        run = runner.run("TSS", progress_fractions=(0.5,))
+        return run.progressive_times[50]
+
+    elapsed = benchmark.pedantic(first_half, rounds=1, iterations=1)
+    assert elapsed >= 0.0

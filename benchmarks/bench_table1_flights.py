@@ -1,0 +1,10 @@
+"""Table I: skyline tickets of the flight example under two airline partial orders."""
+
+from repro.bench.experiments import table1_flights
+
+
+def test_table1_flight_example(benchmark, bench_profile, save_table, run_once):
+    table = run_once(benchmark, table1_flights, bench_profile)
+    save_table(table)
+    assert table.rows[0]["skyline tickets"] == "p1, p5, p6, p9, p10"
+    assert table.rows[1]["skyline tickets"] == "p3, p6, p7, p8, p9, p10"

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: skyline queries over a mix of totally and partially ordered attributes.
+
+This walks through the paper's running example (Section I): a flight
+reservation system where tickets are characterized by price, number of stops
+(both totally ordered, smaller is better) and airline (partially ordered by
+user preference).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    Dataset,
+    PartialOrderAttribute,
+    PartialOrderDAG,
+    Schema,
+    TotalOrderAttribute,
+    compute_skyline,
+    skyline_records,
+)
+
+# --------------------------------------------------------------------- #
+# 1. Describe the partially ordered domain: airline preferences.
+#    An edge (x, y) means "x is preferred over y"; unrelated values are
+#    equally acceptable (incomparable).
+# --------------------------------------------------------------------- #
+airlines = PartialOrderDAG(
+    ["a", "b", "c", "d"],
+    [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+)
+
+# --------------------------------------------------------------------- #
+# 2. Describe the schema: two TO attributes plus the PO airline attribute.
+# --------------------------------------------------------------------- #
+schema = Schema(
+    [
+        TotalOrderAttribute("price"),
+        TotalOrderAttribute("stops"),
+        PartialOrderAttribute("airline", airlines),
+    ]
+)
+
+# --------------------------------------------------------------------- #
+# 3. Load the tickets of Figure 1(a).
+# --------------------------------------------------------------------- #
+tickets = Dataset(
+    schema,
+    [
+        (1800, 0, "a"),  # p1
+        (2000, 0, "a"),  # p2
+        (1800, 0, "b"),  # p3
+        (1200, 1, "b"),  # p4
+        (1400, 1, "a"),  # p5
+        (1000, 1, "b"),  # p6
+        (1000, 1, "d"),  # p7
+        (1800, 1, "c"),  # p8
+        (500, 2, "d"),   # p9
+        (1200, 2, "c"),  # p10
+    ],
+)
+
+
+def main() -> None:
+    # The one-liner: the skyline records under the default algorithm (sTSS).
+    best = skyline_records(tickets)
+    print("Skyline tickets (price, stops, airline):")
+    for record in sorted(best, key=lambda r: r.id):
+        print(f"  p{record.id + 1}: {record.as_dict(schema)}")
+
+    # The full result object exposes statistics and the progressiveness log.
+    result = compute_skyline(tickets, algorithm="stss")
+    print(f"\nsTSS examined {result.stats.points_examined} points, "
+          f"performed {result.stats.dominance_checks} dominance checks and "
+          f"reported {len(result)} skyline tickets.")
+
+    # Every algorithm in the library returns the same skyline.
+    for algorithm in ("bnl", "sfs", "bbs+", "sdc", "sdc+", "bruteforce"):
+        other = compute_skyline(tickets, algorithm=algorithm)
+        assert other.skyline_set == result.skyline_set
+    print("BNL, SFS, BBS+, SDC, SDC+ and brute force all agree with sTSS.")
+
+
+if __name__ == "__main__":
+    main()

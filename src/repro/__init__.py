@@ -1,0 +1,62 @@
+"""Topologically Sorted Skylines for Partially Ordered Domains — reproduction.
+
+This package reproduces Sacharidis, Papadopoulos and Papadias, *Topologically
+Sorted Skylines for Partially Ordered Domains*, ICDE 2009: the TSS framework
+(topological-sort mapping + exact interval-based t-dominance), the sTSS static
+and dTSS dynamic skyline algorithms, the Chan et al. baselines (BBS+, SDC,
+SDC+) they are compared against, and every substrate needed to run them
+(partial-order DAGs, interval encodings, synthetic data generators, an R-tree
+with simulated IO accounting) plus the benchmark harness regenerating the
+paper's figures.
+
+Quick start
+-----------
+>>> from repro import (PartialOrderDAG, Schema, TotalOrderAttribute,
+...                    PartialOrderAttribute, Dataset, skyline_records)
+>>> airlines = PartialOrderDAG("abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+>>> schema = Schema([TotalOrderAttribute("price"), TotalOrderAttribute("stops"),
+...                  PartialOrderAttribute("airline", airlines)])
+>>> tickets = Dataset(schema, [(1800, 0, "a"), (1400, 1, "a"), (1000, 1, "b"), (500, 2, "d")])
+>>> sorted(r.value(schema, "price") for r in skyline_records(tickets))
+[500, 1000, 1400, 1800]
+"""
+
+from repro.core.framework import ALGORITHMS, compute_skyline, skyline_records
+from repro.core.stss import stss_skyline
+from repro.data.dataset import Dataset, Record
+from repro.data.generator import generate_dataset
+from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.data.workloads import WorkloadSpec, paper_defaults
+from repro.dynamic.dtss import DTSSIndex, dtss_skyline
+from repro.dynamic.sdc_dynamic import sdc_plus_dynamic_skyline
+from repro.exceptions import ReproError
+from repro.order.dag import PartialOrderDAG
+from repro.order.encoding import DomainEncoding, encode_domain
+from repro.skyline.base import SkylineResult, SkylineStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "PartialOrderDAG",
+    "DomainEncoding",
+    "encode_domain",
+    "Schema",
+    "TotalOrderAttribute",
+    "PartialOrderAttribute",
+    "Dataset",
+    "Record",
+    "generate_dataset",
+    "WorkloadSpec",
+    "paper_defaults",
+    "SkylineResult",
+    "SkylineStats",
+    "compute_skyline",
+    "skyline_records",
+    "stss_skyline",
+    "ALGORITHMS",
+    "DTSSIndex",
+    "dtss_skyline",
+    "sdc_plus_dynamic_skyline",
+]

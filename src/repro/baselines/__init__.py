@@ -1,0 +1,30 @@
+"""Baselines: the stratified m-dominance methods of Chan et al. (SIGMOD 2005).
+
+These are the algorithms the paper compares against (Section II-C):
+
+* :mod:`~repro.baselines.transform` — the incomplete mapping of each PO value
+  to its single spanning-tree ``[minpost, post]`` interval, giving two TO
+  dimensions (``I1``, ``I2``) per PO attribute, and the resulting
+  *m-dominance* relation (stronger than true dominance, hence false hits).
+* :mod:`~repro.baselines.bbs_plus` — BBS+ : BBS over the transformed space
+  with a final cross-examination pass; not progressive.
+* :mod:`~repro.baselines.sdc` — SDC : two strata (completely / partially
+  covered points); completely covered results can be reported early.
+* :mod:`~repro.baselines.sdc_plus` — SDC+ : one stratum (and R-tree) per
+  uncovered level, processed in sequence with local/global skyline lists and
+  on-the-fly false-hit elimination.  This is the strongest prior method and
+  the benchmark opponent of TSS throughout Section VI.
+"""
+
+from repro.baselines.bbs_plus import bbs_plus_skyline
+from repro.baselines.sdc import sdc_skyline
+from repro.baselines.sdc_plus import sdc_plus_skyline
+from repro.baselines.transform import BaselineMapping, BaselinePoint
+
+__all__ = [
+    "BaselineMapping",
+    "BaselinePoint",
+    "bbs_plus_skyline",
+    "sdc_skyline",
+    "sdc_plus_skyline",
+]

@@ -1,0 +1,105 @@
+"""SDC: Stratification by Dominance Classification (two strata).
+
+SDC (Chan et al., SIGMOD 2005; Section II-C of the paper) improves the
+progressiveness of BBS+ by exploiting the fact that m-dominance is *exact*
+for points whose PO values are all *completely covered* (every incoming path
+consists of tree edges only).  During the m-dominance BBS traversal:
+
+* a non-m-dominated, completely covered point is guaranteed to be a skyline
+  point and is reported immediately;
+* a non-m-dominated, partially covered point may be a false hit and is only
+  resolved by cross-examination at the end.
+
+The candidate list holds both kinds; false hits among the partially covered
+candidates are eliminated with actual dominance once the traversal finishes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.transform import BaselineMapping, BaselinePoint
+from repro.data.dataset import Dataset
+from repro.index.pager import DiskSimulator
+from repro.index.rtree import RTree
+from repro.order.encoding import DomainEncoding
+from repro.skyline.base import RunClock, SkylineResult, SkylineStats
+from repro.skyline.bbs import run_bbs
+
+
+def sdc_skyline(
+    dataset: Dataset,
+    *,
+    encodings: Sequence[DomainEncoding] | None = None,
+    mapping: BaselineMapping | None = None,
+    tree: RTree | None = None,
+    max_entries: int = 32,
+    disk: DiskSimulator | None = None,
+) -> SkylineResult:
+    """Compute the skyline with SDC (two strata: completely / partially covered)."""
+    if mapping is None:
+        mapping = BaselineMapping(dataset, encodings)
+    if tree is None:
+        tree = mapping.build_rtree(max_entries=max_entries, disk=disk)
+
+    stats = SkylineStats()
+    clock = RunClock(stats, disk)
+
+    candidates: list[BaselinePoint] = []
+    confirmed: list[BaselinePoint] = []  # completely covered, reported early
+    unresolved: list[BaselinePoint] = []  # partially covered, resolved at the end
+
+    def dominated_point(point, payload) -> bool:
+        candidate = mapping.point(int(payload))
+        for resident in candidates:
+            stats.dominance_checks += 1
+            if mapping.m_dominates(resident, candidate):
+                return True
+        return False
+
+    def dominated_rect(low, high) -> bool:
+        for resident in candidates:
+            stats.dominance_checks += 1
+            if mapping.weakly_m_dominates_corner(resident, low):
+                return True
+        return False
+
+    def on_result(point, payload) -> None:
+        candidate = mapping.point(int(payload))
+        candidates.append(candidate)
+        if candidate.completely_covered:
+            confirmed.append(candidate)
+            clock.record_result()
+        else:
+            unresolved.append(candidate)
+
+    run_bbs(
+        tree,
+        dominated_point=dominated_point,
+        dominated_rect=dominated_rect,
+        on_result=on_result,
+        stats=stats,
+        clock=None,
+    )
+
+    # Resolve the partially covered stratum with actual dominance checks.
+    survivors: list[BaselinePoint] = []
+    for candidate in unresolved:
+        dominated = False
+        for other in candidates:
+            if other is candidate:
+                continue
+            stats.dominance_checks += 1
+            if mapping.actually_dominates(other, candidate):
+                dominated = True
+                break
+        if dominated:
+            stats.false_hits_removed += 1
+        else:
+            survivors.append(candidate)
+            clock.record_result()
+
+    clock.finish()
+    ordered = confirmed + survivors
+    skyline_ids = mapping.record_ids_for([p.index for p in ordered])
+    return SkylineResult(skyline_ids=skyline_ids, stats=stats, progress=clock.progress)

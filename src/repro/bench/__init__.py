@@ -1,0 +1,33 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+* :mod:`~repro.bench.costmodel` — the paper's total-time metric (measured CPU
+  plus 5 ms per charged IO) and the per-run measurement container.
+* :mod:`~repro.bench.runner` — build a workload once, build each competitor's
+  index structures offline, run the queries and collect measurements.
+* :mod:`~repro.bench.reporting` — plain-text tables mirroring the figures'
+  series.
+* :mod:`~repro.bench.experiments` — one function per table/figure of
+  Section VI, each returning an :class:`~repro.bench.reporting.ExperimentTable`.
+"""
+
+from repro.bench.charts import render_bar_chart, render_experiment_chart
+from repro.bench.costmodel import MeasuredRun, total_time_seconds
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+)
+from repro.bench.reporting import ExperimentTable
+from repro.bench.runner import BenchProfile, StaticRunner, DynamicRunner
+
+__all__ = [
+    "MeasuredRun",
+    "total_time_seconds",
+    "ExperimentTable",
+    "BenchProfile",
+    "StaticRunner",
+    "DynamicRunner",
+    "EXPERIMENTS",
+    "run_experiment",
+    "render_bar_chart",
+    "render_experiment_chart",
+]

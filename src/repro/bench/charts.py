@@ -1,0 +1,81 @@
+"""Plain-text charts for experiment tables.
+
+The paper's evaluation is presented as line plots.  In a terminal-only
+environment the harness renders the same series as horizontal bar charts, one
+bar per (x-value, method), so the relative magnitudes — who wins and by how
+much — are visible at a glance without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bench.reporting import ExperimentTable
+
+#: Character used for bars.
+BAR_CHARACTER = "#"
+
+
+def render_bar_chart(
+    table: ExperimentTable,
+    value_columns: Sequence[str],
+    *,
+    label_columns: Sequence[str] | None = None,
+    width: int = 50,
+) -> str:
+    """Render selected numeric columns of an experiment table as bars.
+
+    Parameters
+    ----------
+    table:
+        The experiment table to visualize.
+    value_columns:
+        Numeric columns to draw (one bar per column per row), e.g.
+        ``["SDC+ total (s)", "TSS total (s)"]``.
+    label_columns:
+        Columns used to label each row group; defaults to every non-value
+        column that appears before the first value column.
+    width:
+        Width in characters of the longest bar.
+    """
+    if not table.rows:
+        return f"{table.experiment_id}: (no rows)"
+    if label_columns is None:
+        label_columns = [c for c in table.columns if c not in value_columns][:2]
+
+    values = [
+        float(row.get(column, 0.0) or 0.0) for row in table.rows for column in value_columns
+    ]
+    maximum = max(values, default=0.0)
+    scale = (width / maximum) if maximum > 0 else 0.0
+
+    method_width = max(len(c) for c in value_columns)
+    lines = [f"== {table.experiment_id}: {table.title} =="]
+    for row in table.rows:
+        label = ", ".join(f"{column}={row.get(column)}" for column in label_columns)
+        lines.append(label)
+        for column in value_columns:
+            value = float(row.get(column, 0.0) or 0.0)
+            bar = BAR_CHARACTER * max(1, int(round(value * scale))) if value > 0 else ""
+            lines.append(f"  {column.ljust(method_width)} | {bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def default_value_columns(table: ExperimentTable) -> list[str]:
+    """The columns a chart of this table should draw: the per-method totals/times."""
+    preferred = [c for c in table.columns if c.endswith("total (s)") or c.endswith("time (s)")]
+    if preferred:
+        return preferred
+    return [
+        c
+        for c in table.columns
+        if table.rows and isinstance(table.rows[0].get(c), (int, float))
+    ]
+
+
+def render_experiment_chart(table: ExperimentTable, *, width: int = 50) -> str:
+    """Chart an experiment table using its natural value columns."""
+    columns = default_value_columns(table)
+    if not columns:
+        return table.to_text()
+    return render_bar_chart(table, columns, width=width)

@@ -1,0 +1,78 @@
+"""The paper's cost model and the per-run measurement record.
+
+Section VI-B: "the total processing time for the Independent data set after
+charging 5 msec for each IO".  Total time therefore combines the measured CPU
+time of the query with a fixed charge per simulated page access.  The ratio
+of CPU over total time is also reported, mirroring the percentages printed
+next to the markers in Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.index.pager import DEFAULT_IO_COST_SECONDS
+from repro.skyline.base import SkylineResult, SkylineStats
+
+
+def total_time_seconds(stats: SkylineStats, io_cost_seconds: float = DEFAULT_IO_COST_SECONDS) -> float:
+    """CPU time plus the IO charge (the paper's total time)."""
+    return stats.cpu_seconds + stats.total_ios * io_cost_seconds
+
+
+@dataclass(slots=True)
+class MeasuredRun:
+    """One (algorithm, workload setting) measurement."""
+
+    method: str
+    parameters: dict[str, object] = field(default_factory=dict)
+    skyline_size: int = 0
+    cpu_seconds: float = 0.0
+    io_count: int = 0
+    io_cost_seconds: float = DEFAULT_IO_COST_SECONDS
+    dominance_checks: int = 0
+    nodes_expanded: int = 0
+    false_hits_removed: int = 0
+    progressive_times: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def io_seconds(self) -> float:
+        return self.io_count * self.io_cost_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return self.cpu_seconds + self.io_seconds
+
+    @property
+    def cpu_fraction(self) -> float:
+        """Share of the total time spent on CPU (the paper's percentages)."""
+        total = self.total_seconds
+        return self.cpu_seconds / total if total > 0 else 0.0
+
+    @classmethod
+    def from_result(
+        cls,
+        method: str,
+        result: SkylineResult,
+        *,
+        parameters: dict[str, object] | None = None,
+        progress_fractions: tuple[float, ...] = (),
+    ) -> "MeasuredRun":
+        """Build a measurement from a :class:`SkylineResult`."""
+        stats = result.stats
+        progressive = {
+            int(round(fraction * 100)): result.time_to_fraction(fraction)
+            for fraction in progress_fractions
+        }
+        return cls(
+            method=method,
+            parameters=dict(parameters or {}),
+            skyline_size=len(result),
+            cpu_seconds=stats.cpu_seconds,
+            io_count=stats.total_ios,
+            io_cost_seconds=stats.io_cost_seconds,
+            dominance_checks=stats.dominance_checks,
+            nodes_expanded=stats.nodes_expanded,
+            false_hits_removed=stats.false_hits_removed,
+            progressive_times=progressive,
+        )

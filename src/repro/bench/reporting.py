@@ -1,0 +1,104 @@
+"""Plain-text experiment tables mirroring the paper's figures.
+
+Every experiment in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentTable`: the figure/table it reproduces, the workload
+parameters, the column names and one row per x-axis point (with one column
+per method).  ``to_text()`` renders the same series the paper plots, and
+``expected_shape`` records the qualitative outcome the paper reports so that
+EXPERIMENTS.md can compare paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class ExperimentTable:
+    """One reproduced table/figure: metadata plus rows of measurements."""
+
+    experiment_id: str
+    title: str
+    parameters: dict[str, object] = field(default_factory=dict)
+    columns: list[str] = field(default_factory=list)
+    rows: list[dict[str, object]] = field(default_factory=list)
+    expected_shape: str = ""
+
+    def add_row(self, row: Mapping[str, object]) -> None:
+        for column in row:
+            if column not in self.columns:
+                self.columns.append(column)
+        self.rows.append(dict(row))
+
+    def column_values(self, column: str) -> list[object]:
+        return [row.get(column) for row in self.rows]
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def to_text(self) -> str:
+        """Render as a fixed-width text table (the harness's console output)."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.parameters:
+            rendered = ", ".join(f"{key}={value}" for key, value in self.parameters.items())
+            lines.append(f"   parameters: {rendered}")
+        if self.expected_shape:
+            lines.append(f"   expected shape (paper): {self.expected_shape}")
+        if not self.rows:
+            lines.append("   (no rows)")
+            return "\n".join(lines)
+        widths = {
+            column: max(len(column), *(len(_fmt(row.get(column))) for row in self.rows))
+            for column in self.columns
+        }
+        header = " | ".join(column.ljust(widths[column]) for column in self.columns)
+        separator = "-+-".join("-" * widths[column] for column in self.columns)
+        lines.append(header)
+        lines.append(separator)
+        for row in self.rows:
+            lines.append(
+                " | ".join(_fmt(row.get(column)).ljust(widths[column]) for column in self.columns)
+            )
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table (used by EXPERIMENTS.md)."""
+        if not self.rows:
+            return f"*{self.experiment_id}: no rows*"
+        header = "| " + " | ".join(self.columns) + " |"
+        separator = "| " + " | ".join("---" for _ in self.columns) + " |"
+        body = [
+            "| " + " | ".join(_fmt(row.get(column)) for column in self.columns) + " |"
+            for row in self.rows
+        ]
+        return "\n".join([header, separator, *body])
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_tables(tables: Iterable[ExperimentTable]) -> str:
+    """Concatenate several experiment tables for console output."""
+    return "\n\n".join(table.to_text() for table in tables)
+
+
+def speedup_column(rows: Sequence[Mapping[str, float]], numerator: str, denominator: str) -> list[float]:
+    """Per-row speedup factors ``numerator / denominator`` (0 when undefined)."""
+    factors = []
+    for row in rows:
+        top = float(row.get(numerator, 0.0) or 0.0)
+        bottom = float(row.get(denominator, 0.0) or 0.0)
+        factors.append(top / bottom if bottom > 0 else 0.0)
+    return factors

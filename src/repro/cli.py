@@ -1,0 +1,98 @@
+"""Command-line interface: run the paper's experiments and print their tables.
+
+Examples
+--------
+Run one figure with the quick profile::
+
+    python -m repro fig7
+
+Run everything with the larger profile and write a combined report::
+
+    python -m repro all --profile full --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import render_tables
+from repro.bench.runner import BenchProfile
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tss-bench",
+        description="Reproduce the tables and figures of 'Topologically Sorted Skylines "
+        "for Partially Ordered Domains' (ICDE 2009).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids to run, or 'all'; available: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=("quick", "full"),
+        default=None,
+        help="parameter grid size (default: REPRO_BENCH_PROFILE env var or 'quick')",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the rendered tables to this file",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="render tables as markdown instead of fixed-width text",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="additionally render each experiment as a text bar chart",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.profile is None:
+        profile = BenchProfile.from_env()
+    else:
+        profile = BenchProfile.full() if args.profile == "full" else BenchProfile.quick()
+
+    requested = list(args.experiments)
+    if any(item == "all" for item in requested):
+        requested = sorted(EXPERIMENTS)
+
+    unknown = [item for item in requested if item not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+
+    tables = []
+    for experiment_id in requested:
+        print(f"running {experiment_id} (profile={profile.name}) ...", file=sys.stderr)
+        tables.append(run_experiment(experiment_id, profile))
+
+    if args.markdown:
+        rendered = "\n\n".join(table.to_markdown() for table in tables)
+    else:
+        rendered = render_tables(tables)
+    if args.chart:
+        from repro.bench.charts import render_experiment_chart
+
+        rendered += "\n\n" + "\n\n".join(render_experiment_chart(table) for table in tables)
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""The paper's primary contribution: the TSS framework and the sTSS algorithm.
+
+* :mod:`~repro.core.mapping` — the TSS transform of a dataset into the mapped
+  space (canonical TO values + one topological ordinal per PO attribute),
+  with exact-duplicate grouping and data R-tree construction.
+* :mod:`~repro.core.tdominance` — exact t-preference / t-dominance checks for
+  points and MBBs (Definitions 1 and 2).
+* :mod:`~repro.core.dyadic` — dyadic-range pre-computation of the interval
+  sets associated with ``A_TO`` ranges (first optimization of Section IV-B).
+* :mod:`~repro.core.virtual_rtree` — the main-memory R-tree of virtual
+  skyline points answering Boolean range queries (second optimization of
+  Section IV-B).
+* :mod:`~repro.core.stss` — the sTSS algorithm: BBS over the mapped space
+  with t-dominance, optimally progressive and exact.
+* :mod:`~repro.core.framework` — a high-level facade: ``compute_skyline`` with
+  a selectable algorithm, returning records and run statistics.
+"""
+
+from repro.core.dyadic import DyadicIntervalCache
+from repro.core.framework import ALGORITHMS, compute_skyline, skyline_records
+from repro.core.mapping import MappedPoint, TSSMapping, group_distinct_rows
+from repro.core.stss import stss_skyline
+from repro.core.tdominance import TDominanceChecker
+from repro.core.virtual_rtree import VirtualPointIndex
+
+__all__ = [
+    "TSSMapping",
+    "MappedPoint",
+    "group_distinct_rows",
+    "TDominanceChecker",
+    "DyadicIntervalCache",
+    "VirtualPointIndex",
+    "stss_skyline",
+    "compute_skyline",
+    "skyline_records",
+    "ALGORITHMS",
+]

@@ -1,0 +1,107 @@
+"""Dyadic-range pre-computation of interval sets for ``A_TO`` ranges.
+
+Checking whether a point t-dominates an R-tree MBB requires the merged
+interval set of *every* PO value inside the MBB's ``A_TO`` range (Section
+IV-B, first optimization).  Recomputing that union per MBB touches up to
+``|A_TO|`` values; pre-computing it for every possible range needs quadratic
+space.  The paper's compromise is to pre-compute the interval sets of the
+*dyadic ranges* of the domain — the nodes of a binary tree built over
+``A_TO`` — so that any range decomposes into ``O(log |range|)`` pre-computed
+pieces at linear storage cost.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PartialOrderError
+from repro.order.encoding import DomainEncoding
+from repro.order.intervals import Interval, IntervalSet
+
+
+class DyadicIntervalCache:
+    """Pre-computed interval sets for the dyadic ranges of one ``A_TO`` domain.
+
+    The domain ``[1, n]`` is padded to the next power of two ``m``; the cache
+    stores one :class:`~repro.order.intervals.IntervalSet` per node of a
+    complete binary tree over ``[1, m]`` (only nodes that intersect the real
+    domain are materialized).  :meth:`range_interval_set` answers any ordinal
+    range by merging at most ``2 log m`` cached sets.
+    """
+
+    def __init__(self, encoding: DomainEncoding) -> None:
+        self.encoding = encoding
+        self.domain_size = encoding.cardinality
+        if self.domain_size < 1:
+            raise PartialOrderError("cannot build a dyadic cache over an empty domain")
+        size = 1
+        while size < self.domain_size:
+            size *= 2
+        self._padded_size = size
+        # _cache[(level_size, start)] = merged interval set of ordinals
+        # [start, start + level_size - 1] intersected with the real domain.
+        self._cache: dict[tuple[int, int], IntervalSet] = {}
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        # Leaves: single ordinals.
+        for ordinal in range(1, self.domain_size + 1):
+            value = self.encoding.value_at(ordinal)
+            self._cache[(1, ordinal)] = self.encoding.interval_set(value)
+        # Internal dyadic nodes, bottom-up.
+        size = 2
+        while size <= self._padded_size:
+            for start in range(1, self._padded_size + 1, size):
+                if start > self.domain_size:
+                    continue
+                left = self._cache.get((size // 2, start))
+                right = self._cache.get((size // 2, start + size // 2))
+                if left is None and right is None:
+                    continue
+                if left is None:
+                    merged = right
+                elif right is None:
+                    merged = left
+                else:
+                    merged = left.union(right)
+                self._cache[(size, start)] = merged  # type: ignore[assignment]
+            size *= 2
+
+    @property
+    def num_cached_ranges(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def range_interval_set(self, low_ordinal: int, high_ordinal: int) -> IntervalSet:
+        """Merged interval set of all values with ordinal in ``[low, high]``."""
+        low = max(1, int(low_ordinal))
+        high = min(self.domain_size, int(high_ordinal))
+        if low > high:
+            return IntervalSet()
+        pieces: list[Interval] = []
+        for size, start in self._decompose(low, high):
+            cached = self._cache.get((size, start))
+            if cached is not None:
+                pieces.extend(cached.intervals)
+        return IntervalSet(pieces)
+
+    def _decompose(self, low: int, high: int) -> list[tuple[int, int]]:
+        """Cover ``[low, high]`` with maximal dyadic ranges (canonical decomposition)."""
+        ranges: list[tuple[int, int]] = []
+        position = low
+        while position <= high:
+            # Largest dyadic block starting at `position` (alignment constraint)
+            # that does not extend past `high`.
+            size = 1
+            while (
+                size * 2 <= self._padded_size
+                and (position - 1) % (size * 2) == 0
+                and position + size * 2 - 1 <= high
+            ):
+                size *= 2
+            ranges.append((size, position))
+            position += size
+        return ranges

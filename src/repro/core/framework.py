@@ -1,0 +1,81 @@
+"""High-level facade: compute skylines with any algorithm in the library.
+
+:func:`compute_skyline` dispatches to the requested algorithm and returns the
+standard :class:`~repro.skyline.base.SkylineResult`; :func:`skyline_records`
+additionally materializes the skyline records themselves.  This is the entry
+point the examples and the benchmark harness use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.baselines.bbs_plus import bbs_plus_skyline
+from repro.baselines.sdc import sdc_skyline
+from repro.baselines.sdc_plus import sdc_plus_skyline
+from repro.core.stss import stss_skyline
+from repro.data.dataset import Dataset, Record
+from repro.exceptions import ReproError
+from repro.skyline.base import SkylineResult
+from repro.skyline.bbs import bbs_skyline
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.bruteforce import brute_force_skyline
+from repro.skyline.less import less_skyline
+from repro.skyline.salsa import salsa_skyline
+from repro.skyline.sfs import sfs_skyline
+
+
+def _dispatch_auto(dataset: Dataset, **options) -> SkylineResult:
+    """Pick sTSS for mixed schemas and BBS for TO-only schemas."""
+    if dataset.schema.num_partial_order:
+        return stss_skyline(dataset, **options)
+    return bbs_skyline(dataset, **options)
+
+
+#: Registry of named skyline algorithms usable through :func:`compute_skyline`.
+ALGORITHMS: dict[str, Callable[..., SkylineResult]] = {
+    "auto": _dispatch_auto,
+    "stss": stss_skyline,
+    "tss": stss_skyline,
+    "bbs": bbs_skyline,
+    "bnl": bnl_skyline,
+    "sfs": sfs_skyline,
+    "less": less_skyline,
+    "salsa": salsa_skyline,
+    "bruteforce": brute_force_skyline,
+    "bbs+": bbs_plus_skyline,
+    "sdc": sdc_skyline,
+    "sdc+": sdc_plus_skyline,
+}
+
+
+def compute_skyline(dataset: Dataset, *, algorithm: str = "auto", **options) -> SkylineResult:
+    """Compute the skyline of ``dataset`` with the named algorithm.
+
+    Parameters
+    ----------
+    dataset:
+        The input relation (mixed TO/PO schemas supported by every algorithm
+        except plain ``"bbs"``).
+    algorithm:
+        One of ``"auto"`` (sTSS when PO attributes are present, BBS
+        otherwise), ``"stss"``/``"tss"``, ``"bbs"``, ``"bnl"``, ``"sfs"``,
+        ``"less"``, ``"salsa"`` (TO-only), ``"bruteforce"``, ``"bbs+"``,
+        ``"sdc"``, ``"sdc+"``.
+    options:
+        Forwarded to the selected algorithm (e.g. ``disk=DiskSimulator()``,
+        ``use_virtual_rtree=False``, ``max_entries=64``).
+    """
+    try:
+        implementation = ALGORITHMS[algorithm.lower()]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown skyline algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+        ) from exc
+    return implementation(dataset, **options)
+
+
+def skyline_records(dataset: Dataset, *, algorithm: str = "auto", **options) -> list[Record]:
+    """Convenience wrapper returning the skyline :class:`Record` objects."""
+    result = compute_skyline(dataset, algorithm=algorithm, **options)
+    return [dataset[record_id] for record_id in result.skyline_ids]

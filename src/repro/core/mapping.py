@@ -1,0 +1,172 @@
+"""The TSS transform: datasets mapped into the ``TO x A_TO`` space.
+
+TSS maps every record into a numeric space with one dimension per TO
+attribute (canonical values, smaller is better) and one dimension per PO
+attribute holding the value's ordinal in the topological sort of its
+preference DAG (Section III-B).  Because the topological sort respects every
+preference edge, visiting points of this space in ascending L1 distance from
+the origin guarantees the *precedence* property.
+
+Exact duplicates (records with identical attribute values) are grouped into a
+single :class:`MappedPoint` carrying all their record ids.  Distinct mapped
+points can then never tie on every attribute, which makes "weakly better
+everywhere and not the same point" equivalent to strict dominance and keeps
+every pruning rule exact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.exceptions import SchemaError
+from repro.index.pager import DiskSimulator
+from repro.index.rtree import RTree
+from repro.order.encoding import DomainEncoding, encode_domain
+
+Value = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class MappedPoint:
+    """A distinct value combination in the mapped space.
+
+    Attributes
+    ----------
+    index:
+        Position of this point in the mapping's point list (used as the
+        R-tree payload).
+    coords:
+        Mapped coordinates: canonical TO values followed by one topological
+        ordinal per PO attribute.
+    to_values:
+        The canonical TO values only.
+    po_values:
+        The original PO attribute values (schema order).
+    record_ids:
+        Ids of every dataset record with exactly these attribute values.
+    """
+
+    index: int
+    coords: tuple[float, ...]
+    to_values: tuple[float, ...]
+    po_values: tuple[Value, ...]
+    record_ids: tuple[int, ...]
+
+
+def group_distinct_rows(dataset: Dataset) -> list[tuple[tuple[Value, ...], tuple[int, ...]]]:
+    """Group record ids by their exact attribute-value tuple (insertion order)."""
+    groups: dict[tuple[Value, ...], list[int]] = {}
+    for record in dataset.records:
+        groups.setdefault(record.values, []).append(record.id)
+    return [(values, tuple(ids)) for values, ids in groups.items()]
+
+
+class TSSMapping:
+    """A dataset transformed into the TSS mapped space, plus its data R-tree."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        encodings: Sequence[DomainEncoding] | None = None,
+        *,
+        toposort_strategy: str = "kahn",
+        parent_choice: str = "first",
+    ) -> None:
+        schema = dataset.schema
+        if schema.num_partial_order == 0:
+            raise SchemaError("TSSMapping requires at least one PO attribute; use plain BBS otherwise")
+        self.dataset = dataset
+        self.schema: Schema = schema
+        if encodings is None:
+            encodings = [
+                encode_domain(attribute.dag, strategy=toposort_strategy, parent_choice=parent_choice)
+                for attribute in schema.partial_order_attributes
+            ]
+        if len(encodings) != schema.num_partial_order:
+            raise SchemaError("one DomainEncoding per PO attribute is required")
+        self.encodings: tuple[DomainEncoding, ...] = tuple(encodings)
+        self.points: list[MappedPoint] = self._build_points()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build_points(self) -> list[MappedPoint]:
+        schema = self.schema
+        points: list[MappedPoint] = []
+        for values, record_ids in group_distinct_rows(self.dataset):
+            to_values = schema.canonical_to_values(values)
+            po_values = schema.partial_values(values)
+            ordinals = tuple(
+                float(encoding.ordinal(value))
+                for encoding, value in zip(self.encodings, po_values)
+            )
+            points.append(
+                MappedPoint(
+                    index=len(points),
+                    coords=to_values + ordinals,
+                    to_values=to_values,
+                    po_values=po_values,
+                    record_ids=record_ids,
+                )
+            )
+        return points
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_total_order(self) -> int:
+        return self.schema.num_total_order
+
+    @property
+    def num_partial_order(self) -> int:
+        return self.schema.num_partial_order
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality of the mapped space (|TO| + |PO|)."""
+        return self.num_total_order + self.num_partial_order
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @cached_property
+    def to_offset(self) -> int:
+        """Index of the first PO (ordinal) coordinate inside ``coords``."""
+        return self.num_total_order
+
+    def point(self, index: int) -> MappedPoint:
+        return self.points[index]
+
+    # ------------------------------------------------------------------ #
+    # Index construction
+    # ------------------------------------------------------------------ #
+    def build_rtree(
+        self, *, max_entries: int = 32, disk: DiskSimulator | None = None
+    ) -> RTree:
+        """Bulk-load the data R-tree over the mapped points (payload = point index)."""
+        return RTree.bulk_load(
+            self.dimensions,
+            ((point.coords, point.index) for point in self.points),
+            max_entries=max_entries,
+            disk=disk,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Decoding helpers
+    # ------------------------------------------------------------------ #
+    def ordinal_range_of_rect(self, low: Sequence[float], high: Sequence[float], po_index: int) -> tuple[int, int]:
+        """The ``A_TO`` ordinal range an MBB spans for the ``po_index``-th PO attribute."""
+        dimension = self.to_offset + po_index
+        return int(low[dimension]), int(high[dimension])
+
+    def record_ids_for(self, point_indices: Sequence[int]) -> list[int]:
+        """Expand mapped-point indices back into dataset record ids."""
+        ids: list[int] = []
+        for index in point_indices:
+            ids.extend(self.points[index].record_ids)
+        return ids

@@ -1,0 +1,125 @@
+"""In-memory relations of skyline records.
+
+A :class:`Dataset` is an ordered collection of :class:`Record` objects that
+conform to a :class:`~repro.data.schema.Schema`.  Records carry a stable
+integer id (their position at insertion time) so algorithm outputs can be
+compared set-wise regardless of the order results are produced in.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.data.schema import Schema
+
+Value = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One tuple of a dataset: a stable id plus its attribute values."""
+
+    id: int
+    values: tuple[Value, ...]
+
+    def value(self, schema: Schema, name: str) -> Value:
+        """The value of attribute ``name`` under ``schema``."""
+        return self.values[schema.position(name)]
+
+    def as_dict(self, schema: Schema) -> dict[str, Value]:
+        return dict(zip(schema.names, self.values))
+
+
+class Dataset:
+    """An immutable, schema-validated collection of records."""
+
+    __slots__ = ("_schema", "_records")
+
+    def __init__(self, schema: Schema, rows: Iterable[Sequence[Value]], *, validate: bool = True) -> None:
+        self._schema = schema
+        records: list[Record] = []
+        for row in rows:
+            row_tuple = tuple(row)
+            if validate:
+                schema.validate_row(row_tuple)
+            records.append(Record(id=len(records), values=row_tuple))
+        self._records: tuple[Record, ...] = tuple(records)
+
+    # ------------------------------------------------------------------ #
+    # Collection protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def records(self) -> tuple[Record, ...]:
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __getitem__(self, record_id: int) -> Record:
+        try:
+            record = self._records[record_id]
+        except IndexError as exc:
+            raise DatasetError(f"no record with id {record_id}") from exc
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Dataset(n={len(self)}, schema={self._schema!r})"
+
+    # ------------------------------------------------------------------ #
+    # Column access
+    # ------------------------------------------------------------------ #
+    def column(self, name: str) -> list[Value]:
+        """All values of one attribute, in record order."""
+        position = self._schema.position(name)
+        return [record.values[position] for record in self._records]
+
+    def to_numeric_matrix(self) -> np.ndarray:
+        """The totally ordered attributes as a float matrix (canonical, min-is-best)."""
+        return np.array(
+            [self._schema.canonical_to_values(record.values) for record in self._records],
+            dtype=float,
+        ).reshape(len(self._records), self._schema.num_total_order)
+
+    def partial_value_tuples(self) -> list[tuple[Value, ...]]:
+        """The PO value combination of every record, in record order."""
+        return [self._schema.partial_values(record.values) for record in self._records]
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def subset(self, record_ids: Iterable[int]) -> "Dataset":
+        """A new dataset containing only the given records (ids are re-assigned)."""
+        rows = [self[record_id].values for record_id in record_ids]
+        return Dataset(self._schema, rows, validate=False)
+
+    def with_schema(self, schema: Schema, *, validate: bool = True) -> "Dataset":
+        """Re-interpret the same rows under a different (compatible) schema.
+
+        Used by dynamic skyline queries that change PO preferences: the record
+        values are unchanged, only the preference DAGs differ.
+        """
+        if len(schema) != len(self._schema):
+            raise DatasetError("replacement schema must have the same number of attributes")
+        return Dataset(schema, (record.values for record in self._records), validate=validate)
+
+    @classmethod
+    def from_dicts(cls, schema: Schema, rows: Iterable[dict[str, Value]]) -> "Dataset":
+        """Build a dataset from dictionaries keyed by attribute name."""
+        ordered_rows = []
+        for row in rows:
+            missing = set(schema.names) - set(row)
+            if missing:
+                raise DatasetError(f"row is missing attributes: {sorted(missing)}")
+            ordered_rows.append(tuple(row[name] for name in schema.names))
+        return cls(schema, ordered_rows)

@@ -1,0 +1,138 @@
+"""Loading and saving datasets as CSV files.
+
+Real deployments rarely start from a synthetic generator: the relation lives
+in a CSV export and the preference DAGs are specified separately.  These
+helpers read/write datasets against an existing :class:`~repro.data.schema.Schema`
+(TO columns are parsed as numbers, PO columns are validated against their
+domains) and can round-trip the preference DAGs themselves through a simple
+edge-list format.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Hashable, Iterable
+from pathlib import Path
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.exceptions import DatasetError, PartialOrderError
+from repro.order.dag import PartialOrderDAG
+
+Value = Hashable
+
+
+def load_csv_dataset(
+    path: str | Path,
+    schema: Schema,
+    *,
+    delimiter: str = ",",
+    validate: bool = True,
+) -> Dataset:
+    """Load a CSV file with a header row into a schema-conforming dataset.
+
+    The header must contain every schema attribute (extra columns are
+    ignored).  Totally ordered columns are parsed as ``int`` when possible and
+    ``float`` otherwise; partially ordered columns are kept as strings and
+    validated against the attribute's domain unless ``validate=False``.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise DatasetError(f"{path}: empty CSV file")
+        missing = [name for name in schema.names if name not in reader.fieldnames]
+        if missing:
+            raise DatasetError(f"{path}: missing columns {missing}")
+        rows = []
+        for line_number, raw in enumerate(reader, start=2):
+            row: list[Value] = []
+            for attribute in schema.attributes:
+                cell = raw[attribute.name]
+                if attribute.is_partial:
+                    row.append(cell)
+                else:
+                    row.append(_parse_number(cell, attribute.name, path, line_number))
+            rows.append(tuple(row))
+    return Dataset(schema, rows, validate=validate)
+
+
+def save_csv_dataset(dataset: Dataset, path: str | Path, *, delimiter: str = ",") -> None:
+    """Write a dataset (with a header row) to a CSV file."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(dataset.schema.names)
+        for record in dataset.records:
+            writer.writerow(record.values)
+
+
+def _parse_number(cell: str, column: str, path: Path, line_number: int) -> float | int:
+    text = cell.strip()
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError as exc:
+            raise DatasetError(
+                f"{path}:{line_number}: column {column!r} expects a number, got {cell!r}"
+            ) from exc
+
+
+# --------------------------------------------------------------------- #
+# Preference DAGs as edge lists
+# --------------------------------------------------------------------- #
+def load_preference_edges(path: str | Path, *, delimiter: str = ",") -> PartialOrderDAG:
+    """Load a preference DAG from a two-column ``better,worse`` CSV edge list.
+
+    Lines starting with ``#`` are comments.  Single-column lines declare an
+    isolated value (useful for values with no preferences at all).
+    """
+    path = Path(path)
+    values: list[Value] = []
+    seen: set[Value] = set()
+    edges: list[tuple[Value, Value]] = []
+
+    def remember(value: str) -> None:
+        if value not in seen:
+            seen.add(value)
+            values.append(value)
+
+    with path.open(newline="", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(csv.reader(handle, delimiter=delimiter), start=1):
+            cells = [cell.strip() for cell in raw if cell.strip()]
+            if not cells or cells[0].startswith("#"):
+                continue
+            if len(cells) == 1:
+                remember(cells[0])
+            elif len(cells) == 2:
+                remember(cells[0])
+                remember(cells[1])
+                edges.append((cells[0], cells[1]))
+            else:
+                raise PartialOrderError(
+                    f"{path}:{line_number}: expected 'better,worse' or a single value, got {raw!r}"
+                )
+    return PartialOrderDAG(values, edges)
+
+
+def save_preference_edges(dag: PartialOrderDAG, path: str | Path, *, delimiter: str = ",") -> None:
+    """Write a preference DAG as a ``better,worse`` edge list (isolated values as single cells)."""
+    path = Path(path)
+    connected = {value for edge in dag.edges for value in edge}
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        for better, worse in dag.edges:
+            writer.writerow([better, worse])
+        for value in dag.values:
+            if value not in connected:
+                writer.writerow([value])
+
+
+def dataset_from_rows(
+    schema: Schema, rows: Iterable[dict[str, Value]], *, validate: bool = True
+) -> Dataset:
+    """Build a dataset from dict-rows (convenience mirror of ``Dataset.from_dicts``)."""
+    ordered = [tuple(row[name] for name in schema.names) for row in rows]
+    return Dataset(schema, ordered, validate=validate)

@@ -1,0 +1,166 @@
+"""Named, reproducible workload specifications mirroring the paper's grid.
+
+Table III of the paper lists the experimental parameters:
+
+==============================  =============================
+Parameter                        Range
+==============================  =============================
+Data cardinality (N)             100K, 500K, 1M, 5M, 10M
+Number of TO attributes (|TO|)   2, 3, 4
+Number of PO attributes (|PO|)   1, 2
+DAG height (h)                   2, 4, 6, 8, 10
+DAG density (d)                  0.2, 0.4, 0.6, 0.8, 1
+==============================  =============================
+
+Defaults (static): N = 1M, |TO| = 2, |PO| = 2, h = 8, d = 0.8.
+Defaults (dynamic): N = 1M, |TO| = 3, |PO| = 1, h = 6, d = 0.8.
+
+A pure-Python reproduction cannot run million-tuple experiments inside a
+benchmark suite, so :func:`scale_cardinality` maps the paper's cardinalities
+onto a laptop-scale grid while preserving their relative proportions; the
+original values remain available by constructing :class:`WorkloadSpec`
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.data.dataset import Dataset
+from repro.data.generator import generate_dataset
+from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.exceptions import ExperimentError
+from repro.order.dag import PartialOrderDAG
+from repro.order.lattice import lattice_domain
+
+#: Paper parameter ranges (Table III).
+PAPER_CARDINALITIES = (100_000, 500_000, 1_000_000, 5_000_000, 10_000_000)
+PAPER_TO_COUNTS = (2, 3, 4)
+PAPER_PO_COUNTS = (1, 2)
+PAPER_DAG_HEIGHTS = (2, 4, 6, 8, 10)
+PAPER_DAG_DENSITIES = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: Scale factor applied by :func:`scale_cardinality` (paper N / this factor).
+DEFAULT_SCALE_FACTOR = 500
+
+
+def scale_cardinality(paper_cardinality: int, scale_factor: int = DEFAULT_SCALE_FACTOR) -> int:
+    """Map a paper-scale cardinality to a laptop-scale one, preserving ratios."""
+    if paper_cardinality <= 0 or scale_factor <= 0:
+        raise ExperimentError("cardinality and scale factor must be positive")
+    return max(50, paper_cardinality // scale_factor)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A fully specified synthetic workload (schema + data parameters)."""
+
+    name: str
+    distribution: str = "independent"
+    cardinality: int = 2000
+    num_total_order: int = 2
+    num_partial_order: int = 2
+    dag_height: int = 8
+    dag_density: float = 0.8
+    to_domain_size: int = 10_000
+    seed: int = 7
+    lattice_seeds: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.num_total_order < 0 or self.num_partial_order < 0:
+            raise ExperimentError("attribute counts must be non-negative")
+        if self.num_total_order + self.num_partial_order == 0:
+            raise ExperimentError("a workload needs at least one attribute")
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def build_dags(self) -> list[PartialOrderDAG]:
+        """One sampled subset-lattice DAG per PO attribute."""
+        seeds = self.lattice_seeds or tuple(
+            self.seed * 1000 + i for i in range(self.num_partial_order)
+        )
+        if len(seeds) != self.num_partial_order:
+            raise ExperimentError("lattice_seeds must have one entry per PO attribute")
+        return [
+            lattice_domain(self.dag_height, self.dag_density, seed=seed)
+            for seed in seeds
+        ]
+
+    def build_schema(self, dags: list[PartialOrderDAG] | None = None) -> Schema:
+        """The workload's schema: TO attributes first, then PO attributes."""
+        dags = dags if dags is not None else self.build_dags()
+        attributes: list[TotalOrderAttribute | PartialOrderAttribute] = [
+            TotalOrderAttribute(f"to{i + 1}") for i in range(self.num_total_order)
+        ]
+        attributes.extend(
+            PartialOrderAttribute(f"po{i + 1}", dag) for i, dag in enumerate(dags)
+        )
+        return Schema(attributes)
+
+    def build(self) -> tuple[Schema, Dataset]:
+        """Materialize the workload: schema plus generated dataset."""
+        schema = self.build_schema()
+        dataset = generate_dataset(
+            schema,
+            self.cardinality,
+            distribution=self.distribution,
+            to_domain_size=self.to_domain_size,
+            seed=self.seed,
+        )
+        return schema, dataset
+
+    # ------------------------------------------------------------------ #
+    # Variation helpers used by the experiment sweeps
+    # ------------------------------------------------------------------ #
+    def with_(self, **changes) -> "WorkloadSpec":
+        """A copy of the spec with some parameters replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "distribution": self.distribution,
+            "N": self.cardinality,
+            "|TO|": self.num_total_order,
+            "|PO|": self.num_partial_order,
+            "h": self.dag_height,
+            "d": self.dag_density,
+            "seed": self.seed,
+        }
+
+
+def paper_defaults(
+    *,
+    distribution: str = "independent",
+    dynamic: bool = False,
+    scale_factor: int = DEFAULT_SCALE_FACTOR,
+    seed: int = 7,
+) -> WorkloadSpec:
+    """The paper's default setting, scaled to laptop size.
+
+    Static experiments default to ``N=1M, |TO|=2, |PO|=2, h=8, d=0.8``;
+    dynamic experiments to ``N=1M, |TO|=3, |PO|=1, h=6, d=0.8``.
+    """
+    cardinality = scale_cardinality(1_000_000, scale_factor)
+    if dynamic:
+        return WorkloadSpec(
+            name=f"paper-dynamic-{distribution}",
+            distribution=distribution,
+            cardinality=cardinality,
+            num_total_order=3,
+            num_partial_order=1,
+            dag_height=6,
+            dag_density=0.8,
+            seed=seed,
+        )
+    return WorkloadSpec(
+        name=f"paper-static-{distribution}",
+        distribution=distribution,
+        cardinality=cardinality,
+        num_total_order=2,
+        num_partial_order=2,
+        dag_height=8,
+        dag_density=0.8,
+        seed=seed,
+    )

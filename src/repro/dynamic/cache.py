@@ -1,0 +1,91 @@
+"""Caching of past dynamic skyline query results (Section V-B).
+
+Dynamic queries that specify the same partial orders produce the same
+skyline, so their results can simply be reused.  The cache key canonicalizes
+each query DAG into its domain values plus its transitively closed preference
+pairs, which makes two specifications that imply the same preferences (e.g. a
+Hasse diagram versus its transitive closure) hit the same entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable, Mapping, Sequence
+
+from repro.exceptions import QueryError
+from repro.order.dag import PartialOrderDAG
+from repro.skyline.base import SkylineResult
+
+Value = Hashable
+
+CacheKey = tuple[tuple[tuple[Value, ...], frozenset[tuple[Value, Value]]], ...]
+
+
+def canonical_query_key(
+    partial_orders: Mapping[str, PartialOrderDAG] | Sequence[PartialOrderDAG],
+    attribute_names: Sequence[str],
+) -> CacheKey:
+    """A hashable, order-insensitive representation of one dynamic query."""
+    if isinstance(partial_orders, Mapping):
+        missing = [name for name in attribute_names if name not in partial_orders]
+        if missing:
+            raise QueryError(f"query does not specify a partial order for: {missing}")
+        dags = [partial_orders[name] for name in attribute_names]
+    else:
+        dags = list(partial_orders)
+        if len(dags) != len(attribute_names):
+            raise QueryError(
+                f"query specifies {len(dags)} partial orders, schema has {len(attribute_names)}"
+            )
+    key_parts = []
+    for dag in dags:
+        values = tuple(sorted(dag.values, key=repr))
+        closure = frozenset(dag.transitive_closure_edges())
+        key_parts.append((values, closure))
+    return tuple(key_parts)
+
+
+class DynamicQueryCache:
+    """A small LRU cache of dynamic query results keyed by their partial orders."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise QueryError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[CacheKey, SkylineResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self,
+        partial_orders: Mapping[str, PartialOrderDAG] | Sequence[PartialOrderDAG],
+        attribute_names: Sequence[str],
+    ) -> SkylineResult | None:
+        key = canonical_query_key(partial_orders, attribute_names)
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(
+        self,
+        partial_orders: Mapping[str, PartialOrderDAG] | Sequence[PartialOrderDAG],
+        attribute_names: Sequence[str],
+        result: SkylineResult,
+    ) -> None:
+        key = canonical_query_key(partial_orders, attribute_names)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

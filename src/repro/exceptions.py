@@ -1,0 +1,44 @@
+"""Exception hierarchy for the TSS reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Specific subclasses signal malformed partial
+orders, schema/data mismatches and index misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PartialOrderError(ReproError):
+    """A partial-order specification is invalid (cycle, unknown value, ...)."""
+
+
+class CycleError(PartialOrderError):
+    """The preference graph contains a cycle and is therefore not a DAG."""
+
+
+class UnknownValueError(PartialOrderError, KeyError):
+    """A value was referenced that does not belong to the domain."""
+
+
+class SchemaError(ReproError):
+    """A schema definition is inconsistent or incompatible with a dataset."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed (ragged rows, out-of-domain values, ...)."""
+
+
+class IndexError_(ReproError):
+    """An R-tree or page-store operation was used incorrectly."""
+
+
+class QueryError(ReproError):
+    """A (dynamic) skyline query specification is invalid."""
+
+
+class ExperimentError(ReproError):
+    """A benchmark/experiment configuration is invalid."""

@@ -1,0 +1,27 @@
+"""Storage and index substrate: geometry, simulated disk pages and an R-tree.
+
+* :mod:`~repro.index.geometry` — axis-aligned rectangles (MBBs), L1 ``mindist``
+  to the origin (the most preferable corner of the mapped space) and point
+  containment/intersection tests.
+* :mod:`~repro.index.pager` — a simulated page store with IO counting and an
+  LRU buffer pool, used to charge the paper's per-IO cost.
+* :mod:`~repro.index.rtree` — a from-scratch R-tree supporting insertion
+  (quadratic split), STR bulk loading, range and Boolean range queries, and an
+  incremental best-first traversal used by BBS-style algorithms.
+"""
+
+from repro.index.geometry import Rect, point_mindist
+from repro.index.pager import BufferPool, DiskSimulator, IOStats
+from repro.index.rtree import BestFirstTraversal, NodeRef, RTree, RTreeEntry
+
+__all__ = [
+    "Rect",
+    "point_mindist",
+    "DiskSimulator",
+    "BufferPool",
+    "IOStats",
+    "RTree",
+    "RTreeEntry",
+    "NodeRef",
+    "BestFirstTraversal",
+]

@@ -1,0 +1,64 @@
+"""Partial-order substrate: DAGs, topological sorts, interval encodings.
+
+This subpackage implements everything the TSS framework needs to reason about
+partially ordered (PO) domains:
+
+* :class:`~repro.order.dag.PartialOrderDAG` — a Hasse-diagram style DAG over a
+  finite domain of values, with reachability (the ground-truth preference
+  relation).
+* :mod:`~repro.order.toposort` — topological sorts (Kahn, DFS, deterministic
+  lexicographic variants).
+* :mod:`~repro.order.spanning_tree` — spanning-tree extraction and the
+  ``[minpost, post]`` postorder interval labelling of Agrawal et al.
+* :mod:`~repro.order.intervals` — closed integer intervals and interval sets
+  with merging / subsumption.
+* :mod:`~repro.order.propagation` — propagation of intervals along non-tree
+  edges so that the final encoding captures *all* preferences (exactness).
+* :mod:`~repro.order.encoding` — :class:`DomainEncoding`, the per-domain
+  artefact used by TSS (ordinal in a topological sort + interval set per
+  value).
+* :mod:`~repro.order.uncovered` — uncovered levels used by the SDC/SDC+
+  baselines to stratify data.
+* :mod:`~repro.order.lattice` — the subset-containment lattice generator with
+  the height/density controls used in the paper's experiments.
+* :mod:`~repro.order.builders` — convenience constructors (chains, antichains,
+  trees, random DAGs, explicit preference lists).
+"""
+
+from repro.order.builders import (
+    antichain,
+    chain,
+    dag_from_edges,
+    dag_from_preferences,
+    diamond,
+    random_dag,
+    tree_order,
+)
+from repro.order.dag import PartialOrderDAG
+from repro.order.encoding import DomainEncoding, encode_domain
+from repro.order.intervals import Interval, IntervalSet
+from repro.order.lattice import subset_lattice, lattice_domain
+from repro.order.spanning_tree import SpanningTree, extract_spanning_tree
+from repro.order.toposort import topological_sort
+from repro.order.uncovered import uncovered_levels
+
+__all__ = [
+    "PartialOrderDAG",
+    "DomainEncoding",
+    "encode_domain",
+    "Interval",
+    "IntervalSet",
+    "SpanningTree",
+    "extract_spanning_tree",
+    "topological_sort",
+    "uncovered_levels",
+    "subset_lattice",
+    "lattice_domain",
+    "chain",
+    "antichain",
+    "diamond",
+    "tree_order",
+    "random_dag",
+    "dag_from_edges",
+    "dag_from_preferences",
+]

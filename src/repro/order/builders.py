@@ -1,0 +1,200 @@
+"""Convenience constructors for common partial orders.
+
+These helpers make it easy to express the partial orders that appear in
+applications (and in the paper's running examples): explicit preference
+lists, total orders expressed as chains, antichains (no preferences at all),
+diamonds, hierarchies/trees, interval orders and random DAGs.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.exceptions import PartialOrderError
+from repro.order.dag import PartialOrderDAG
+
+Value = Hashable
+
+
+def dag_from_edges(edges: Iterable[tuple[Value, Value]], values: Iterable[Value] | None = None) -> PartialOrderDAG:
+    """Build a DAG from ``(better, worse)`` edges; values default to edge endpoints."""
+    edge_list = list(edges)
+    if values is None:
+        seen: list[Value] = []
+        seen_set: set[Value] = set()
+        for better, worse in edge_list:
+            for value in (better, worse):
+                if value not in seen_set:
+                    seen_set.add(value)
+                    seen.append(value)
+        values = seen
+    return PartialOrderDAG(values, edge_list)
+
+
+def dag_from_preferences(
+    values: Iterable[Value],
+    preferences: Iterable[tuple[Value, Value]],
+) -> PartialOrderDAG:
+    """Build the Hasse diagram from an explicit set of ``(better, worse)`` pairs.
+
+    Transitively redundant pairs are removed so the result is a proper Hasse
+    diagram; inconsistent (cyclic) preferences raise
+    :class:`~repro.exceptions.CycleError`.
+    """
+    dag = PartialOrderDAG(values, preferences)
+    return dag.transitive_reduction()
+
+
+def chain(values: Sequence[Value]) -> PartialOrderDAG:
+    """A total order: ``values[0]`` is best, each value preferred over the next."""
+    edges = [(values[i], values[i + 1]) for i in range(len(values) - 1)]
+    return PartialOrderDAG(values, edges)
+
+
+def antichain(values: Sequence[Value]) -> PartialOrderDAG:
+    """A domain with no preferences at all (every pair incomparable)."""
+    return PartialOrderDAG(values, [])
+
+
+def diamond(top: Value, middles: Sequence[Value], bottom: Value) -> PartialOrderDAG:
+    """A diamond: ``top`` preferred over every middle, every middle over ``bottom``."""
+    if len(set(middles)) != len(middles):
+        raise PartialOrderError("diamond middle values must be distinct")
+    values = [top, *middles, bottom]
+    edges = [(top, m) for m in middles] + [(m, bottom) for m in middles]
+    return PartialOrderDAG(values, edges)
+
+
+def tree_order(parent_of: dict[Value, Value]) -> PartialOrderDAG:
+    """A hierarchy: each child maps to its (preferred) parent.
+
+    Useful for category hierarchies where more general categories are
+    preferred (or vice versa — flip the mapping to invert the preference).
+    """
+    values: list[Value] = []
+    seen: set[Value] = set()
+    for child, parent in parent_of.items():
+        for value in (parent, child):
+            if value not in seen:
+                seen.add(value)
+                values.append(value)
+    edges = [(parent, child) for child, parent in parent_of.items()]
+    return PartialOrderDAG(values, edges)
+
+
+def interval_order(intervals: dict[Value, tuple[float, float]]) -> PartialOrderDAG:
+    """Partial order over intervals: ``x`` preferred over ``y`` iff x ends before y starts.
+
+    This is the classical interval order; it captures, e.g., preferences over
+    time slots where an earlier, non-overlapping slot is strictly better.
+    """
+    values = list(intervals)
+    edges = []
+    for x in values:
+        for y in values:
+            if x is not y and intervals[x][1] < intervals[y][0]:
+                edges.append((x, y))
+    return PartialOrderDAG(values, edges).transitive_reduction()
+
+
+def layered_dag(
+    layer_sizes: Sequence[int],
+    *,
+    edge_probability: float = 0.5,
+    seed: int | None = None,
+    prefix: str = "v",
+) -> PartialOrderDAG:
+    """A random layered DAG: edges only go from one layer to the next.
+
+    Every node keeps at least one outgoing edge to the next layer so the DAG
+    height equals ``len(layer_sizes) - 1``.
+    """
+    if not layer_sizes or any(size < 1 for size in layer_sizes):
+        raise PartialOrderError("layer sizes must be positive")
+    rng = random.Random(seed)
+    layers: list[list[str]] = []
+    counter = 0
+    for size in layer_sizes:
+        layers.append([f"{prefix}{counter + i}" for i in range(size)])
+        counter += size
+    values = [value for layer in layers for value in layer]
+    edges: list[tuple[Value, Value]] = []
+    for upper, lower in zip(layers, layers[1:]):
+        for node in upper:
+            targets = [t for t in lower if rng.random() < edge_probability]
+            if not targets:
+                targets = [rng.choice(lower)]
+            edges.extend((node, t) for t in targets)
+    return PartialOrderDAG(values, edges)
+
+
+def random_dag(
+    num_values: int,
+    *,
+    edge_probability: float = 0.2,
+    seed: int | None = None,
+    prefix: str = "v",
+) -> PartialOrderDAG:
+    """A random DAG over ``num_values`` labelled nodes.
+
+    Edges are sampled independently between pairs ``(i, j)`` with ``i < j`` in
+    a random permutation, which guarantees acyclicity.
+    """
+    if num_values < 1:
+        raise PartialOrderError("num_values must be >= 1")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise PartialOrderError("edge_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    labels = [f"{prefix}{i}" for i in range(num_values)]
+    permutation = labels[:]
+    rng.shuffle(permutation)
+    edges = [
+        (permutation[i], permutation[j])
+        for i in range(num_values)
+        for j in range(i + 1, num_values)
+        if rng.random() < edge_probability
+    ]
+    return PartialOrderDAG(labels, edges)
+
+
+def paper_example_dag() -> PartialOrderDAG:
+    """The 9-node example DAG of Figure 2(a) in the paper (values ``a`` .. ``i``).
+
+    Edges are chosen to be consistent with the figure: ``a`` is the single
+    root, ``h`` and ``i`` are leaves, and the DAG contains non-tree edges so
+    that interval propagation is exercised (e.g. the path ``a, c, g`` has two
+    non-tree edges once the canonical spanning tree is extracted).
+    """
+    edges = [
+        ("a", "b"),
+        ("a", "d"),
+        ("a", "e"),
+        ("b", "c"),
+        ("b", "g"),
+        ("c", "f"),
+        ("c", "g"),
+        ("d", "g"),
+        ("d", "i"),
+        ("e", "g"),
+        ("f", "h"),
+        ("g", "i"),
+    ]
+    return PartialOrderDAG(list("abcdefghi"), edges)
+
+
+def airline_preference_dag() -> PartialOrderDAG:
+    """The airline partial order of the paper's introduction (Table I, first row).
+
+    ``a`` is favoured over both ``b`` and ``c``, and every company is favoured
+    over ``d``; ``b`` and ``c`` are incomparable.
+    """
+    return PartialOrderDAG(
+        ["a", "b", "c", "d"],
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+    )
+
+
+def airline_preference_dag_second() -> PartialOrderDAG:
+    """The second airline partial order of Table I: only ``b`` is preferred over ``a``."""
+    return PartialOrderDAG(["a", "b", "c", "d"], [("b", "a")])

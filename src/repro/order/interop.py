@@ -1,0 +1,89 @@
+"""Interoperability with networkx.
+
+The library's :class:`~repro.order.dag.PartialOrderDAG` is intentionally
+self-contained, but preference structures frequently already live in networkx
+graphs (ontologies, concept hierarchies, crawled "better-than" relations).
+These helpers convert in both directions and expose a couple of convenience
+constructors for graphs that need cleaning up first (cycle condensation,
+transitive reduction).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+import networkx as nx
+
+from repro.exceptions import PartialOrderError
+from repro.order.dag import PartialOrderDAG
+
+Value = Hashable
+
+
+def to_networkx(dag: PartialOrderDAG) -> "nx.DiGraph":
+    """Convert a :class:`PartialOrderDAG` into a :class:`networkx.DiGraph`.
+
+    Edge direction is preserved: an edge ``x -> y`` still means "x is
+    preferred over y".
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(dag.values)
+    graph.add_edges_from(dag.edges)
+    return graph
+
+
+def from_networkx(graph: "nx.DiGraph", *, reduce: bool = False) -> PartialOrderDAG:
+    """Build a :class:`PartialOrderDAG` from a directed networkx graph.
+
+    Parameters
+    ----------
+    graph:
+        A directed acyclic graph whose edges mean "source preferred over
+        target".
+    reduce:
+        Apply a transitive reduction so the result is a proper Hasse diagram.
+
+    Raises
+    ------
+    PartialOrderError
+        If the graph is not directed or contains a cycle.
+    """
+    if not graph.is_directed():
+        raise PartialOrderError("preference graphs must be directed")
+    if not nx.is_directed_acyclic_graph(graph):
+        raise PartialOrderError("preference graph contains a cycle; condense it first")
+    dag = PartialOrderDAG(list(graph.nodes), list(graph.edges))
+    return dag.transitive_reduction() if reduce else dag
+
+
+def from_preference_graph(graph: "nx.DiGraph") -> PartialOrderDAG:
+    """Build a partial order from a possibly *cyclic* "better-than" graph.
+
+    Strongly connected components (sets of values declared better than each
+    other, i.e. contradictory preferences) are collapsed into a single
+    representative value — the smallest node of the component by string
+    representation — and the condensation's edges become the preferences.
+    """
+    condensation = nx.condensation(graph)
+    representative = {
+        component_id: min(members, key=repr)
+        for component_id, members in condensation.nodes(data="members")
+    }
+    values = [representative[c] for c in condensation.nodes]
+    edges = [
+        (representative[u], representative[v]) for u, v in condensation.edges
+    ]
+    return PartialOrderDAG(values, edges).transitive_reduction()
+
+
+def comparability_ratio(dag: PartialOrderDAG) -> float:
+    """Fraction of value pairs that are comparable (a density measure).
+
+    Useful when reporting how much preference information a domain carries:
+    1.0 for a total order, 0.0 for an antichain.
+    """
+    n = len(dag)
+    if n < 2:
+        return 1.0
+    comparable = sum(len(dag.descendants(value)) for value in dag.values)
+    return comparable / (n * (n - 1) / 2)

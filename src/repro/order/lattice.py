@@ -1,0 +1,114 @@
+"""Subset-containment lattices and the paper's PO-domain generator.
+
+The experimental evaluation (Section VI-A) builds each PO domain from the
+containment partial order over the subsets of ``h`` distinct objects: the full
+lattice has height ``h`` and ``2**h`` nodes.  The *density* parameter
+``d = |V| / 2**h`` is realized by retaining each lattice node (together with
+its incident edges) with probability ``d``.
+
+Two entry points are provided:
+
+* :func:`subset_lattice` — the full lattice with ``frozenset`` values, useful
+  for examples involving set-valued attributes.
+* :func:`lattice_domain` — the generator actually used by the benchmark
+  harness: nodes are compact integer bitmasks, density sampling and a random
+  seed are supported.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Sequence
+
+from repro.exceptions import PartialOrderError
+from repro.order.dag import PartialOrderDAG
+
+Value = Hashable
+
+
+def subset_lattice(objects: Sequence[Value]) -> PartialOrderDAG:
+    """Containment lattice over all subsets of ``objects`` (frozenset values).
+
+    Smaller sets are preferred: the Hasse edges go from each subset ``S`` to
+    every superset ``S | {x}`` obtained by adding one object.
+    """
+    items = list(objects)
+    if len(set(items)) != len(items):
+        raise PartialOrderError("lattice objects must be distinct")
+    masks = list(range(2 ** len(items)))
+    values = [frozenset(items[i] for i in range(len(items)) if mask >> i & 1) for mask in masks]
+    edges: list[tuple[Value, Value]] = []
+    for mask, value in zip(masks, values):
+        for bit in range(len(items)):
+            if not mask >> bit & 1:
+                edges.append((value, values[mask | (1 << bit)]))
+    return PartialOrderDAG(values, edges)
+
+
+def lattice_domain(
+    height: int,
+    density: float = 1.0,
+    *,
+    seed: int | None = None,
+    keep_extremes: bool = True,
+) -> PartialOrderDAG:
+    """The paper's PO-domain generator: a sampled subset lattice over bitmasks.
+
+    Parameters
+    ----------
+    height:
+        Number of base objects ``h``; the full lattice has ``2**h`` nodes and
+        height ``h``.
+    density:
+        Probability of retaining each lattice node, i.e. the expected value of
+        ``|V| / 2**h``.  ``1.0`` keeps the full lattice.
+    seed:
+        Seed for the node-retention sampling (deterministic when given).
+    keep_extremes:
+        Always keep the empty set and the full set, so the sampled DAG keeps a
+        single most-preferred and a single least-preferred value and its
+        height stays close to ``h``.  The paper does not specify this detail;
+        it only stabilizes the height across samples.
+
+    Returns
+    -------
+    PartialOrderDAG
+        Nodes are integer bitmasks in ``[0, 2**h)``; an edge ``x -> y`` exists
+        when ``y`` adds exactly one object to ``x`` and both nodes were
+        retained.
+    """
+    if height < 1:
+        raise PartialOrderError("lattice height must be >= 1")
+    if not 0.0 < density <= 1.0:
+        raise PartialOrderError("lattice density must be in (0, 1]")
+
+    rng = random.Random(seed)
+    full = 1 << height
+    retained: list[int] = []
+    for mask in range(full):
+        forced = keep_extremes and mask in (0, full - 1)
+        if forced or density >= 1.0 or rng.random() < density:
+            retained.append(mask)
+    retained_set = set(retained)
+
+    edges: list[tuple[int, int]] = []
+    for mask in retained:
+        for bit in range(height):
+            if not mask >> bit & 1:
+                superset = mask | (1 << bit)
+                if superset in retained_set:
+                    edges.append((mask, superset))
+    return PartialOrderDAG(retained, edges)
+
+
+def describe_lattice(dag: PartialOrderDAG) -> dict[str, float]:
+    """Summary statistics used when reporting experiment configurations."""
+    size = len(dag)
+    return {
+        "nodes": float(size),
+        "edges": float(dag.num_edges),
+        "height": float(dag.height()),
+        "roots": float(len(dag.roots())),
+        "leaves": float(len(dag.leaves())),
+        "avg_out_degree": dag.num_edges / size if size else 0.0,
+    }

@@ -1,0 +1,203 @@
+"""Spanning-tree extraction and postorder interval labelling.
+
+Following Section II-B of the paper (method adopted from Agrawal et al.,
+SIGMOD 1989), a spanning tree (in general a spanning *forest*, when the DAG
+has several roots) is extracted from the partial-order DAG.  A postorder
+traversal assigns to each node a ``post`` number and the interval
+``[minpost, post]``, where ``minpost`` is the smallest ``post`` among the
+node's tree descendants (including itself).  Containment between these
+intervals captures exactly the preferences that follow *tree* paths; edges
+left out of the tree ("non-tree edges") are handled later by interval
+propagation (:mod:`repro.order.propagation`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+
+from repro.exceptions import PartialOrderError
+from repro.order.dag import PartialOrderDAG
+from repro.order.intervals import Interval
+
+Value = Hashable
+
+#: Parent-selection strategies for :func:`extract_spanning_tree`.
+PARENT_STRATEGIES = ("first", "last", "max_coverage")
+
+
+@dataclass(slots=True)
+class SpanningTree:
+    """A spanning forest of a partial-order DAG with postorder labelling.
+
+    Attributes
+    ----------
+    dag:
+        The DAG the tree was extracted from.
+    parent:
+        Tree parent of every node (``None`` for forest roots).
+    children:
+        Tree children of every node, in deterministic order.
+    post:
+        Postorder number of every node (1-based, unique).
+    minpost:
+        Minimum postorder number in the node's tree subtree.
+    """
+
+    dag: PartialOrderDAG
+    parent: dict[Value, Value | None]
+    children: dict[Value, list[Value]]
+    post: dict[Value, int]
+    minpost: dict[Value, int]
+    _tree_edges: set[tuple[Value, Value]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._tree_edges = {
+            (p, c) for c, p in self.parent.items() if p is not None
+        }
+
+    # ------------------------------------------------------------------ #
+    # Interval access
+    # ------------------------------------------------------------------ #
+    def interval(self, value: Value) -> Interval:
+        """The ``[minpost, post]`` interval of ``value``."""
+        return Interval(self.minpost[value], self.post[value])
+
+    def intervals(self) -> dict[Value, Interval]:
+        """Intervals of all values."""
+        return {value: self.interval(value) for value in self.dag.values}
+
+    # ------------------------------------------------------------------ #
+    # Edge classification
+    # ------------------------------------------------------------------ #
+    def is_tree_edge(self, better: Value, worse: Value) -> bool:
+        return (better, worse) in self._tree_edges
+
+    def tree_edges(self) -> list[tuple[Value, Value]]:
+        return [(p, c) for c, p in self.parent.items() if p is not None]
+
+    def non_tree_edges(self) -> list[tuple[Value, Value]]:
+        """DAG edges that are not part of the spanning tree."""
+        return [edge for edge in self.dag.edges if edge not in self._tree_edges]
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the baselines
+    # ------------------------------------------------------------------ #
+    def tree_descendants(self, value: Value) -> set[Value]:
+        """All tree descendants of ``value`` (excluding itself)."""
+        result: set[Value] = set()
+        stack = list(self.children[value])
+        while stack:
+            node = stack.pop()
+            result.add(node)
+            stack.extend(self.children[node])
+        return result
+
+    def tree_prefers(self, better: Value, worse: Value) -> bool:
+        """Preference implied by the *tree only*: interval containment.
+
+        This is the (inexact) relation the Chan et al. mapping relies on;
+        it misses preferences whose only witness paths use non-tree edges.
+        """
+        if better == worse:
+            return False
+        return self.interval(better).contains(self.interval(worse))
+
+
+def extract_spanning_tree(
+    dag: PartialOrderDAG,
+    parent_choice: str | Callable[[Value, tuple[Value, ...]], Value] = "first",
+) -> SpanningTree:
+    """Extract a spanning forest and compute the postorder interval labelling.
+
+    Parameters
+    ----------
+    dag:
+        The partial-order DAG.
+    parent_choice:
+        How to pick the single tree parent of a node with several DAG
+        predecessors: ``"first"`` (first predecessor in insertion order, the
+        deterministic default), ``"last"``, ``"max_coverage"`` (the
+        predecessor with the largest number of descendants, which tends to
+        put more preferences on tree paths), or a callable
+        ``(node, predecessors) -> chosen_parent``.
+
+    Returns
+    -------
+    SpanningTree
+        The forest plus ``post``/``minpost`` labels.
+    """
+    chooser = _parent_chooser(dag, parent_choice)
+
+    parent: dict[Value, Value | None] = {}
+    children: dict[Value, list[Value]] = {v: [] for v in dag.values}
+    for node in dag.values:
+        predecessors = dag.predecessors(node)
+        if not predecessors:
+            parent[node] = None
+        else:
+            chosen = chooser(node, predecessors)
+            if chosen not in predecessors:
+                raise PartialOrderError(
+                    f"parent chooser returned {chosen!r} which is not a predecessor of {node!r}"
+                )
+            parent[node] = chosen
+            children[chosen].append(node)
+
+    post: dict[Value, int] = {}
+    minpost: dict[Value, int] = {}
+    counter = 0
+    for root in (v for v in dag.values if parent[v] is None):
+        counter = _postorder(root, children, post, minpost, counter)
+
+    if len(post) != len(dag):  # pragma: no cover - defensive; DAGs always have roots
+        raise PartialOrderError("spanning tree does not cover every value")
+
+    return SpanningTree(dag=dag, parent=parent, children=children, post=post, minpost=minpost)
+
+
+def _postorder(
+    root: Value,
+    children: dict[Value, list[Value]],
+    post: dict[Value, int],
+    minpost: dict[Value, int],
+    counter: int,
+) -> int:
+    """Iterative postorder numbering of one tree of the forest."""
+    stack: list[tuple[Value, int]] = [(root, 0)]
+    pending_min: dict[Value, int] = {}
+    while stack:
+        node, child_index = stack[-1]
+        kids = children[node]
+        if child_index < len(kids):
+            stack[-1] = (node, child_index + 1)
+            stack.append((kids[child_index], 0))
+        else:
+            counter += 1
+            post[node] = counter
+            subtree_min = pending_min.get(node, counter)
+            minpost[node] = min(subtree_min, counter)
+            stack.pop()
+            if stack:
+                parent_node = stack[-1][0]
+                pending_min[parent_node] = min(
+                    pending_min.get(parent_node, minpost[node]), minpost[node]
+                )
+    return counter
+
+
+def _parent_chooser(
+    dag: PartialOrderDAG,
+    parent_choice: str | Callable[[Value, tuple[Value, ...]], Value],
+) -> Callable[[Value, tuple[Value, ...]], Value]:
+    if callable(parent_choice):
+        return parent_choice
+    if parent_choice == "first":
+        return lambda _node, preds: preds[0]
+    if parent_choice == "last":
+        return lambda _node, preds: preds[-1]
+    if parent_choice == "max_coverage":
+        return lambda _node, preds: max(preds, key=lambda p: (len(dag.descendants(p)), -dag.index_of(p)))
+    raise PartialOrderError(
+        f"unknown parent choice {parent_choice!r}; expected one of {PARENT_STRATEGIES} or a callable"
+    )

@@ -1,0 +1,44 @@
+"""Skyline algorithms for totally ordered domains (the classical substrate).
+
+These are the algorithms the paper builds on and compares against in spirit:
+
+* :mod:`~repro.skyline.dominance` — dominance checks: numeric (TO-only) and
+  general record dominance in the presence of PO attributes (the ground-truth
+  relation every other algorithm must agree with).
+* :mod:`~repro.skyline.bruteforce` — the O(n²) reference implementation.
+* :mod:`~repro.skyline.bnl` — Block Nested Loops (Börzsönyi et al.).
+* :mod:`~repro.skyline.sfs` — Sort-Filter-Skyline (Chomicki et al.).
+* :mod:`~repro.skyline.less` — Linear Elimination Sort for Skyline (Godfrey et al.).
+* :mod:`~repro.skyline.salsa` — Sort and Limit Skyline algorithm (Bartolini et al.).
+* :mod:`~repro.skyline.bbs` — Branch-and-Bound Skyline on an R-tree
+  (Papadias et al.), the progressive, IO-optimal algorithm sTSS extends.
+"""
+
+from repro.skyline.base import ProgressEvent, SkylineResult, SkylineStats
+from repro.skyline.bbs import bbs_skyline
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.bruteforce import brute_force_skyline, brute_force_skyline_records
+from repro.skyline.dominance import (
+    dominates_records,
+    dominates_vectors,
+    record_dominance_function,
+)
+from repro.skyline.less import less_skyline
+from repro.skyline.salsa import salsa_skyline
+from repro.skyline.sfs import sfs_skyline
+
+__all__ = [
+    "SkylineResult",
+    "SkylineStats",
+    "ProgressEvent",
+    "dominates_vectors",
+    "dominates_records",
+    "record_dominance_function",
+    "brute_force_skyline",
+    "brute_force_skyline_records",
+    "bnl_skyline",
+    "sfs_skyline",
+    "less_skyline",
+    "salsa_skyline",
+    "bbs_skyline",
+]

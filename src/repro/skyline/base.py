@@ -1,0 +1,143 @@
+"""Common result and statistics types shared by every skyline algorithm.
+
+All algorithms in this library (TO-only, static PO, dynamic PO, baselines)
+return a :class:`SkylineResult`: the set of skyline record ids, per-run
+:class:`SkylineStats` (dominance checks, IOs, CPU/IO/total time under the
+paper's cost model) and a progressiveness log (one :class:`ProgressEvent` per
+output point), which is what Figure 11 of the paper plots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.index.pager import DEFAULT_IO_COST_SECONDS, DiskSimulator
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressEvent:
+    """Snapshot taken the moment one more skyline point is reported."""
+
+    results_so_far: int
+    cpu_seconds: float
+    io_reads: int
+    dominance_checks: int
+
+    def total_seconds(self, io_cost_seconds: float = DEFAULT_IO_COST_SECONDS) -> float:
+        return self.cpu_seconds + self.io_reads * io_cost_seconds
+
+
+@dataclass(slots=True)
+class SkylineStats:
+    """Work counters and (simulated) cost of one skyline computation."""
+
+    dominance_checks: int = 0
+    points_examined: int = 0
+    nodes_expanded: int = 0
+    io_reads: int = 0
+    io_writes: int = 0
+    cpu_seconds: float = 0.0
+    io_cost_seconds: float = DEFAULT_IO_COST_SECONDS
+    false_hits_removed: int = 0
+
+    @property
+    def io_seconds(self) -> float:
+        return (self.io_reads + self.io_writes) * self.io_cost_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """The paper's total time: measured CPU plus charged IO."""
+        return self.cpu_seconds + self.io_seconds
+
+    @property
+    def total_ios(self) -> int:
+        return self.io_reads + self.io_writes
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "dominance_checks": float(self.dominance_checks),
+            "points_examined": float(self.points_examined),
+            "nodes_expanded": float(self.nodes_expanded),
+            "io_reads": float(self.io_reads),
+            "io_writes": float(self.io_writes),
+            "false_hits_removed": float(self.false_hits_removed),
+            "cpu_seconds": self.cpu_seconds,
+            "io_seconds": self.io_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+
+@dataclass(slots=True)
+class SkylineResult:
+    """Outcome of a skyline computation."""
+
+    skyline_ids: list[int]
+    stats: SkylineStats
+    progress: list[ProgressEvent] = field(default_factory=list)
+
+    @property
+    def skyline_set(self) -> frozenset[int]:
+        return frozenset(self.skyline_ids)
+
+    def __len__(self) -> int:
+        return len(self.skyline_ids)
+
+    def time_to_fraction(self, fraction: float) -> float:
+        """Simulated seconds needed to report ``fraction`` of the skyline.
+
+        Used to reproduce the progressiveness plot (Figure 11).  Returns the
+        total (CPU + IO) time at which the first ``ceil(fraction * |skyline|)``
+        results had been output; ``fraction=1.0`` equals the total time.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not self.progress or fraction == 0.0:
+            return 0.0
+        needed = max(1, int(round(fraction * len(self.progress))))
+        event = self.progress[needed - 1]
+        return event.total_seconds(self.stats.io_cost_seconds)
+
+
+class RunClock:
+    """Helper that algorithms use to populate stats and progress uniformly.
+
+    It tracks wall-clock CPU time from construction, reads IO counters from an
+    optional :class:`DiskSimulator`, and records a :class:`ProgressEvent`
+    every time a result is reported.
+    """
+
+    def __init__(self, stats: SkylineStats, disk: DiskSimulator | None = None) -> None:
+        self.stats = stats
+        self.disk = disk
+        self._start = time.perf_counter()
+        self._io_reads_at_start = disk.stats.reads if disk else 0
+        self._io_writes_at_start = disk.stats.writes if disk else 0
+        self.progress: list[ProgressEvent] = []
+        if disk is not None:
+            stats.io_cost_seconds = disk.io_cost_seconds
+
+    def elapsed_cpu(self) -> float:
+        return time.perf_counter() - self._start
+
+    def current_io_reads(self) -> int:
+        if self.disk is None:
+            return self.stats.io_reads
+        return self.disk.stats.reads - self._io_reads_at_start
+
+    def record_result(self) -> None:
+        self.progress.append(
+            ProgressEvent(
+                results_so_far=len(self.progress) + 1,
+                cpu_seconds=self.elapsed_cpu(),
+                io_reads=self.current_io_reads(),
+                dominance_checks=self.stats.dominance_checks,
+            )
+        )
+
+    def finish(self) -> None:
+        """Finalize CPU/IO counters on the stats object."""
+        self.stats.cpu_seconds = self.elapsed_cpu()
+        if self.disk is not None:
+            self.stats.io_reads = self.disk.stats.reads - self._io_reads_at_start
+            self.stats.io_writes = self.disk.stats.writes - self._io_writes_at_start

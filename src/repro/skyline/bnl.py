@@ -1,0 +1,99 @@
+"""Block Nested Loops (BNL) skyline computation.
+
+The original external-memory skyline algorithm of Börzsönyi, Kossmann and
+Stocker (ICDE 2001).  A window of candidate skyline records is maintained;
+each incoming record is compared against the window: it is discarded if
+dominated, evicts window records it dominates, and otherwise joins the window
+(or is written to a temporary file / overflow list when the window is full,
+triggering another pass).
+
+BNL is *not* progressive — no record can be reported before the pass in which
+it entered the window completes — which is one of the motivations for the
+index-based methods the paper builds on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.data.dataset import Dataset, Record
+from repro.skyline.base import RunClock, SkylineResult, SkylineStats
+from repro.skyline.dominance import record_dominance_function
+
+
+def bnl_skyline(
+    dataset: Dataset,
+    *,
+    window_size: int | None = None,
+    dominates: Callable[[Record, Record], bool] | None = None,
+) -> SkylineResult:
+    """Compute the skyline of ``dataset`` with Block Nested Loops.
+
+    Parameters
+    ----------
+    dataset:
+        The input relation (mixed TO/PO schemas are supported through the
+        ground-truth dominance predicate).
+    window_size:
+        Maximum number of candidate records kept in memory per pass; ``None``
+        means unbounded (a single pass).
+    dominates:
+        Optional dominance predicate override (defaults to ground-truth
+        record dominance for the dataset's schema).
+    """
+    dominates = dominates or record_dominance_function(dataset.schema)
+    stats = SkylineStats()
+    clock = RunClock(stats)
+
+    # Window entries carry the sequence number at which they entered the
+    # window.  A window record can only be confirmed at the end of a pass if
+    # it entered *before* the first record of that pass was pushed to the
+    # overflow file — otherwise it has not been compared against every
+    # deferred record and must be carried into the next pass as a candidate.
+    window: list[tuple[int, Record]] = []
+    confirmed: list[Record] = []
+    pending: list[Record] = list(dataset.records)
+
+    while pending:
+        overflow: list[Record] = []
+        sequence = 0
+        first_overflow_sequence: int | None = None
+        for candidate in pending:
+            sequence += 1
+            stats.points_examined += 1
+            dominated = False
+            survivors: list[tuple[int, Record]] = []
+            for entry in window:
+                resident = entry[1]
+                stats.dominance_checks += 1
+                if dominates(resident, candidate):
+                    dominated = True
+                    survivors.append(entry)
+                    continue
+                stats.dominance_checks += 1
+                if dominates(candidate, resident):
+                    continue  # resident evicted
+                survivors.append(entry)
+            window = survivors
+            if dominated:
+                continue
+            if window_size is None or len(window) < window_size:
+                window.append((sequence, candidate))
+            else:
+                if first_overflow_sequence is None:
+                    first_overflow_sequence = sequence
+                overflow.append(candidate)
+
+        carried: list[Record] = []
+        for inserted_at, resident in window:
+            if first_overflow_sequence is None or inserted_at < first_overflow_sequence:
+                confirmed.append(resident)
+                clock.record_result()
+            else:
+                carried.append(resident)
+        window = []
+        pending = carried + overflow
+
+    clock.finish()
+    skyline_ids = sorted(record.id for record in confirmed)
+    return SkylineResult(skyline_ids=skyline_ids, stats=stats, progress=clock.progress)

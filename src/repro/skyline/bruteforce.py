@@ -1,0 +1,51 @@
+"""Brute-force skyline computation — the correctness oracle.
+
+The O(n²) nested-loop skyline over ground-truth record dominance.  Every other
+algorithm in the library (BNL, SFS, BBS, sTSS, BBS+, SDC, SDC+, dTSS) is
+validated against this implementation in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import Dataset, Record
+from repro.skyline.base import RunClock, SkylineResult, SkylineStats
+from repro.skyline.dominance import dominates_records
+
+
+def brute_force_skyline_records(dataset: Dataset) -> list[Record]:
+    """The skyline records of ``dataset`` by exhaustive pairwise comparison."""
+    schema = dataset.schema
+    records = dataset.records
+    skyline: list[Record] = []
+    for candidate in records:
+        dominated = any(
+            other is not candidate and dominates_records(schema, other, candidate)
+            for other in records
+        )
+        if not dominated:
+            skyline.append(candidate)
+    return skyline
+
+
+def brute_force_skyline(dataset: Dataset) -> SkylineResult:
+    """Brute-force skyline with the standard result/stats envelope."""
+    stats = SkylineStats()
+    clock = RunClock(stats)
+    schema = dataset.schema
+    records = dataset.records
+    skyline_ids: list[int] = []
+    for candidate in records:
+        stats.points_examined += 1
+        dominated = False
+        for other in records:
+            if other is candidate:
+                continue
+            stats.dominance_checks += 1
+            if dominates_records(schema, other, candidate):
+                dominated = True
+                break
+        if not dominated:
+            skyline_ids.append(candidate.id)
+            clock.record_result()
+    clock.finish()
+    return SkylineResult(skyline_ids=skyline_ids, stats=stats, progress=clock.progress)

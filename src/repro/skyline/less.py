@@ -1,0 +1,117 @@
+"""LESS: Linear Elimination Sort for Skyline (Godfrey, Shipley, Gryz).
+
+LESS improves on SFS (Section II-A of the paper lists it among the scan-based
+algorithms exhibiting *precedence*) by eliminating records already during the
+sorting phase:
+
+1. **Elimination-filter pass** — while the input is being read for sorting, a
+   small window of the best records seen so far (lowest monotone score) is
+   maintained; every incoming record is dropped immediately if a window
+   record dominates it, and window records dominated by an incoming record
+   with a better score are replaced.
+2. **Filter pass** — the surviving records are sorted by the monotone
+   preference function and filtered exactly like SFS: a record that is not
+   dominated by any previously kept record is a skyline record and can be
+   output immediately (optimal progressiveness).
+
+Like the other scan-based algorithms in this package, LESS works on mixed
+TO/PO schemas through the ground-truth record dominance predicate, so its
+output is always the exact skyline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.data.dataset import Dataset, Record
+from repro.skyline.base import RunClock, SkylineResult, SkylineStats
+from repro.skyline.dominance import record_dominance_function
+from repro.skyline.sfs import monotone_sort_key
+
+#: Default size of the elimination-filter window (records).
+DEFAULT_FILTER_WINDOW = 16
+
+
+def less_skyline(
+    dataset: Dataset,
+    *,
+    filter_window: int = DEFAULT_FILTER_WINDOW,
+    dominates: Callable[[Record, Record], bool] | None = None,
+    key: Callable[[Record], float] | None = None,
+) -> SkylineResult:
+    """Compute the skyline of ``dataset`` with LESS.
+
+    Parameters
+    ----------
+    dataset:
+        The input relation (mixed TO/PO schemas supported).
+    filter_window:
+        Maximum number of elite records kept in the elimination filter during
+        the first pass; ``0`` disables elimination and makes LESS degenerate
+        to SFS.
+    dominates / key:
+        Optional overrides for the dominance predicate and the monotone sort
+        key (defaults: ground-truth record dominance and the canonical
+        TO-sum + PO-depth score).
+    """
+    schema = dataset.schema
+    dominates = dominates or record_dominance_function(schema)
+    key = key or monotone_sort_key(schema)
+
+    stats = SkylineStats()
+    clock = RunClock(stats)
+
+    # ------------------------------------------------------------------ #
+    # Pass 1: elimination filter while "reading the input for sorting".
+    # ------------------------------------------------------------------ #
+    elite: list[tuple[float, Record]] = []
+    survivors: list[Record] = []
+    for record in dataset.records:
+        stats.points_examined += 1
+        score = key(record)
+        eliminated = False
+        for _, resident in elite:
+            stats.dominance_checks += 1
+            if dominates(resident, record):
+                eliminated = True
+                break
+        if eliminated:
+            continue
+        survivors.append(record)
+        if filter_window > 0:
+            _update_filter(elite, record, score, filter_window)
+
+    # ------------------------------------------------------------------ #
+    # Pass 2: sort the survivors and filter like SFS.
+    # ------------------------------------------------------------------ #
+    survivors.sort(key=key)
+    skyline: list[Record] = []
+    skyline_ids: list[int] = []
+    for record in survivors:
+        dominated = False
+        for resident in skyline:
+            stats.dominance_checks += 1
+            if dominates(resident, record):
+                dominated = True
+                break
+        if not dominated:
+            skyline.append(record)
+            skyline_ids.append(record.id)
+            clock.record_result()
+
+    clock.finish()
+    return SkylineResult(skyline_ids=skyline_ids, stats=stats, progress=clock.progress)
+
+
+def _update_filter(
+    elite: list[tuple[float, Record]], record: Record, score: float, capacity: int
+) -> None:
+    """Keep the elimination filter populated with the best-scoring records."""
+    if len(elite) < capacity:
+        elite.append((score, record))
+        elite.sort(key=lambda item: item[0])
+        return
+    worst_score, _ = elite[-1]
+    if score < worst_score:
+        elite[-1] = (score, record)
+        elite.sort(key=lambda item: item[0])

@@ -1,0 +1,74 @@
+"""SaLSa: Sort and Limit Skyline algorithm (Bartolini, Ciaccia, Patella).
+
+SaLSa is another pre-sorting skyline algorithm the paper cites among the
+methods with the *precedence* property.  Its contribution over SFS is an
+early-termination condition: records are sorted by a monotone function
+(here ``minC``, the minimum canonical coordinate, with the sum as
+tie-breaker) and the algorithm keeps track of a *stop point* — the skyline
+record with the smallest maximum coordinate.  As soon as the sort key of the
+next record is at least that stop value, no unread record can belong to the
+skyline and the scan stops.
+
+The early-termination reasoning relies on comparing coordinates across
+dimensions, which is only meaningful for totally ordered attributes; SaLSa is
+therefore restricted to TO-only schemas (sTSS covers the mixed case).
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import Dataset
+from repro.exceptions import SchemaError
+from repro.skyline.base import RunClock, SkylineResult, SkylineStats
+from repro.skyline.dominance import dominates_vectors
+
+
+def salsa_skyline(dataset: Dataset) -> SkylineResult:
+    """Compute the skyline of a TO-only dataset with SaLSa (early termination).
+
+    Raises
+    ------
+    SchemaError
+        If the schema contains partially ordered attributes.
+    """
+    schema = dataset.schema
+    if schema.num_partial_order:
+        raise SchemaError("salsa_skyline handles TO-only schemas; use sTSS for PO attributes")
+
+    stats = SkylineStats()
+    clock = RunClock(stats)
+
+    points = [
+        (schema.canonical_to_values(record.values), record.id) for record in dataset.records
+    ]
+    # Sort by (min coordinate, sum of coordinates): monotone w.r.t. dominance.
+    points.sort(key=lambda item: (min(item[0]), sum(item[0])))
+
+    skyline: list[tuple[float, ...]] = []
+    skyline_ids: list[int] = []
+    stop_value = float("inf")
+
+    for coords, record_id in points:
+        # Early termination: every unread record has a min coordinate at least
+        # as large as this one.  Once that exceeds the stop value, the stop
+        # point is at least as good on every dimension and strictly better on
+        # the dimension realizing its maximum, so everything that follows is
+        # dominated.  (The comparison is strict so that exact duplicates of
+        # the stop point are still reported.)
+        if min(coords) > stop_value:
+            break
+        stats.points_examined += 1
+        dominated = False
+        for resident in skyline:
+            stats.dominance_checks += 1
+            if dominates_vectors(resident, coords):
+                dominated = True
+                break
+        if dominated:
+            continue
+        skyline.append(coords)
+        skyline_ids.append(record_id)
+        stop_value = min(stop_value, max(coords))
+        clock.record_result()
+
+    clock.finish()
+    return SkylineResult(skyline_ids=skyline_ids, stats=stats, progress=clock.progress)

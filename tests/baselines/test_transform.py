@@ -1,0 +1,125 @@
+"""Unit tests for the Chan et al. baseline transformation and m-dominance."""
+
+import pytest
+
+from repro.baselines.transform import BaselineMapping
+from repro.core.mapping import TSSMapping
+from repro.data.dataset import Dataset
+from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.exceptions import SchemaError
+from repro.order.builders import paper_example_dag
+from repro.skyline.dominance import dominates_records
+
+
+@pytest.fixture
+def figure3_dataset():
+    schema = Schema([TotalOrderAttribute("A1"), PartialOrderAttribute("A2", paper_example_dag())])
+    rows = [
+        (2, "c"), (3, "d"), (1, "h"), (8, "a"), (6, "e"), (7, "c"), (9, "b"),
+        (4, "i"), (2, "f"), (3, "g"), (5, "g"), (7, "f"), (9, "h"),
+    ]
+    return Dataset(schema, rows)
+
+
+class TestMapping:
+    def test_requires_po_attribute(self):
+        schema = Schema([TotalOrderAttribute("x")])
+        with pytest.raises(SchemaError):
+            BaselineMapping(Dataset(schema, [(1,)]))
+
+    def test_dimensionality_is_to_plus_two_per_po(self, figure3_dataset):
+        mapping = BaselineMapping(figure3_dataset)
+        assert mapping.dimensions == 1 + 2
+        assert all(len(point.coords) == 3 for point in mapping.points)
+
+    def test_duplicates_are_grouped(self, flight_dataset, flight_schema):
+        duplicated = Dataset(flight_schema, [flight_dataset[0].values] * 3 + [flight_dataset[8].values])
+        mapping = BaselineMapping(duplicated)
+        assert len(mapping) == 2
+        assert mapping.points[0].record_ids == (0, 1, 2)
+        assert mapping.record_ids_for([0]) == [0, 1, 2]
+
+    def test_uncovered_levels_match_encoding(self, figure3_dataset):
+        mapping = BaselineMapping(figure3_dataset)
+        encoding = mapping.encodings[0]
+        for point in mapping.points:
+            assert point.uncovered_level == encoding.uncovered[point.po_values[0]]
+        assert mapping.max_uncovered_level >= 1
+
+    def test_strata_are_sorted_and_partition_points(self, figure3_dataset):
+        mapping = BaselineMapping(figure3_dataset)
+        strata = mapping.strata()
+        assert list(strata) == sorted(strata)
+        flattened = [p.index for members in strata.values() for p in members]
+        assert sorted(flattened) == list(range(len(mapping)))
+
+    def test_build_rtree_subset(self, figure3_dataset):
+        mapping = BaselineMapping(figure3_dataset)
+        subset = [0, 2, 4]
+        tree = mapping.build_rtree(subset, max_entries=4)
+        assert sorted(e.payload for e in tree.all_entries()) == subset
+
+
+class TestMDominance:
+    def test_m_dominance_implies_actual_dominance(self, figure3_dataset):
+        mapping = BaselineMapping(figure3_dataset)
+        for p in mapping.points:
+            for q in mapping.points:
+                if p is not q and mapping.m_dominates(p, q):
+                    assert mapping.actually_dominates(p, q)
+
+    def test_m_dominance_misses_some_preferences(self, figure3_dataset):
+        """The incomplete mapping necessarily misses dominances (false skyline hits)."""
+        mapping = BaselineMapping(figure3_dataset)
+        missed = [
+            (p.index, q.index)
+            for p in mapping.points
+            for q in mapping.points
+            if p is not q and mapping.actually_dominates(p, q) and not mapping.m_dominates(p, q)
+        ]
+        assert missed
+
+    def test_actual_dominance_matches_record_dominance(self, figure3_dataset):
+        mapping = BaselineMapping(figure3_dataset)
+        for p in mapping.points:
+            for q in mapping.points:
+                if p is q:
+                    continue
+                expected = dominates_records(
+                    figure3_dataset.schema,
+                    figure3_dataset[p.record_ids[0]],
+                    figure3_dataset[q.record_ids[0]],
+                )
+                assert mapping.actually_dominates(p, q) == expected
+
+    def test_completely_covered_points_have_exact_m_dominance(self, figure3_dataset):
+        """For completely covered targets, actual dominance implies m-dominance."""
+        mapping = BaselineMapping(figure3_dataset)
+        for p in mapping.points:
+            for q in mapping.points:
+                if p is not q and q.completely_covered and mapping.actually_dominates(p, q):
+                    assert mapping.m_dominates(p, q)
+
+    def test_weak_corner_dominance(self, figure3_dataset):
+        mapping = BaselineMapping(figure3_dataset)
+        point = mapping.points[0]
+        assert mapping.weakly_m_dominates_corner(point, point.coords)
+        worse_corner = tuple(c + 1 for c in point.coords)
+        assert mapping.weakly_m_dominates_corner(point, worse_corner)
+        better_corner = tuple(c - 1 for c in point.coords)
+        assert not mapping.weakly_m_dominates_corner(point, better_corner)
+
+    def test_m_skyline_is_a_superset_of_the_true_skyline(self, figure3_dataset):
+        from repro.skyline.bruteforce import brute_force_skyline
+
+        mapping = BaselineMapping(figure3_dataset)
+        m_skyline = {
+            p.index
+            for p in mapping.points
+            if not any(mapping.m_dominates(q, p) for q in mapping.points if q is not p)
+        }
+        truth = frozenset(brute_force_skyline(figure3_dataset).skyline_ids)
+        truth_points = {
+            p.index for p in mapping.points if any(r in truth for r in p.record_ids)
+        }
+        assert truth_points <= m_skyline

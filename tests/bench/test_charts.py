@@ -1,0 +1,70 @@
+"""Unit tests for the text bar-chart renderer."""
+
+from repro.bench.charts import default_value_columns, render_bar_chart, render_experiment_chart
+from repro.bench.reporting import ExperimentTable
+
+
+def make_table():
+    table = ExperimentTable(experiment_id="figX", title="A chartable figure")
+    table.add_row({"distribution": "independent", "N": 100, "SDC+ total (s)": 2.0, "TSS total (s)": 1.0})
+    table.add_row({"distribution": "independent", "N": 200, "SDC+ total (s)": 4.0, "TSS total (s)": 1.5})
+    return table
+
+
+class TestRenderBarChart:
+    def test_contains_labels_values_and_bars(self):
+        chart = render_bar_chart(make_table(), ["SDC+ total (s)", "TSS total (s)"], width=40)
+        assert "figX" in chart
+        assert "distribution=independent" in chart and "N=200" in chart
+        assert "#" in chart
+        assert "4" in chart
+
+    def test_longest_bar_has_requested_width(self):
+        chart = render_bar_chart(make_table(), ["SDC+ total (s)", "TSS total (s)"], width=40)
+        longest = max(line.count("#") for line in chart.splitlines())
+        assert longest == 40
+
+    def test_bar_lengths_are_proportional(self):
+        chart = render_bar_chart(make_table(), ["SDC+ total (s)"], width=40)
+        bars = [line.count("#") for line in chart.splitlines() if "#" in line]
+        assert len(bars) == 2
+        assert bars[1] == 2 * bars[0]
+
+    def test_empty_table(self):
+        empty = ExperimentTable(experiment_id="none", title="empty")
+        assert "(no rows)" in render_bar_chart(empty, ["x"])
+
+    def test_zero_values_render_without_bars(self):
+        table = ExperimentTable(experiment_id="z", title="zeros")
+        table.add_row({"N": 1, "a (s)": 0.0})
+        chart = render_bar_chart(table, ["a (s)"])
+        assert "#" not in chart
+
+
+class TestDefaultColumns:
+    def test_prefers_total_and_time_columns(self):
+        assert default_value_columns(make_table()) == ["SDC+ total (s)", "TSS total (s)"]
+
+    def test_falls_back_to_numeric_columns(self):
+        table = ExperimentTable(experiment_id="f", title="fallback")
+        table.add_row({"name": "x", "count": 3})
+        assert default_value_columns(table) == ["count"]
+
+    def test_render_experiment_chart_uses_defaults(self):
+        chart = render_experiment_chart(make_table())
+        assert "TSS total (s)" in chart
+
+    def test_render_experiment_chart_without_numeric_columns(self):
+        table = ExperimentTable(experiment_id="t", title="text only")
+        table.add_row({"label": "a", "value": "text"})
+        # Falls back to the plain table rendering.
+        assert "text only" in render_experiment_chart(table)
+
+
+class TestCLIIntegration:
+    def test_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["table1", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out

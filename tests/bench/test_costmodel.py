@@ -1,0 +1,59 @@
+"""Unit tests for the benchmark cost model."""
+
+import pytest
+
+from repro.bench.costmodel import MeasuredRun, total_time_seconds
+from repro.skyline.base import ProgressEvent, SkylineResult, SkylineStats
+
+
+def make_result():
+    stats = SkylineStats(
+        cpu_seconds=0.2,
+        io_reads=10,
+        io_writes=0,
+        io_cost_seconds=0.005,
+        dominance_checks=123,
+        nodes_expanded=7,
+        false_hits_removed=2,
+    )
+    progress = [
+        ProgressEvent(results_so_far=i + 1, cpu_seconds=0.01 * (i + 1), io_reads=i, dominance_checks=i)
+        for i in range(10)
+    ]
+    return SkylineResult(skyline_ids=list(range(10)), stats=stats, progress=progress)
+
+
+class TestTotalTime:
+    def test_total_time_combines_cpu_and_io(self):
+        stats = SkylineStats(cpu_seconds=1.0, io_reads=100, io_cost_seconds=0.005)
+        assert total_time_seconds(stats) == pytest.approx(1.5)
+
+    def test_custom_io_cost(self):
+        stats = SkylineStats(cpu_seconds=1.0, io_reads=100)
+        assert total_time_seconds(stats, io_cost_seconds=0.0) == pytest.approx(1.0)
+
+
+class TestMeasuredRun:
+    def test_from_result_copies_counters(self):
+        run = MeasuredRun.from_result("TSS", make_result(), parameters={"N": 100})
+        assert run.method == "TSS"
+        assert run.skyline_size == 10
+        assert run.io_count == 10
+        assert run.dominance_checks == 123
+        assert run.false_hits_removed == 2
+        assert run.parameters["N"] == 100
+
+    def test_total_and_cpu_fraction(self):
+        run = MeasuredRun.from_result("TSS", make_result())
+        assert run.io_seconds == pytest.approx(0.05)
+        assert run.total_seconds == pytest.approx(0.25)
+        assert run.cpu_fraction == pytest.approx(0.2 / 0.25)
+
+    def test_cpu_fraction_of_zero_run(self):
+        run = MeasuredRun(method="x")
+        assert run.cpu_fraction == 0.0
+
+    def test_progress_fractions_are_sampled(self):
+        run = MeasuredRun.from_result("TSS", make_result(), progress_fractions=(0.5, 1.0))
+        assert set(run.progressive_times) == {50, 100}
+        assert run.progressive_times[50] <= run.progressive_times[100]

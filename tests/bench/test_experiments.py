@@ -1,0 +1,106 @@
+"""Unit tests for the experiment registry (run on a tiny ad-hoc profile)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    flight_dataset,
+    run_experiment,
+    table1_flights,
+)
+from repro.bench.runner import BenchProfile
+from repro.exceptions import ExperimentError
+from repro.order.builders import airline_preference_dag
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    """A miniature profile so every experiment finishes in well under a second."""
+    return BenchProfile(
+        name="tiny",
+        cardinalities=(40, 80),
+        default_cardinality=60,
+        dimensionalities=((2, 1), (2, 2)),
+        dag_heights=(2, 3),
+        dag_densities=(0.5, 1.0),
+        static_defaults={"num_total_order": 2, "num_partial_order": 1, "dag_height": 3, "dag_density": 1.0},
+        dynamic_defaults={"num_total_order": 2, "num_partial_order": 1, "dag_height": 3, "dag_density": 1.0},
+    )
+
+
+class TestRegistry:
+    def test_every_figure_of_the_paper_is_registered(self):
+        for experiment_id in ("table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"):
+            assert experiment_id in EXPERIMENTS
+
+    def test_ablations_are_registered(self):
+        assert "ablation_virtual_rtree" in EXPERIMENTS
+        assert "ablation_dtss_precompute" in EXPERIMENTS
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99")
+
+
+class TestTable1:
+    def test_matches_the_paper_exactly(self):
+        table = table1_flights()
+        assert table.rows[0]["skyline tickets"] == "p1, p5, p6, p9, p10"
+        assert table.rows[1]["skyline tickets"] == "p3, p6, p7, p8, p9, p10"
+
+    def test_flight_dataset_helper(self):
+        schema, dataset, labels = flight_dataset(airline_preference_dag())
+        assert len(dataset) == 10
+        assert labels[0] == "p1" and labels[9] == "p10"
+        assert schema.num_partial_order == 1
+
+
+class TestStaticExperiments:
+    @pytest.mark.parametrize("experiment_id", ["fig7", "fig9", "fig10"])
+    def test_sweeps_produce_one_row_per_setting(self, tiny_profile, experiment_id):
+        table = run_experiment(experiment_id, tiny_profile)
+        assert len(table.rows) == 2 * 2  # two distributions x two axis values
+        assert all("speedup" in row for row in table.rows)
+        assert all(row["SDC+ total (s)"] >= 0 for row in table.rows)
+
+    def test_fig8_dimensionality(self, tiny_profile):
+        table = run_experiment("fig8", tiny_profile)
+        assert len(table.rows) == 2 * len(tiny_profile.dimensionalities)
+
+    def test_fig11_progressiveness_rows_are_monotone(self, tiny_profile):
+        table = run_experiment("fig11", tiny_profile)
+        for distribution in ("independent", "anticorrelated"):
+            rows = [r for r in table.rows if r["distribution"] == distribution]
+            percentages = [r["results retrieved (%)"] for r in rows]
+            assert percentages == sorted(percentages)
+            times = [r["TSS time (s)"] for r in rows]
+            assert times == sorted(times)
+
+
+class TestDynamicExperiments:
+    def test_fig12_rows_and_io_columns(self, tiny_profile):
+        table = run_experiment("fig12", tiny_profile)
+        assert len(table.rows) == 4
+        for row in table.rows:
+            assert row["SDC+ IOs"] > row["TSS IOs"]
+
+    def test_fig13_dimensionality(self, tiny_profile):
+        table = run_experiment("fig13", tiny_profile)
+        assert len(table.rows) == 2 * len(tiny_profile.dimensionalities)
+
+    def test_fig14_has_height_and_density_sweeps(self, tiny_profile):
+        table = run_experiment("fig14", tiny_profile)
+        sweeps = {row["sweep"] for row in table.rows}
+        assert sweeps == {"h", "d"}
+
+
+class TestAblations:
+    def test_virtual_rtree_ablation(self, tiny_profile):
+        table = run_experiment("ablation_virtual_rtree", tiny_profile)
+        assert len(table.rows) == 2
+        assert all(row["TSS checks"] > 0 for row in table.rows)
+
+    def test_dtss_precompute_ablation(self, tiny_profile):
+        table = run_experiment("ablation_dtss_precompute", tiny_profile)
+        assert len(table.rows) == 2
+        assert all(row["dTSS total (s)"] >= 0 for row in table.rows)

@@ -1,0 +1,66 @@
+"""Unit tests for experiment tables and rendering."""
+
+from repro.bench.reporting import ExperimentTable, render_tables, speedup_column
+
+
+def make_table():
+    table = ExperimentTable(
+        experiment_id="figX",
+        title="A test figure",
+        parameters={"N": 100},
+        expected_shape="method A wins",
+    )
+    table.add_row({"N": 100, "A (s)": 1.0, "B (s)": 2.0})
+    table.add_row({"N": 200, "A (s)": 1.5, "B (s)": 4.5, "extra": "note"})
+    return table
+
+
+class TestExperimentTable:
+    def test_add_row_extends_columns(self):
+        table = make_table()
+        assert table.columns == ["N", "A (s)", "B (s)", "extra"]
+
+    def test_column_values(self):
+        table = make_table()
+        assert table.column_values("A (s)") == [1.0, 1.5]
+        assert table.column_values("extra") == [None, "note"]
+
+    def test_to_text_contains_header_params_and_rows(self):
+        rendered = make_table().to_text()
+        assert "figX" in rendered and "A test figure" in rendered
+        assert "N=100" in rendered
+        assert "method A wins" in rendered
+        assert "1.50" in rendered and "4.50" in rendered
+
+    def test_to_text_empty_table(self):
+        table = ExperimentTable(experiment_id="empty", title="nothing")
+        assert "(no rows)" in table.to_text()
+
+    def test_to_markdown(self):
+        markdown = make_table().to_markdown()
+        lines = markdown.splitlines()
+        assert lines[0].startswith("| N |")
+        assert lines[1].startswith("| ---")
+        assert len(lines) == 4
+
+    def test_to_markdown_empty(self):
+        table = ExperimentTable(experiment_id="empty", title="nothing")
+        assert "no rows" in table.to_markdown()
+
+    def test_float_formatting(self):
+        table = ExperimentTable(experiment_id="f", title="fmt")
+        table.add_row({"big": 1234.5, "mid": 3.14159, "small": 0.00123, "zero": 0.0})
+        rendered = table.to_text()
+        assert "1234" in rendered or "1235" in rendered
+        assert "3.14" in rendered
+        assert "0.0012" in rendered
+
+
+class TestHelpers:
+    def test_render_tables_concatenates(self):
+        rendered = render_tables([make_table(), make_table()])
+        assert rendered.count("figX") == 2
+
+    def test_speedup_column(self):
+        rows = [{"a": 2.0, "b": 1.0}, {"a": 9.0, "b": 3.0}, {"a": 1.0, "b": 0.0}]
+        assert speedup_column(rows, "a", "b") == [2.0, 3.0, 0.0]

@@ -1,0 +1,55 @@
+"""Unit tests for the high-level facade."""
+
+import pytest
+
+from repro.core.framework import ALGORITHMS, compute_skyline, skyline_records
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema, TotalOrderAttribute
+from repro.exceptions import ReproError
+from repro.skyline.bruteforce import brute_force_skyline
+
+
+class TestComputeSkyline:
+    def test_registry_contains_all_documented_algorithms(self):
+        for name in ("auto", "stss", "tss", "bbs", "bnl", "sfs", "bruteforce", "bbs+", "sdc", "sdc+"):
+            assert name in ALGORITHMS
+
+    def test_unknown_algorithm_raises(self, flight_dataset):
+        with pytest.raises(ReproError):
+            compute_skyline(flight_dataset, algorithm="quantum")
+
+    def test_auto_uses_stss_for_po_schemas(self, flight_dataset):
+        result = compute_skyline(flight_dataset)
+        assert frozenset(result.skyline_ids) == {0, 4, 5, 8, 9}
+
+    def test_auto_uses_bbs_for_to_only_schemas(self):
+        schema = Schema([TotalOrderAttribute("x"), TotalOrderAttribute("y")])
+        dataset = Dataset(schema, [(1, 4), (2, 2), (4, 1), (3, 3), (5, 5)])
+        result = compute_skyline(dataset)
+        assert frozenset(result.skyline_ids) == {0, 1, 2}
+
+    @pytest.mark.parametrize("algorithm", ["stss", "bnl", "sfs", "bruteforce", "bbs+", "sdc", "sdc+"])
+    def test_every_algorithm_agrees_on_the_flight_example(self, flight_dataset, algorithm):
+        result = compute_skyline(flight_dataset, algorithm=algorithm)
+        assert frozenset(result.skyline_ids) == {0, 4, 5, 8, 9}
+
+    def test_algorithm_name_is_case_insensitive(self, flight_dataset):
+        result = compute_skyline(flight_dataset, algorithm="STSS")
+        assert frozenset(result.skyline_ids) == {0, 4, 5, 8, 9}
+
+    def test_options_are_forwarded(self, flight_dataset):
+        result = compute_skyline(flight_dataset, algorithm="stss", use_virtual_rtree=False)
+        assert frozenset(result.skyline_ids) == {0, 4, 5, 8, 9}
+
+
+class TestSkylineRecords:
+    def test_returns_record_objects(self, flight_dataset, flight_schema):
+        records = skyline_records(flight_dataset)
+        assert {record.id for record in records} == {0, 4, 5, 8, 9}
+        assert all(record.value(flight_schema, "price") > 0 for record in records)
+
+    def test_matches_brute_force_on_small_workload(self, small_workload):
+        _, dataset = small_workload
+        truth = frozenset(brute_force_skyline(dataset).skyline_ids)
+        records = skyline_records(dataset)
+        assert {record.id for record in records} == truth

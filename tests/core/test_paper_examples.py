@@ -1,0 +1,185 @@
+"""End-to-end checks against the paper's worked examples.
+
+These tests pin the library's behaviour to the concrete examples in the
+paper: the flight tickets of Figure 1 / Table I, the 9-value PO domain of
+Figure 2, the sTSS run of Figure 3 / Table II and the dynamic queries of
+Figures 5 and 6.
+"""
+
+import pytest
+
+from repro.core.framework import skyline_records
+from repro.core.stss import stss_skyline
+from repro.data.dataset import Dataset
+from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.dynamic.dtss import dtss_skyline
+from repro.order.builders import (
+    airline_preference_dag,
+    airline_preference_dag_second,
+    paper_example_dag,
+)
+from repro.order.dag import PartialOrderDAG
+from repro.order.encoding import encode_domain
+from repro.skyline.bruteforce import brute_force_skyline
+
+
+TICKET_NAMES = [f"p{i}" for i in range(1, 11)]
+
+
+def ticket_names(dataset, ids):
+    return sorted((TICKET_NAMES[i] for i in ids), key=lambda name: int(name[1:]))
+
+
+class TestFlightExample:
+    def test_to_only_skyline_matches_figure_1b(self, flight_dataset):
+        """With airlines ignored, the skyline is p1, p3, p6, p7, p9."""
+        to_schema = Schema([TotalOrderAttribute("price"), TotalOrderAttribute("stops")])
+        projected = Dataset(to_schema, [record.values[:2] for record in flight_dataset])
+        result = brute_force_skyline(projected)
+        assert ticket_names(projected, result.skyline_ids) == ["p1", "p3", "p6", "p7", "p9"]
+
+    def test_first_partial_order_matches_table_1(self, flight_dataset):
+        """Table I row 1: skyline = p1, p5, p6, p9, p10."""
+        result = stss_skyline(flight_dataset)
+        assert ticket_names(flight_dataset, result.skyline_ids) == ["p1", "p5", "p6", "p9", "p10"]
+
+    def test_second_partial_order_matches_table_1(self, flight_dataset):
+        """Table I row 2: skyline = p3, p6, p7, p8, p9, p10."""
+        schema = flight_dataset.schema.replace_partial_order(
+            {"airline": airline_preference_dag_second()}
+        )
+        dataset = flight_dataset.with_schema(schema)
+        result = stss_skyline(dataset)
+        assert ticket_names(dataset, result.skyline_ids) == ["p3", "p6", "p7", "p8", "p9", "p10"]
+
+    def test_second_partial_order_as_dynamic_query(self, flight_dataset):
+        """The same Table I row 2 result obtained through a dTSS dynamic query."""
+        result = dtss_skyline(flight_dataset, {"airline": airline_preference_dag_second()})
+        assert ticket_names(flight_dataset, result.skyline_ids) == ["p3", "p6", "p7", "p8", "p9", "p10"]
+
+
+class TestFigure2Domain:
+    def test_exactness_on_the_nine_value_domain(self):
+        dag = paper_example_dag()
+        encoding = encode_domain(dag)
+        for x in dag.values:
+            for y in dag.values:
+                if x != y:
+                    assert encoding.t_prefers(x, y) == dag.is_preferred(x, y)
+
+    def test_f_is_t_preferred_over_h(self):
+        """Section III-B: h's interval coincides with one of f's, so f <_t h."""
+        dag = paper_example_dag()
+        encoding = encode_domain(dag)
+        assert encoding.t_prefers("f", "h")
+        assert not encoding.t_prefers("h", "f")
+
+    def test_c_and_d_are_incomparable_despite_adjacent_ordinals(self):
+        """Section III-B: the topological sort alone would wrongly suggest c < d."""
+        dag = paper_example_dag()
+        encoding = encode_domain(dag)
+        assert abs(encoding.ordinal("c") - encoding.ordinal("d")) >= 1
+        assert not encoding.t_prefers("c", "d")
+        assert not encoding.t_prefers("d", "c")
+
+
+class TestFigure3Run:
+    @pytest.fixture
+    def figure3_dataset(self):
+        schema = Schema(
+            [TotalOrderAttribute("A1"), PartialOrderAttribute("A2", paper_example_dag())]
+        )
+        rows = [
+            (2, "c"), (3, "d"), (1, "h"), (8, "a"), (6, "e"), (7, "c"), (9, "b"),
+            (4, "i"), (2, "f"), (3, "g"), (5, "g"), (7, "f"), (9, "h"),
+        ]
+        return Dataset(schema, rows)
+
+    def test_final_skyline_is_p1_to_p5(self, figure3_dataset):
+        """Section IV-A: the final skyline points are p1, p2, p3, p4, p5."""
+        result = stss_skyline(figure3_dataset)
+        assert frozenset(result.skyline_ids) == {0, 1, 2, 3, 4}
+
+    def test_agrees_with_brute_force(self, figure3_dataset):
+        truth = frozenset(brute_force_skyline(figure3_dataset).skyline_ids)
+        assert frozenset(stss_skyline(figure3_dataset).skyline_ids) == truth
+
+    def test_discovery_order_follows_the_table_ii_trace(self, figure3_dataset):
+        """Table II: p1 (mindist 5), then p2 (7), then p3/p4 (tied at 9), then p5 (11).
+
+        The relative order of p3 and p4 depends on how the R-tree breaks the
+        mindist tie, so only the untied positions are pinned.
+        """
+        result = stss_skyline(figure3_dataset, max_entries=4)
+        order = list(result.skyline_ids)
+        assert set(order) == {0, 1, 2, 3, 4}
+        assert order[0] == 0          # p1 first
+        assert order[1] == 1          # p2 second
+        assert set(order[2:4]) == {2, 3}  # p3 and p4 share mindist 9
+        assert order[4] == 4          # p5 last
+
+    def test_discovery_order_is_non_decreasing_in_mindist(self, figure3_dataset):
+        encoding = encode_domain(paper_example_dag())
+        result = stss_skyline(figure3_dataset, max_entries=4)
+        mindists = [
+            figure3_dataset[i].values[0] + encoding.ordinal(figure3_dataset[i].values[1])
+            for i in result.skyline_ids
+        ]
+        assert mindists == sorted(mindists)
+
+
+class TestFigure5And6Dynamic:
+    @pytest.fixture
+    def dynamic_dataset(self):
+        """The 10-point data set of Figure 5(a) with PO attribute A3 over {a, b, c}."""
+        dag = PartialOrderDAG(["a", "b", "c"], [])  # data-side DAG is irrelevant to dTSS
+        schema = Schema(
+            [
+                TotalOrderAttribute("A1"),
+                TotalOrderAttribute("A2"),
+                PartialOrderAttribute("A3", dag),
+            ]
+        )
+        rows = [
+            (1, 2, "a"), (3, 1, "a"), (3, 4, "a"), (4, 5, "a"), (2, 2, "b"),
+            (1, 5, "b"), (2, 5, "c"), (3, 4, "c"), (4, 4, "c"), (5, 2, "c"),
+        ]
+        return Dataset(schema, rows)
+
+    def test_first_query_matches_figure_5(self, dynamic_dataset):
+        """Query: b < c (no other preference). Skyline: p1, p2, p5, p6."""
+        query = PartialOrderDAG(["a", "b", "c"], [("b", "c")])
+        result = dtss_skyline(dynamic_dataset, {"A3": query})
+        assert frozenset(result.skyline_ids) == {0, 1, 4, 5}
+
+    def test_second_query_matches_figure_6(self, dynamic_dataset):
+        """Query: a < b and c < b. Skyline: p7, p8, p10, p1, p2."""
+        query = PartialOrderDAG(["a", "b", "c"], [("a", "b"), ("c", "b")])
+        result = dtss_skyline(dynamic_dataset, {"A3": query})
+        assert frozenset(result.skyline_ids) == {6, 7, 9, 0, 1}
+
+    def test_dynamic_results_match_static_recomputation(self, dynamic_dataset):
+        for edges in ([("b", "c")], [("a", "b"), ("c", "b")], []):
+            query = PartialOrderDAG(["a", "b", "c"], edges)
+            dynamic_result = dtss_skyline(dynamic_dataset, {"A3": query})
+            static_schema = dynamic_dataset.schema.replace_partial_order({"A3": query})
+            static_dataset = dynamic_dataset.with_schema(static_schema)
+            truth = frozenset(brute_force_skyline(static_dataset).skyline_ids)
+            assert frozenset(dynamic_result.skyline_ids) == truth
+
+
+class TestQuickstartDocstring:
+    def test_package_docstring_example(self):
+        airlines = PartialOrderDAG("abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        schema = Schema(
+            [
+                TotalOrderAttribute("price"),
+                TotalOrderAttribute("stops"),
+                PartialOrderAttribute("airline", airlines),
+            ]
+        )
+        tickets = Dataset(
+            schema, [(1800, 0, "a"), (1400, 1, "a"), (1000, 1, "b"), (500, 2, "d")]
+        )
+        prices = sorted(r.value(schema, "price") for r in skyline_records(tickets))
+        assert prices == [500, 1000, 1400, 1800]

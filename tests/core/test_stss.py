@@ -1,0 +1,128 @@
+"""Unit tests for the sTSS algorithm."""
+
+import pytest
+
+from repro.core.mapping import TSSMapping
+from repro.core.stss import stss_skyline
+from repro.data.workloads import WorkloadSpec
+from repro.index.pager import DiskSimulator
+from repro.skyline.bruteforce import brute_force_skyline
+from repro.skyline.dominance import dominates_records
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = WorkloadSpec(
+        name="stss-unit",
+        distribution="anticorrelated",
+        cardinality=250,
+        num_total_order=2,
+        num_partial_order=1,
+        dag_height=4,
+        dag_density=0.8,
+        to_domain_size=50,
+        seed=21,
+    )
+    return spec.build()
+
+
+@pytest.fixture(scope="module")
+def truth(workload):
+    _, dataset = workload
+    return frozenset(brute_force_skyline(dataset).skyline_ids)
+
+
+class TestCorrectness:
+    def test_flight_example(self, flight_dataset):
+        assert frozenset(stss_skyline(flight_dataset).skyline_ids) == {0, 4, 5, 8, 9}
+
+    def test_matches_brute_force(self, workload, truth):
+        _, dataset = workload
+        assert frozenset(stss_skyline(dataset).skyline_ids) == truth
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"use_virtual_rtree": False, "use_dyadic_cache": False},
+            {"use_virtual_rtree": False, "use_dyadic_cache": True},
+            {"use_virtual_rtree": True, "use_dyadic_cache": False},
+            {"use_virtual_rtree": True, "use_dyadic_cache": True},
+        ],
+    )
+    def test_all_optimization_combinations_agree(self, workload, truth, options):
+        _, dataset = workload
+        assert frozenset(stss_skyline(dataset, **options).skyline_ids) == truth
+
+    def test_small_fanout(self, workload, truth):
+        _, dataset = workload
+        assert frozenset(stss_skyline(dataset, max_entries=4).skyline_ids) == truth
+
+    def test_duplicates_are_all_reported(self, flight_schema):
+        from repro.data.dataset import Dataset
+
+        rows = [(1000, 1, "b"), (1000, 1, "b"), (500, 2, "d"), (2000, 3, "d")]
+        dataset = Dataset(flight_schema, rows)
+        result = stss_skyline(dataset)
+        assert frozenset(result.skyline_ids) == {0, 1, 2}
+
+    def test_prebuilt_mapping_and_tree_are_reused(self, workload, truth):
+        _, dataset = workload
+        mapping = TSSMapping(dataset)
+        tree = mapping.build_rtree(max_entries=16)
+        result = stss_skyline(dataset, mapping=mapping, tree=tree)
+        assert frozenset(result.skyline_ids) == truth
+
+
+class TestBehaviour:
+    def test_optimal_progressiveness(self, workload, truth):
+        """Every reported point is final: one progress event per distinct skyline group."""
+        _, dataset = workload
+        result = stss_skyline(dataset)
+        distinct_groups = {dataset[i].values for i in result.skyline_ids}
+        assert len(result.progress) == len(distinct_groups)
+        assert frozenset(result.skyline_ids) == truth
+
+    def test_results_follow_mapped_mindist_order(self, workload):
+        """Precedence: results are discovered in non-decreasing mapped mindist."""
+        _, dataset = workload
+        mapping = TSSMapping(dataset)
+        result = stss_skyline(dataset, mapping=mapping)
+        coords_by_record = {}
+        for point in mapping.points:
+            for record_id in point.record_ids:
+                coords_by_record[record_id] = point.coords
+        mindists = [sum(coords_by_record[i]) for i in result.skyline_ids]
+        assert mindists == sorted(mindists)
+
+    def test_no_result_is_dominated_by_an_earlier_result(self, workload):
+        _, dataset = workload
+        result = stss_skyline(dataset)
+        records = [dataset[i] for i in result.skyline_ids]
+        for i, later in enumerate(records):
+            for earlier in records[:i]:
+                assert not dominates_records(dataset.schema, earlier, later)
+
+    def test_io_accounting(self, workload):
+        _, dataset = workload
+        disk = DiskSimulator()
+        result = stss_skyline(dataset, disk=disk, max_entries=8)
+        assert result.stats.io_reads > 0
+        assert result.stats.io_reads == result.stats.nodes_expanded
+        assert result.stats.total_seconds >= result.stats.io_seconds
+
+    def test_pruning_skips_part_of_the_tree(self, workload):
+        _, dataset = workload
+        mapping = TSSMapping(dataset)
+        tree = mapping.build_rtree(max_entries=8)
+        disk = DiskSimulator()
+        tree_with_disk = mapping.build_rtree(max_entries=8, disk=disk)
+        disk.stats.reset()
+        stss_skyline(dataset, mapping=mapping, tree=tree_with_disk, disk=disk)
+        assert disk.stats.reads <= tree.node_count()
+
+    def test_stats_counts_are_positive(self, workload):
+        _, dataset = workload
+        result = stss_skyline(dataset)
+        assert result.stats.points_examined > 0
+        assert result.stats.dominance_checks > 0
+        assert result.stats.false_hits_removed == 0  # exactness: never any false hits

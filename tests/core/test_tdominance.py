@@ -1,0 +1,118 @@
+"""Unit tests for the exact t-dominance checker."""
+
+import pytest
+
+from repro.core.mapping import TSSMapping
+from repro.core.tdominance import TDominanceChecker
+from repro.data.dataset import Dataset
+from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.skyline.base import SkylineStats
+from repro.skyline.dominance import dominates_records
+
+
+@pytest.fixture
+def paper_mapping(example_dag):
+    """The example data set of Figure 3(a): one TO attribute, the a..i PO domain."""
+    schema = Schema([TotalOrderAttribute("A1"), PartialOrderAttribute("A2", example_dag)])
+    rows = [
+        (2, "c"), (3, "d"), (1, "h"), (8, "a"), (6, "e"), (7, "c"), (9, "b"),
+        (4, "i"), (2, "f"), (3, "g"), (5, "g"), (7, "f"), (9, "h"),
+    ]
+    dataset = Dataset(schema, rows)
+    return dataset, TSSMapping(dataset)
+
+
+class TestPointDominance:
+    def test_matches_ground_truth_on_paper_data(self, paper_mapping):
+        dataset, mapping = paper_mapping
+        checker = TDominanceChecker(mapping)
+        for p in mapping.points:
+            for q in mapping.points:
+                if p is q:
+                    continue
+                expected = dominates_records(
+                    dataset.schema, dataset[p.record_ids[0]], dataset[q.record_ids[0]]
+                )
+                assert checker.dominates_point(p, q) == expected
+
+    def test_weak_equals_strict_for_distinct_points(self, paper_mapping):
+        _, mapping = paper_mapping
+        checker = TDominanceChecker(mapping)
+        for p in mapping.points:
+            for q in mapping.points:
+                if p is not q:
+                    assert checker.weakly_dominates_point(p, q) == checker.dominates_point(p, q)
+
+    def test_point_dominated_by_any(self, paper_mapping):
+        _, mapping = paper_mapping
+        checker = TDominanceChecker(mapping)
+        stats = SkylineStats()
+        p1 = mapping.points[0]   # (2, c)
+        p3 = mapping.points[2]   # (1, h) — incomparable PO value with c? c reaches h, but A1 is worse
+        p6 = mapping.points[5]   # (7, c) — dominated by p1
+        assert checker.point_dominated_by_any([p1, p3], p6, counter=stats)
+        assert stats.dominance_checks >= 1
+        assert not checker.point_dominated_by_any([], p6)
+
+    def test_t_prefers_or_equal_passthrough(self, paper_mapping, example_dag):
+        _, mapping = paper_mapping
+        checker = TDominanceChecker(mapping)
+        for x in example_dag.values:
+            for y in example_dag.values:
+                assert checker.t_prefers_or_equal(0, x, y) == (
+                    x == y or example_dag.is_preferred(x, y)
+                )
+
+
+class TestMBBDominance:
+    def test_paper_step7_n4_is_dominated_by_p1(self, paper_mapping, example_encoding):
+        """Section IV-A: p1=(2, c) t-dominates MBB N4 spanning f..g with min A1 = 2."""
+        _, mapping = paper_mapping
+        checker = TDominanceChecker(mapping)
+        p1 = next(p for p in mapping.points if p.po_values == ("c",) and p.to_values == (2.0,))
+        ordinal_f = example_encoding.ordinal("f")
+        ordinal_g = example_encoding.ordinal("g")
+        low = (2.0, float(min(ordinal_f, ordinal_g)))
+        high = (3.0, float(max(ordinal_f, ordinal_g)))
+        assert checker.dominates_mbb(p1, low, high)
+
+    def test_paper_step5_n3_not_dominated_by_p1(self, paper_mapping, example_encoding):
+        """Section IV-A: N3 spans values a..h, so p1 cannot t-dominate it."""
+        _, mapping = paper_mapping
+        checker = TDominanceChecker(mapping)
+        p1 = next(p for p in mapping.points if p.po_values == ("c",) and p.to_values == (2.0,))
+        low = (3.0, 1.0)
+        high = (9.0, float(example_encoding.ordinal("h")))
+        assert not checker.dominates_mbb(p1, low, high)
+
+    def test_mbb_dominance_implies_every_value_dominated(self, paper_mapping, example_encoding):
+        _, mapping = paper_mapping
+        checker = TDominanceChecker(mapping)
+        for p in mapping.points:
+            for low_ord in range(1, 10):
+                for high_ord in range(low_ord, 10):
+                    low = (p.to_values[0], float(low_ord))
+                    high = (p.to_values[0] + 1.0, float(high_ord))
+                    if checker.dominates_mbb(p, low, high):
+                        for ordinal in range(low_ord, high_ord + 1):
+                            value = example_encoding.value_at(ordinal)
+                            assert example_encoding.t_prefers_or_equal(p.po_values[0], value)
+
+    def test_dyadic_and_plain_range_sets_agree(self, paper_mapping):
+        _, mapping = paper_mapping
+        with_cache = TDominanceChecker(mapping, use_dyadic_cache=True)
+        without_cache = TDominanceChecker(mapping, use_dyadic_cache=False)
+        for low in range(1, 10):
+            for high in range(low, 10):
+                assert with_cache.range_interval_set(0, low, high) == without_cache.range_interval_set(0, low, high)
+
+    def test_mbb_dominated_by_any(self, paper_mapping, example_encoding):
+        _, mapping = paper_mapping
+        checker = TDominanceChecker(mapping)
+        stats = SkylineStats()
+        p1 = next(p for p in mapping.points if p.po_values == ("c",) and p.to_values == (2.0,))
+        ordinal_f = example_encoding.ordinal("f")
+        low = (5.0, float(ordinal_f))
+        high = (9.0, float(ordinal_f))
+        assert checker.mbb_dominated_by_any([p1], low, high, counter=stats)
+        assert not checker.mbb_dominated_by_any([], low, high)

@@ -1,0 +1,97 @@
+"""Unit tests for the synthetic data generators."""
+
+import statistics
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.data.generator import DISTRIBUTIONS, generate_dataset
+from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.order.lattice import lattice_domain
+
+
+@pytest.fixture
+def mixed_schema():
+    return Schema(
+        [
+            TotalOrderAttribute("a"),
+            TotalOrderAttribute("b"),
+            PartialOrderAttribute("p", lattice_domain(3, 1.0)),
+        ]
+    )
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_cardinality_and_schema_respected(self, mixed_schema, distribution):
+        dataset = generate_dataset(mixed_schema, 150, distribution=distribution, seed=1)
+        assert len(dataset) == 150
+        assert dataset.schema is mixed_schema
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_to_values_within_domain(self, mixed_schema, distribution):
+        dataset = generate_dataset(
+            mixed_schema, 200, distribution=distribution, to_domain_size=50, seed=2
+        )
+        for record in dataset:
+            assert 0 <= record.values[0] < 50
+            assert 0 <= record.values[1] < 50
+
+    def test_po_values_come_from_the_domain(self, mixed_schema):
+        dataset = generate_dataset(mixed_schema, 100, seed=3)
+        domain = set(mixed_schema["p"].dag.values)
+        assert all(record.values[2] in domain for record in dataset)
+
+    def test_reproducible_with_seed(self, mixed_schema):
+        a = generate_dataset(mixed_schema, 50, seed=9)
+        b = generate_dataset(mixed_schema, 50, seed=9)
+        c = generate_dataset(mixed_schema, 50, seed=10)
+        assert [r.values for r in a] == [r.values for r in b]
+        assert [r.values for r in a] != [r.values for r in c]
+
+    def test_zero_cardinality(self, mixed_schema):
+        assert len(generate_dataset(mixed_schema, 0, seed=1)) == 0
+
+    def test_invalid_parameters(self, mixed_schema):
+        with pytest.raises(DatasetError):
+            generate_dataset(mixed_schema, -1)
+        with pytest.raises(DatasetError):
+            generate_dataset(mixed_schema, 10, distribution="zipf")
+        with pytest.raises(DatasetError):
+            generate_dataset(mixed_schema, 10, to_domain_size=0)
+
+    def test_po_only_schema(self):
+        schema = Schema([PartialOrderAttribute("p", lattice_domain(2, 1.0))])
+        dataset = generate_dataset(schema, 20, seed=4)
+        assert len(dataset) == 20
+
+
+class TestDistributionShapes:
+    def test_anticorrelated_has_negative_correlation(self):
+        schema = Schema([TotalOrderAttribute("x"), TotalOrderAttribute("y")])
+        dataset = generate_dataset(schema, 2000, distribution="anticorrelated", seed=5)
+        xs = [record.values[0] for record in dataset]
+        ys = [record.values[1] for record in dataset]
+        assert statistics.correlation(xs, ys) < -0.2
+
+    def test_correlated_has_positive_correlation(self):
+        schema = Schema([TotalOrderAttribute("x"), TotalOrderAttribute("y")])
+        dataset = generate_dataset(schema, 2000, distribution="correlated", seed=6)
+        xs = [record.values[0] for record in dataset]
+        ys = [record.values[1] for record in dataset]
+        assert statistics.correlation(xs, ys) > 0.5
+
+    def test_independent_has_weak_correlation(self):
+        schema = Schema([TotalOrderAttribute("x"), TotalOrderAttribute("y")])
+        dataset = generate_dataset(schema, 2000, distribution="independent", seed=7)
+        xs = [record.values[0] for record in dataset]
+        ys = [record.values[1] for record in dataset]
+        assert abs(statistics.correlation(xs, ys)) < 0.1
+
+    def test_anticorrelated_inflates_the_skyline(self):
+        from repro.skyline.bruteforce import brute_force_skyline
+
+        schema = Schema([TotalOrderAttribute("x"), TotalOrderAttribute("y")])
+        independent = generate_dataset(schema, 400, distribution="independent", seed=8)
+        anticorrelated = generate_dataset(schema, 400, distribution="anticorrelated", seed=8)
+        assert len(brute_force_skyline(anticorrelated)) > len(brute_force_skyline(independent))

@@ -1,0 +1,108 @@
+"""Unit tests for CSV loading and saving."""
+
+import pytest
+
+from repro.data.io import (
+    dataset_from_rows,
+    load_csv_dataset,
+    load_preference_edges,
+    save_csv_dataset,
+    save_preference_edges,
+)
+from repro.exceptions import DatasetError, PartialOrderError, SchemaError
+
+
+class TestDatasetCSV:
+    def test_round_trip(self, tmp_path, flight_dataset, flight_schema):
+        path = tmp_path / "tickets.csv"
+        save_csv_dataset(flight_dataset, path)
+        loaded = load_csv_dataset(path, flight_schema)
+        assert len(loaded) == len(flight_dataset)
+        assert [r.values for r in loaded] == [r.values for r in flight_dataset]
+
+    def test_header_and_parsing(self, tmp_path, flight_schema):
+        path = tmp_path / "tickets.csv"
+        path.write_text("price,stops,airline,extra\n1200.5,1,a,ignored\n900,0,b,x\n")
+        loaded = load_csv_dataset(path, flight_schema)
+        assert loaded[0].values == (1200.5, 1, "a")
+        assert loaded[1].values == (900, 0, "b")
+
+    def test_missing_column(self, tmp_path, flight_schema):
+        path = tmp_path / "bad.csv"
+        path.write_text("price,stops\n100,1\n")
+        with pytest.raises(DatasetError):
+            load_csv_dataset(path, flight_schema)
+
+    def test_empty_file(self, tmp_path, flight_schema):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_csv_dataset(path, flight_schema)
+
+    def test_non_numeric_to_value(self, tmp_path, flight_schema):
+        path = tmp_path / "bad.csv"
+        path.write_text("price,stops,airline\ncheap,1,a\n")
+        with pytest.raises(DatasetError):
+            load_csv_dataset(path, flight_schema)
+
+    def test_unknown_po_value_rejected_unless_validation_disabled(self, tmp_path, flight_schema):
+        path = tmp_path / "bad.csv"
+        path.write_text("price,stops,airline\n100,1,zeppelin\n")
+        with pytest.raises(SchemaError):
+            load_csv_dataset(path, flight_schema)
+        loaded = load_csv_dataset(path, flight_schema, validate=False)
+        assert loaded[0].values[2] == "zeppelin"
+
+    def test_skyline_of_loaded_data(self, tmp_path, flight_dataset, flight_schema):
+        from repro.core.framework import compute_skyline
+
+        path = tmp_path / "tickets.csv"
+        save_csv_dataset(flight_dataset, path)
+        loaded = load_csv_dataset(path, flight_schema)
+        assert frozenset(compute_skyline(loaded).skyline_ids) == {0, 4, 5, 8, 9}
+
+    def test_dataset_from_rows(self, flight_schema):
+        dataset = dataset_from_rows(
+            flight_schema, [{"price": 100, "stops": 0, "airline": "a"}]
+        )
+        assert dataset[0].values == (100, 0, "a")
+
+
+class TestPreferenceEdgeLists:
+    def test_round_trip(self, tmp_path, airline_dag):
+        path = tmp_path / "airlines.csv"
+        save_preference_edges(airline_dag, path)
+        loaded = load_preference_edges(path)
+        assert set(loaded.values) == set(airline_dag.values)
+        for x in airline_dag.values:
+            for y in airline_dag.values:
+                assert loaded.is_preferred(x, y) == airline_dag.is_preferred(x, y)
+
+    def test_isolated_values_survive_round_trip(self, tmp_path):
+        from repro.order.builders import antichain
+
+        dag = antichain(["x", "y", "z"])
+        path = tmp_path / "iso.csv"
+        save_preference_edges(dag, path)
+        loaded = load_preference_edges(path)
+        assert set(loaded.values) == {"x", "y", "z"}
+        assert loaded.num_edges == 0
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "prefs.csv"
+        path.write_text("# airline preferences\n\na,b\nb,c\n\nd\n")
+        dag = load_preference_edges(path)
+        assert dag.is_preferred("a", "c")
+        assert "d" in dag
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n")
+        with pytest.raises(PartialOrderError):
+            load_preference_edges(path)
+
+    def test_cyclic_edge_list_rejected(self, tmp_path):
+        path = tmp_path / "cycle.csv"
+        path.write_text("a,b\nb,a\n")
+        with pytest.raises(PartialOrderError):
+            load_preference_edges(path)

@@ -1,0 +1,108 @@
+"""Unit tests for the paper's workload specifications."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.data.workloads import (
+    DEFAULT_SCALE_FACTOR,
+    PAPER_CARDINALITIES,
+    PAPER_DAG_DENSITIES,
+    PAPER_DAG_HEIGHTS,
+    PAPER_PO_COUNTS,
+    PAPER_TO_COUNTS,
+    WorkloadSpec,
+    paper_defaults,
+    scale_cardinality,
+)
+
+
+class TestScaling:
+    def test_scale_preserves_ratios(self):
+        scaled = [scale_cardinality(n) for n in PAPER_CARDINALITIES]
+        assert scaled == sorted(scaled)
+        assert scaled[2] / scaled[0] == pytest.approx(10.0, rel=0.1)
+
+    def test_scale_has_floor(self):
+        assert scale_cardinality(100, scale_factor=10_000) == 50
+
+    def test_scale_rejects_bad_input(self):
+        with pytest.raises(ExperimentError):
+            scale_cardinality(0)
+        with pytest.raises(ExperimentError):
+            scale_cardinality(100, scale_factor=0)
+
+    def test_paper_parameter_grid_matches_table_iii(self):
+        assert PAPER_CARDINALITIES == (100_000, 500_000, 1_000_000, 5_000_000, 10_000_000)
+        assert PAPER_TO_COUNTS == (2, 3, 4)
+        assert PAPER_PO_COUNTS == (1, 2)
+        assert PAPER_DAG_HEIGHTS == (2, 4, 6, 8, 10)
+        assert PAPER_DAG_DENSITIES == (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+class TestWorkloadSpec:
+    def test_build_produces_matching_schema_and_data(self):
+        spec = WorkloadSpec(name="t", cardinality=100, num_total_order=2, num_partial_order=1,
+                            dag_height=3, dag_density=1.0, seed=1)
+        schema, dataset = spec.build()
+        assert schema.num_total_order == 2
+        assert schema.num_partial_order == 1
+        assert len(dataset) == 100
+
+    def test_build_dags_one_per_po_attribute(self):
+        spec = WorkloadSpec(name="t", num_partial_order=2, dag_height=3, seed=2)
+        dags = spec.build_dags()
+        assert len(dags) == 2
+        assert dags[0].values != dags[1].values or dags[0].edges != dags[1].edges
+
+    def test_lattice_seeds_override(self):
+        spec = WorkloadSpec(name="t", num_partial_order=1, dag_height=3, lattice_seeds=(5,))
+        other = WorkloadSpec(name="t", num_partial_order=1, dag_height=3, lattice_seeds=(6,))
+        assert spec.build_dags()[0].values != other.build_dags()[0].values
+
+    def test_lattice_seeds_wrong_length(self):
+        spec = WorkloadSpec(name="t", num_partial_order=2, lattice_seeds=(1,))
+        with pytest.raises(ExperimentError):
+            spec.build_dags()
+
+    def test_reproducible_per_seed(self):
+        spec = WorkloadSpec(name="t", cardinality=60, num_partial_order=1, dag_height=3, seed=4)
+        _, a = spec.build()
+        _, b = spec.build()
+        assert [r.values for r in a] == [r.values for r in b]
+
+    def test_with_overrides(self):
+        spec = WorkloadSpec(name="t", cardinality=100)
+        bigger = spec.with_(cardinality=500)
+        assert bigger.cardinality == 500 and spec.cardinality == 100
+
+    def test_describe(self):
+        spec = WorkloadSpec(name="t", cardinality=100, num_total_order=3)
+        description = spec.describe()
+        assert description["N"] == 100 and description["|TO|"] == 3
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(ExperimentError):
+            WorkloadSpec(name="t", num_total_order=0, num_partial_order=0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ExperimentError):
+            WorkloadSpec(name="t", num_total_order=-1)
+
+
+class TestPaperDefaults:
+    def test_static_defaults(self):
+        spec = paper_defaults()
+        assert spec.num_total_order == 2
+        assert spec.num_partial_order == 2
+        assert spec.dag_height == 8
+        assert spec.dag_density == 0.8
+        assert spec.cardinality == 1_000_000 // DEFAULT_SCALE_FACTOR
+
+    def test_dynamic_defaults(self):
+        spec = paper_defaults(dynamic=True)
+        assert spec.num_total_order == 3
+        assert spec.num_partial_order == 1
+        assert spec.dag_height == 6
+
+    def test_distribution_in_name(self):
+        assert "anticorrelated" in paper_defaults(distribution="anticorrelated").name

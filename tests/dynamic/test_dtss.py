@@ -1,0 +1,147 @@
+"""Unit tests for the dTSS dynamic skyline algorithm."""
+
+import pytest
+
+from repro.data.workloads import WorkloadSpec
+from repro.dynamic.dtss import DTSSIndex, dtss_skyline
+from repro.exceptions import QueryError
+from repro.index.pager import DiskSimulator
+from repro.order.builders import random_dag
+from repro.order.dag import PartialOrderDAG
+from repro.order.lattice import lattice_domain
+from repro.skyline.bruteforce import brute_force_skyline
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = WorkloadSpec(
+        name="dtss-unit",
+        distribution="independent",
+        cardinality=220,
+        num_total_order=2,
+        num_partial_order=1,
+        dag_height=4,
+        dag_density=0.8,
+        to_domain_size=40,
+        seed=17,
+    )
+    return spec.build()
+
+
+def query_order_for(schema, seed):
+    """A fresh partial order over the same value domain as the data DAG."""
+    dag = schema.partial_order_attributes[0].dag
+    sampled = lattice_domain(6, 0.9, seed=seed)
+    # Restrict a differently-shaped lattice to the data's values when possible,
+    # otherwise fall back to a random order over the same values.
+    if all(value in sampled for value in dag.values):
+        return sampled.restrict(dag.values)
+    return random_dag(len(dag.values), edge_probability=0.2, seed=seed).relabel(
+        dict(zip([f"v{i}" for i in range(len(dag.values))], dag.values))
+    )
+
+
+def ground_truth(dataset, partial_orders):
+    schema = dataset.schema.replace_partial_order(partial_orders)
+    return frozenset(brute_force_skyline(dataset.with_schema(schema, validate=False)).skyline_ids)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_static_recomputation(self, workload, seed):
+        schema, dataset = workload
+        query = {"po1": query_order_for(schema, seed)}
+        truth = ground_truth(dataset, query)
+        assert frozenset(dtss_skyline(dataset, query).skyline_ids) == truth
+
+    def test_list_based_and_rtree_checks_agree(self, workload):
+        schema, dataset = workload
+        query = {"po1": query_order_for(schema, 4)}
+        with_tree = dtss_skyline(dataset, query, use_virtual_rtree=True)
+        with_list = dtss_skyline(dataset, query, use_virtual_rtree=False)
+        assert frozenset(with_tree.skyline_ids) == frozenset(with_list.skyline_ids)
+
+    def test_local_skyline_optimization_agrees(self, workload):
+        schema, dataset = workload
+        query = {"po1": query_order_for(schema, 5)}
+        base = dtss_skyline(dataset, query)
+        optimized = dtss_skyline(dataset, query, use_local_skylines=True)
+        assert frozenset(base.skyline_ids) == frozenset(optimized.skyline_ids)
+
+    def test_partial_orders_as_sequence(self, workload):
+        schema, dataset = workload
+        query = query_order_for(schema, 6)
+        by_name = dtss_skyline(dataset, {"po1": query})
+        by_position = dtss_skyline(dataset, [query])
+        assert frozenset(by_name.skyline_ids) == frozenset(by_position.skyline_ids)
+
+    def test_empty_preferences_make_every_group_best(self, workload):
+        schema, dataset = workload
+        dag = schema.partial_order_attributes[0].dag
+        no_preferences = PartialOrderDAG(dag.values, [])
+        truth = ground_truth(dataset, {"po1": no_preferences})
+        assert frozenset(dtss_skyline(dataset, {"po1": no_preferences}).skyline_ids) == truth
+
+    def test_total_order_query(self, workload):
+        schema, dataset = workload
+        dag = schema.partial_order_attributes[0].dag
+        values = list(dag.values)
+        total_order = PartialOrderDAG(values, list(zip(values, values[1:])))
+        truth = ground_truth(dataset, {"po1": total_order})
+        assert frozenset(dtss_skyline(dataset, {"po1": total_order}).skyline_ids) == truth
+
+
+class TestIndexReuse:
+    def test_index_answers_many_queries(self, workload):
+        schema, dataset = workload
+        index = DTSSIndex(dataset)
+        for seed in (7, 8, 9):
+            query = {"po1": query_order_for(schema, seed)}
+            truth = ground_truth(dataset, query)
+            assert frozenset(index.query(query).skyline_ids) == truth
+
+    def test_group_structures_are_not_rebuilt_between_queries(self, workload):
+        schema, dataset = workload
+        disk = DiskSimulator()
+        index = DTSSIndex(dataset, disk=disk)
+        build_writes = disk.stats.writes
+        index.query({"po1": query_order_for(schema, 10)})
+        index.query({"po1": query_order_for(schema, 11)})
+        assert disk.stats.writes == build_writes  # queries only read
+
+    def test_queries_charge_only_traversal_reads(self, workload):
+        schema, dataset = workload
+        disk = DiskSimulator()
+        index = DTSSIndex(dataset, disk=disk)
+        result = index.query({"po1": query_order_for(schema, 12)})
+        assert result.stats.io_reads >= 0
+        assert result.stats.io_writes == 0
+
+
+class TestValidation:
+    def test_missing_attribute_raises(self, workload):
+        _, dataset = workload
+        index = DTSSIndex(dataset)
+        with pytest.raises(QueryError):
+            index.query({})
+
+    def test_wrong_number_of_sequence_orders(self, workload):
+        schema, dataset = workload
+        index = DTSSIndex(dataset)
+        with pytest.raises(QueryError):
+            index.query([query_order_for(schema, 1), query_order_for(schema, 2)])
+
+    def test_query_domain_must_cover_data_values(self, workload):
+        _, dataset = workload
+        index = DTSSIndex(dataset)
+        with pytest.raises(QueryError):
+            index.query({"po1": PartialOrderDAG([999999], [])})
+
+
+class TestProgressiveness:
+    def test_results_are_streamed_per_point(self, workload):
+        schema, dataset = workload
+        query = {"po1": query_order_for(schema, 13)}
+        result = dtss_skyline(dataset, query)
+        distinct = {dataset[i].values for i in result.skyline_ids}
+        assert len(result.progress) == len(distinct)

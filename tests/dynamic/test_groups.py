@@ -1,0 +1,91 @@
+"""Unit tests for the per-PO-value group structures."""
+
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.dynamic.groups import GroupedDataset
+from repro.exceptions import SchemaError
+from repro.order.builders import antichain
+from repro.skyline.dominance import dominates_vectors
+
+
+@pytest.fixture
+def grouped(flight_dataset):
+    return GroupedDataset(flight_dataset)
+
+
+class TestPartitioning:
+    def test_requires_po_and_to_attributes(self, airline_dag):
+        to_only = Schema([TotalOrderAttribute("x")])
+        with pytest.raises(SchemaError):
+            GroupedDataset(Dataset(to_only, [(1,)]))
+        po_only = Schema([PartialOrderAttribute("airline", airline_dag)])
+        with pytest.raises(SchemaError):
+            GroupedDataset(Dataset(po_only, [("a",)]))
+
+    def test_one_group_per_po_value_combination(self, grouped, flight_dataset):
+        expected = {flight_dataset.schema.partial_values(r.values) for r in flight_dataset}
+        assert set(grouped.groups) == expected
+        assert grouped.num_groups == len(expected)
+
+    def test_groups_partition_all_points(self, grouped):
+        total = sum(len(members) for members in grouped.groups.values())
+        assert total == len(grouped.points)
+
+    def test_points_carry_canonical_to_values(self, grouped, flight_dataset):
+        point = grouped.points[0]
+        record = flight_dataset[point.record_ids[0]]
+        assert point.to_values == flight_dataset.schema.canonical_to_values(record.values)
+
+    def test_duplicates_collapse_into_one_point(self, flight_schema):
+        data = Dataset(flight_schema, [(1, 0, "a"), (1, 0, "a"), (2, 0, "a")])
+        grouped = GroupedDataset(data)
+        assert len(grouped.points) == 2
+        assert grouped.record_ids_for([0]) == [0, 1]
+
+    def test_group_trees_index_their_members(self, grouped):
+        for key, members in grouped.groups.items():
+            tree = grouped.group_trees[key]
+            assert sorted(e.payload for e in tree.all_entries()) == sorted(p.index for p in members)
+
+    def test_multiple_po_attributes(self):
+        schema = Schema(
+            [
+                TotalOrderAttribute("x"),
+                PartialOrderAttribute("p", antichain(["u", "v"])),
+                PartialOrderAttribute("q", antichain(["m", "n"])),
+            ]
+        )
+        data = Dataset(schema, [(1, "u", "m"), (2, "u", "n"), (3, "v", "m"), (4, "u", "m")])
+        grouped = GroupedDataset(data)
+        assert grouped.num_groups == 3
+        assert ("u", "m") in grouped.groups
+
+
+class TestLocalSkylines:
+    def test_precompute_at_build_time(self, flight_dataset):
+        grouped = GroupedDataset(flight_dataset, precompute_local_skylines=True)
+        assert grouped.local_skylines is not None
+
+    def test_ensure_local_skylines_memoizes(self, grouped):
+        first = grouped.ensure_local_skylines()
+        assert grouped.ensure_local_skylines() is first
+
+    def test_local_skyline_is_the_to_skyline_of_the_group(self, flight_dataset):
+        grouped = GroupedDataset(flight_dataset, precompute_local_skylines=True)
+        for key, members in grouped.groups.items():
+            local = grouped.local_skylines[key]
+            for member in members:
+                dominated = any(
+                    dominates_vectors(other.to_values, member.to_values) for other in members
+                )
+                assert (member in local) == (not dominated)
+
+    def test_local_skyline_points_are_mutually_incomparable(self, flight_dataset):
+        grouped = GroupedDataset(flight_dataset, precompute_local_skylines=True)
+        for local in grouped.local_skylines.values():
+            for a in local:
+                for b in local:
+                    if a is not b:
+                        assert not dominates_vectors(a.to_values, b.to_values)

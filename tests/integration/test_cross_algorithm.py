@@ -1,0 +1,85 @@
+"""Integration tests: every algorithm agrees on every workload configuration."""
+
+import pytest
+
+from repro.baselines import bbs_plus_skyline, sdc_plus_skyline, sdc_skyline
+from repro.core import stss_skyline
+from repro.data.workloads import WorkloadSpec
+from repro.dynamic import dtss_skyline, sdc_plus_dynamic_skyline
+from repro.order.dag import PartialOrderDAG
+from repro.skyline import bnl_skyline, brute_force_skyline, sfs_skyline
+
+STATIC_ALGORITHMS = {
+    "stss": lambda ds: stss_skyline(ds),
+    "stss-plain": lambda ds: stss_skyline(ds, use_virtual_rtree=False, use_dyadic_cache=False),
+    "bnl": lambda ds: bnl_skyline(ds, window_size=25),
+    "sfs": sfs_skyline,
+    "bbs+": bbs_plus_skyline,
+    "sdc": sdc_skyline,
+    "sdc+": sdc_plus_skyline,
+}
+
+CONFIGURATIONS = [
+    dict(distribution="independent", num_total_order=2, num_partial_order=1, dag_height=3, dag_density=1.0),
+    dict(distribution="independent", num_total_order=3, num_partial_order=2, dag_height=3, dag_density=0.6),
+    dict(distribution="anticorrelated", num_total_order=2, num_partial_order=1, dag_height=5, dag_density=0.8),
+    dict(distribution="anticorrelated", num_total_order=2, num_partial_order=2, dag_height=4, dag_density=0.4),
+    dict(distribution="correlated", num_total_order=4, num_partial_order=1, dag_height=4, dag_density=1.0),
+]
+
+
+@pytest.fixture(scope="module", params=range(len(CONFIGURATIONS)), ids=lambda i: f"config{i}")
+def workload(request):
+    config = CONFIGURATIONS[request.param]
+    spec = WorkloadSpec(name=f"integration-{request.param}", cardinality=180,
+                        to_domain_size=40, seed=100 + request.param, **config)
+    schema, dataset = spec.build()
+    truth = frozenset(brute_force_skyline(dataset).skyline_ids)
+    return schema, dataset, truth
+
+
+class TestStaticAgreement:
+    @pytest.mark.parametrize("name", sorted(STATIC_ALGORITHMS))
+    def test_algorithm_matches_brute_force(self, workload, name):
+        _, dataset, truth = workload
+        result = STATIC_ALGORITHMS[name](dataset)
+        assert frozenset(result.skyline_ids) == truth, name
+
+    def test_skyline_members_are_never_dominated(self, workload):
+        from repro.skyline.dominance import dominates_records
+
+        schema, dataset, truth = workload
+        for skyline_id in truth:
+            assert not any(
+                dominates_records(schema, other, dataset[skyline_id])
+                for other in dataset
+                if other.id != skyline_id
+            )
+
+    def test_non_members_are_dominated_by_a_skyline_record(self, workload):
+        from repro.skyline.dominance import dominates_records
+
+        schema, dataset, truth = workload
+        for record in dataset:
+            if record.id in truth:
+                continue
+            assert any(
+                dominates_records(schema, dataset[skyline_id], record) for skyline_id in truth
+            )
+
+
+class TestDynamicAgreement:
+    def test_dynamic_methods_agree_with_static_recomputation(self, workload):
+        schema, dataset, _ = workload
+        # Build one deterministic query per PO attribute: a chain over its values.
+        partial_orders = {}
+        for attribute in schema.partial_order_attributes:
+            values = list(attribute.dag.values)
+            partial_orders[attribute.name] = PartialOrderDAG(values, list(zip(values, values[1:])))
+        static_schema = schema.replace_partial_order(partial_orders)
+        truth = frozenset(brute_force_skyline(dataset.with_schema(static_schema)).skyline_ids)
+
+        dtss_result = dtss_skyline(dataset, partial_orders)
+        baseline_result = sdc_plus_dynamic_skyline(dataset, partial_orders)
+        assert frozenset(dtss_result.skyline_ids) == truth
+        assert frozenset(baseline_result.skyline_ids) == truth

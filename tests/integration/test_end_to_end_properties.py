@@ -1,0 +1,83 @@
+"""Property-based end-to-end tests: random datasets, random preference DAGs."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baselines import bbs_plus_skyline, sdc_plus_skyline, sdc_skyline
+from repro.core import stss_skyline
+from repro.dynamic import dtss_skyline
+from repro.order.dag import PartialOrderDAG
+from repro.skyline import bnl_skyline, brute_force_skyline, sfs_skyline
+
+from tests.conftest import mixed_dataset_strategy
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@settings(**COMMON_SETTINGS)
+@given(dataset=mixed_dataset_strategy())
+def test_stss_matches_brute_force(dataset):
+    truth = frozenset(brute_force_skyline(dataset).skyline_ids)
+    for options in ({}, {"use_virtual_rtree": False}, {"use_dyadic_cache": False, "max_entries": 4}):
+        assert frozenset(stss_skyline(dataset, **options).skyline_ids) == truth
+
+
+@settings(**COMMON_SETTINGS)
+@given(dataset=mixed_dataset_strategy())
+def test_baselines_match_brute_force(dataset):
+    truth = frozenset(brute_force_skyline(dataset).skyline_ids)
+    assert frozenset(bbs_plus_skyline(dataset).skyline_ids) == truth
+    assert frozenset(sdc_skyline(dataset).skyline_ids) == truth
+    assert frozenset(sdc_plus_skyline(dataset).skyline_ids) == truth
+
+
+@settings(**COMMON_SETTINGS)
+@given(dataset=mixed_dataset_strategy())
+def test_scan_based_algorithms_match_brute_force(dataset):
+    truth = frozenset(brute_force_skyline(dataset).skyline_ids)
+    assert frozenset(bnl_skyline(dataset, window_size=5).skyline_ids) == truth
+    assert frozenset(sfs_skyline(dataset).skyline_ids) == truth
+
+
+@settings(**COMMON_SETTINGS)
+@given(dataset=mixed_dataset_strategy(max_po=1), seed=st.integers(min_value=0, max_value=1000))
+def test_dtss_matches_static_recomputation_for_random_queries(dataset, seed):
+    schema = dataset.schema
+    attribute = schema.partial_order_attributes[0]
+    values = list(attribute.dag.values)
+    rng = random.Random(seed)
+    shuffled = values[:]
+    rng.shuffle(shuffled)
+    edges = [
+        (shuffled[i], shuffled[j])
+        for i in range(len(shuffled))
+        for j in range(i + 1, len(shuffled))
+        if rng.random() < 0.3
+    ]
+    query = {attribute.name: PartialOrderDAG(values, edges)}
+    static_schema = schema.replace_partial_order(query)
+    truth = frozenset(brute_force_skyline(dataset.with_schema(static_schema, validate=False)).skyline_ids)
+    assert frozenset(dtss_skyline(dataset, query).skyline_ids) == truth
+    assert frozenset(dtss_skyline(dataset, query, use_local_skylines=True).skyline_ids) == truth
+
+
+@settings(**COMMON_SETTINGS)
+@given(dataset=mixed_dataset_strategy())
+def test_skyline_is_minimal_and_complete(dataset):
+    """Every record is either in the skyline or dominated by a skyline record."""
+    from repro.skyline.dominance import dominates_records
+
+    schema = dataset.schema
+    truth = frozenset(brute_force_skyline(dataset).skyline_ids)
+    for record in dataset:
+        if record.id in truth:
+            assert not any(
+                dominates_records(schema, other, record) for other in dataset if other.id != record.id
+            )
+        else:
+            assert any(dominates_records(schema, dataset[s], record) for s in truth)

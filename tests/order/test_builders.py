@@ -1,0 +1,110 @@
+"""Unit tests for the partial-order convenience builders."""
+
+import pytest
+
+from repro.exceptions import CycleError, PartialOrderError
+from repro.order.builders import (
+    airline_preference_dag,
+    airline_preference_dag_second,
+    antichain,
+    chain,
+    dag_from_edges,
+    dag_from_preferences,
+    diamond,
+    interval_order,
+    layered_dag,
+    paper_example_dag,
+    random_dag,
+    tree_order,
+)
+
+
+class TestBasicBuilders:
+    def test_chain(self):
+        dag = chain([3, 1, 2])
+        assert dag.is_preferred(3, 2) and dag.is_preferred(1, 2)
+        assert dag.height() == 2
+
+    def test_antichain(self):
+        dag = antichain(["x", "y"])
+        assert dag.num_edges == 0
+
+    def test_diamond(self):
+        dag = diamond("t", ["m1", "m2"], "b")
+        assert dag.is_preferred("t", "b")
+        assert not dag.are_comparable("m1", "m2")
+
+    def test_diamond_rejects_duplicate_middles(self):
+        with pytest.raises(PartialOrderError):
+            diamond("t", ["m", "m"], "b")
+
+    def test_dag_from_edges_infers_values(self):
+        dag = dag_from_edges([("a", "b"), ("b", "c")])
+        assert set(dag.values) == {"a", "b", "c"}
+
+    def test_dag_from_preferences_reduces_transitively(self):
+        dag = dag_from_preferences("abc", [("a", "b"), ("b", "c"), ("a", "c")])
+        assert set(dag.edges) == {("a", "b"), ("b", "c")}
+        assert dag.is_preferred("a", "c")
+
+    def test_dag_from_preferences_rejects_cycles(self):
+        with pytest.raises(CycleError):
+            dag_from_preferences("ab", [("a", "b"), ("b", "a")])
+
+    def test_tree_order(self):
+        dag = tree_order({"child1": "root", "child2": "root", "grandchild": "child1"})
+        assert dag.is_preferred("root", "grandchild")
+        assert not dag.are_comparable("child1", "child2")
+
+    def test_interval_order(self):
+        dag = interval_order({"early": (0, 1), "mid": (2, 3), "late": (5, 6), "overlap": (0.5, 2.5)})
+        assert dag.is_preferred("early", "mid")
+        assert dag.is_preferred("early", "late")
+        assert not dag.are_comparable("early", "overlap")
+
+
+class TestRandomBuilders:
+    def test_random_dag_is_deterministic_per_seed(self):
+        a = random_dag(10, edge_probability=0.3, seed=1)
+        b = random_dag(10, edge_probability=0.3, seed=1)
+        assert a.edges == b.edges
+
+    def test_random_dag_is_acyclic_for_any_probability(self):
+        for probability in (0.0, 0.5, 1.0):
+            dag = random_dag(8, edge_probability=probability, seed=2)
+            assert len(dag) == 8  # construction would raise on a cycle
+
+    def test_random_dag_invalid_arguments(self):
+        with pytest.raises(PartialOrderError):
+            random_dag(0)
+        with pytest.raises(PartialOrderError):
+            random_dag(3, edge_probability=1.5)
+
+    def test_layered_dag_height(self):
+        dag = layered_dag([2, 3, 2], edge_probability=0.5, seed=7)
+        assert dag.height() == 2
+        assert len(dag) == 7
+
+    def test_layered_dag_rejects_empty_layers(self):
+        with pytest.raises(PartialOrderError):
+            layered_dag([2, 0, 1])
+
+
+class TestPaperBuilders:
+    def test_paper_example_dag_shape(self):
+        dag = paper_example_dag()
+        assert len(dag) == 9
+        assert dag.roots() == ("a",)
+        assert dag.is_preferred("a", "i")
+        assert dag.is_preferred("c", "h")
+
+    def test_airline_dag_first_row(self):
+        dag = airline_preference_dag()
+        assert dag.is_preferred("a", "b")
+        assert dag.is_preferred("a", "d")
+        assert not dag.are_comparable("b", "c")
+
+    def test_airline_dag_second_row(self):
+        dag = airline_preference_dag_second()
+        assert dag.is_preferred("b", "a")
+        assert dag.num_edges == 1

@@ -1,0 +1,77 @@
+"""Unit tests for networkx interoperability helpers."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import PartialOrderError
+from repro.order.builders import antichain, chain
+from repro.order.dag import PartialOrderDAG
+from repro.order.interop import (
+    comparability_ratio,
+    from_networkx,
+    from_preference_graph,
+    to_networkx,
+)
+
+
+class TestConversions:
+    def test_round_trip(self, example_dag):
+        graph = to_networkx(example_dag)
+        assert set(graph.nodes) == set(example_dag.values)
+        assert set(graph.edges) == set(example_dag.edges)
+        back = from_networkx(graph)
+        for x in example_dag.values:
+            for y in example_dag.values:
+                assert back.is_preferred(x, y) == example_dag.is_preferred(x, y)
+
+    def test_from_networkx_rejects_undirected_graphs(self):
+        with pytest.raises(PartialOrderError):
+            from_networkx(nx.Graph([("a", "b")]))
+
+    def test_from_networkx_rejects_cycles(self):
+        graph = nx.DiGraph([("a", "b"), ("b", "a")])
+        with pytest.raises(PartialOrderError):
+            from_networkx(graph)
+
+    def test_from_networkx_with_reduction(self):
+        graph = nx.DiGraph([("a", "b"), ("b", "c"), ("a", "c")])
+        dag = from_networkx(graph, reduce=True)
+        assert set(dag.edges) == {("a", "b"), ("b", "c")}
+        assert dag.is_preferred("a", "c")
+
+    def test_reachability_matches_networkx(self, example_dag):
+        graph = to_networkx(example_dag)
+        for value in example_dag.values:
+            assert set(example_dag.descendants(value)) == set(nx.descendants(graph, value))
+
+
+class TestPreferenceGraphCondensation:
+    def test_contradictory_preferences_are_collapsed(self):
+        graph = nx.DiGraph([("a", "b"), ("b", "a"), ("a", "c"), ("d", "a")])
+        dag = from_preference_graph(graph)
+        # a and b collapse into one representative ("a", the lexicographic min).
+        assert "a" in dag and "b" not in dag
+        assert dag.is_preferred("a", "c")
+        assert dag.is_preferred("d", "c")
+
+    def test_acyclic_graph_is_just_reduced(self):
+        graph = nx.DiGraph([("a", "b"), ("b", "c"), ("a", "c")])
+        dag = from_preference_graph(graph)
+        assert set(dag.edges) == {("a", "b"), ("b", "c")}
+
+
+class TestComparabilityRatio:
+    def test_total_order(self):
+        assert comparability_ratio(chain(list("abcd"))) == pytest.approx(1.0)
+
+    def test_antichain(self):
+        assert comparability_ratio(antichain(list("abcd"))) == pytest.approx(0.0)
+
+    def test_diamond_is_in_between(self):
+        dag = PartialOrderDAG("abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        ratio = comparability_ratio(dag)
+        assert 0.0 < ratio < 1.0
+        assert ratio == pytest.approx(5 / 6)
+
+    def test_trivial_domains(self):
+        assert comparability_ratio(antichain(["x"])) == 1.0

@@ -1,0 +1,121 @@
+"""Unit tests for intervals and interval sets."""
+
+import pytest
+
+from repro.exceptions import PartialOrderError
+from repro.order.intervals import Interval, IntervalSet
+
+
+class TestInterval:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(PartialOrderError):
+            Interval(5, 3)
+
+    def test_membership(self):
+        interval = Interval(2, 5)
+        assert 2 in interval and 5 in interval and 3 in interval
+        assert 1 not in interval and 6 not in interval
+
+    def test_contains(self):
+        assert Interval(1, 9).contains(Interval(3, 6))
+        assert Interval(3, 6).contains(Interval(3, 6))
+        assert not Interval(3, 6).contains(Interval(1, 9))
+        assert not Interval(1, 4).contains(Interval(3, 6))
+
+    def test_overlaps_and_adjacent(self):
+        assert Interval(1, 4).overlaps(Interval(4, 6))
+        assert not Interval(1, 3).overlaps(Interval(5, 6))
+        assert Interval(1, 3).adjacent(Interval(4, 6))
+        assert not Interval(1, 3).adjacent(Interval(5, 6))
+
+    def test_merge(self):
+        assert Interval(1, 3).merge(Interval(4, 6)) == Interval(1, 6)
+        assert Interval(1, 5).merge(Interval(3, 8)) == Interval(1, 8)
+        with pytest.raises(PartialOrderError):
+            Interval(1, 2).merge(Interval(5, 6))
+
+    def test_width_and_str(self):
+        assert Interval(3, 6).width() == 4
+        assert str(Interval(3, 6)) == "[3,6]"
+
+    def test_ordering(self):
+        assert Interval(1, 2) < Interval(2, 3)
+
+
+class TestIntervalSet:
+    def test_normalization_merges_overlaps_and_adjacency(self):
+        s = IntervalSet([(5, 7), (1, 2), (6, 9)])
+        assert s.intervals == (Interval(1, 2), Interval(5, 9))
+
+    def test_normalization_merges_chains_of_adjacent_intervals(self):
+        s = IntervalSet([(5, 7), (1, 2), (3, 4), (6, 9)])
+        assert s.intervals == (Interval(1, 9),)
+
+    def test_accepts_interval_objects_and_tuples(self):
+        assert IntervalSet([Interval(1, 2)]) == IntervalSet([(1, 2)])
+
+    def test_equality_and_hash_are_canonical(self):
+        a = IntervalSet([(1, 2), (3, 4)])
+        b = IntervalSet([(1, 4)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_empty_set(self):
+        s = IntervalSet()
+        assert not s
+        assert len(s) == 0
+        assert not s.contains_point(1)
+
+    def test_contains_point(self):
+        s = IntervalSet([(1, 3), (7, 9)])
+        for point in (1, 2, 3, 7, 9):
+            assert s.contains_point(point)
+        for point in (0, 4, 6, 10):
+            assert not s.contains_point(point)
+
+    def test_contains_interval(self):
+        s = IntervalSet([(1, 3), (7, 9)])
+        assert s.contains_interval(Interval(1, 3))
+        assert s.contains_interval(Interval(8, 9))
+        assert not s.contains_interval(Interval(2, 8))
+        assert not s.contains_interval(Interval(4, 5))
+
+    def test_covers(self):
+        big = IntervalSet([(1, 5), (7, 9)])
+        small = IntervalSet([(2, 4), (7, 7)])
+        assert big.covers(small)
+        assert not small.covers(big)
+        assert big.covers(IntervalSet())
+
+    def test_covers_is_reflexive(self):
+        s = IntervalSet([(1, 2), (5, 9)])
+        assert s.covers(s)
+
+    def test_union_and_add(self):
+        s = IntervalSet([(1, 2)])
+        assert s.union(IntervalSet([(3, 4)])) == IntervalSet([(1, 4)])
+        assert s.add((10, 12)) == IntervalSet([(1, 2), (10, 12)])
+
+    def test_points_and_width(self):
+        s = IntervalSet([(1, 3), (6, 6)])
+        assert s.points() == [1, 2, 3, 6]
+        assert s.total_width() == 4
+
+    def test_from_points_round_trip(self):
+        points = [9, 1, 2, 3, 7, 8]
+        s = IntervalSet.from_points(points)
+        assert s == IntervalSet([(1, 3), (7, 9)])
+        assert sorted(s.points()) == sorted(set(points))
+
+    def test_from_points_empty(self):
+        assert IntervalSet.from_points([]) == IntervalSet()
+
+    def test_covers_iff_point_subset(self):
+        """Canonical sets: covering equals subset relation on the covered points."""
+        a = IntervalSet.from_points([1, 2, 3, 8])
+        b = IntervalSet.from_points([2, 3])
+        c = IntervalSet.from_points([2, 3, 5])
+        assert a.covers(b)
+        assert not a.covers(c)
+        assert set(b.points()) <= set(a.points())
+        assert not set(c.points()) <= set(a.points())

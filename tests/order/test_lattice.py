@@ -1,0 +1,76 @@
+"""Unit tests for the subset-lattice PO-domain generator."""
+
+import pytest
+
+from repro.exceptions import PartialOrderError
+from repro.order.lattice import describe_lattice, lattice_domain, subset_lattice
+
+
+class TestSubsetLattice:
+    def test_full_lattice_size_and_height(self):
+        dag = subset_lattice(["x", "y", "z"])
+        assert len(dag) == 8
+        assert dag.height() == 3
+
+    def test_preference_is_containment(self):
+        dag = subset_lattice(["x", "y"])
+        empty, x, y, xy = frozenset(), frozenset({"x"}), frozenset({"y"}), frozenset({"x", "y"})
+        assert dag.is_preferred(empty, xy)
+        assert dag.is_preferred(x, xy)
+        assert not dag.is_preferred(x, y)
+        assert not dag.is_preferred(xy, x)
+
+    def test_duplicate_objects_rejected(self):
+        with pytest.raises(PartialOrderError):
+            subset_lattice(["x", "x"])
+
+
+class TestLatticeDomain:
+    def test_full_density_keeps_everything(self):
+        dag = lattice_domain(4, 1.0)
+        assert len(dag) == 16
+        assert dag.height() == 4
+
+    def test_density_controls_expected_size(self):
+        full = lattice_domain(6, 1.0)
+        sparse = lattice_domain(6, 0.3, seed=3)
+        assert len(sparse) < len(full)
+        # d = |V| / 2^h should be roughly the requested density.
+        assert 0.15 <= len(sparse) / 2**6 <= 0.55
+
+    def test_sampling_is_deterministic_per_seed(self):
+        a = lattice_domain(5, 0.5, seed=42)
+        b = lattice_domain(5, 0.5, seed=42)
+        c = lattice_domain(5, 0.5, seed=43)
+        assert a.values == b.values and a.edges == b.edges
+        assert a.values != c.values or a.edges != c.edges
+
+    def test_keep_extremes(self):
+        dag = lattice_domain(5, 0.2, seed=1, keep_extremes=True)
+        assert 0 in dag and (2**5 - 1) in dag
+
+    def test_without_keep_extremes(self):
+        dag = lattice_domain(5, 0.2, seed=1, keep_extremes=False)
+        assert len(dag) >= 1
+
+    def test_edges_follow_containment(self):
+        dag = lattice_domain(4, 0.7, seed=9)
+        for better, worse in dag.edges:
+            assert better & worse == better  # better is a subset
+            assert bin(worse ^ better).count("1") == 1  # exactly one object added
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PartialOrderError):
+            lattice_domain(0)
+        with pytest.raises(PartialOrderError):
+            lattice_domain(3, 0.0)
+        with pytest.raises(PartialOrderError):
+            lattice_domain(3, 1.5)
+
+    def test_describe_lattice(self):
+        stats = describe_lattice(lattice_domain(3, 1.0))
+        assert stats["nodes"] == 8
+        assert stats["height"] == 3
+        assert stats["roots"] == 1
+        assert stats["leaves"] == 1
+        assert stats["avg_out_degree"] > 0

@@ -1,0 +1,86 @@
+"""Property-based tests for the partial-order substrate (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.order.encoding import encode_domain
+from repro.order.intervals import IntervalSet
+from repro.order.propagation import propagate_intervals, reachability_intervals
+from repro.order.spanning_tree import extract_spanning_tree
+from repro.order.toposort import is_topological, topological_sort
+
+from tests.conftest import random_dag_strategy
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag=random_dag_strategy(max_values=12))
+def test_topological_sort_is_always_valid(dag):
+    for strategy in ("kahn", "dfs", "lexicographic", "by_height"):
+        order = topological_sort(dag, strategy=strategy)
+        assert is_topological(dag, order)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag=random_dag_strategy(max_values=12))
+def test_propagation_equals_reachability_intervals(dag):
+    tree = extract_spanning_tree(dag)
+    assert propagate_intervals(tree) == reachability_intervals(tree)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag=random_dag_strategy(max_values=10))
+def test_t_preference_is_exactly_reachability(dag):
+    encoding = encode_domain(dag)
+    for x in dag.values:
+        for y in dag.values:
+            if x == y:
+                continue
+            assert encoding.t_prefers(x, y) == dag.is_preferred(x, y)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag=random_dag_strategy(max_values=10))
+def test_m_preference_is_sound_but_possibly_incomplete(dag):
+    """Spanning-tree preference never invents a preference that is not in the DAG."""
+    encoding = encode_domain(dag)
+    for x in dag.values:
+        for y in dag.values:
+            if x != y and encoding.m_prefers(x, y):
+                assert dag.is_preferred(x, y)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag=random_dag_strategy(max_values=10))
+def test_dominators_never_sit_in_higher_strata(dag):
+    encoding = encode_domain(dag)
+    for x in dag.values:
+        for y in dag.values:
+            if dag.is_preferred(x, y):
+                assert encoding.uncovered[x] <= encoding.uncovered[y]
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag=random_dag_strategy(max_values=10))
+def test_range_interval_set_covers_each_member(dag):
+    encoding = encode_domain(dag)
+    n = encoding.cardinality
+    merged = encoding.range_interval_set(1, n)
+    for value in dag.values:
+        assert merged.covers(encoding.interval_set(value))
+
+
+@settings(max_examples=80, deadline=None)
+@given(points=st.lists(st.integers(min_value=1, max_value=60), max_size=40))
+def test_interval_set_from_points_round_trips(points):
+    interval_set = IntervalSet.from_points(points)
+    assert sorted(interval_set.points()) == sorted(set(points))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    a=st.sets(st.integers(min_value=1, max_value=30), max_size=20),
+    b=st.sets(st.integers(min_value=1, max_value=30), max_size=20),
+)
+def test_interval_set_covers_equals_subset(a, b):
+    set_a = IntervalSet.from_points(a)
+    set_b = IntervalSet.from_points(b)
+    assert set_a.covers(set_b) == (b <= a)

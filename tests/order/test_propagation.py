@@ -1,0 +1,81 @@
+"""Unit tests for interval propagation (the exactness construction)."""
+
+import pytest
+
+from repro.order.builders import chain, antichain, diamond, random_dag
+from repro.order.propagation import propagate_intervals, reachability_intervals
+from repro.order.spanning_tree import extract_spanning_tree
+
+
+def preference_matrix(dag):
+    return {
+        (x, y): dag.is_preferred_or_equal(x, y) for x in dag.values for y in dag.values
+    }
+
+
+class TestPropagation:
+    def test_matches_reachability_construction_on_paper_example(self, example_dag):
+        tree = extract_spanning_tree(example_dag)
+        assert propagate_intervals(tree) == reachability_intervals(tree)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_reachability_on_random_dags(self, seed):
+        dag = random_dag(12, edge_probability=0.3, seed=seed)
+        tree = extract_spanning_tree(dag)
+        assert propagate_intervals(tree) == reachability_intervals(tree)
+
+    def test_covers_encodes_preference_exactly(self, example_dag):
+        """x preferred-or-equal to y  <=>  intervals(x) covers intervals(y)."""
+        tree = extract_spanning_tree(example_dag)
+        intervals = propagate_intervals(tree)
+        for x in example_dag.values:
+            for y in example_dag.values:
+                expected = example_dag.is_preferred_or_equal(x, y)
+                assert intervals[x].covers(intervals[y]) == expected, (x, y)
+
+    def test_covers_encodes_preference_on_diamond(self):
+        dag = diamond("top", ["m1", "m2"], "bottom")
+        tree = extract_spanning_tree(dag)
+        intervals = propagate_intervals(tree)
+        assert intervals["top"].covers(intervals["m1"])
+        assert intervals["top"].covers(intervals["m2"])
+        assert intervals["m1"].covers(intervals["bottom"])
+        assert not intervals["m1"].covers(intervals["m2"])
+        assert not intervals["bottom"].covers(intervals["top"])
+
+    def test_chain_intervals_are_nested(self):
+        dag = chain(list("abcde"))
+        tree = extract_spanning_tree(dag)
+        intervals = propagate_intervals(tree)
+        for better, worse in zip("abcd", "bcde"):
+            assert intervals[better].covers(intervals[worse])
+
+    def test_antichain_intervals_are_pairwise_incomparable(self):
+        dag = antichain(list("abcd"))
+        tree = extract_spanning_tree(dag)
+        intervals = propagate_intervals(tree)
+        for x in dag.values:
+            for y in dag.values:
+                if x != y:
+                    assert not intervals[x].covers(intervals[y])
+
+    def test_root_interval_covers_whole_domain(self, example_dag):
+        """The single root of the paper example reaches everything: one interval [1, 9]."""
+        tree = extract_spanning_tree(example_dag)
+        intervals = propagate_intervals(tree)
+        root_points = set(intervals["a"].points())
+        assert root_points == set(range(1, len(example_dag) + 1))
+
+    def test_leaf_interval_is_its_own_post(self, example_dag):
+        tree = extract_spanning_tree(example_dag)
+        intervals = propagate_intervals(tree)
+        for leaf in example_dag.leaves():
+            assert intervals[leaf].points() == [tree.post[leaf]]
+
+    def test_interval_count_does_not_exceed_descendant_count(self, example_dag):
+        tree = extract_spanning_tree(example_dag)
+        intervals = propagate_intervals(tree)
+        for value in example_dag.values:
+            reachable = len(example_dag.descendants(value)) + 1
+            assert len(intervals[value]) <= reachable
+            assert intervals[value].total_width() == reachable

@@ -1,0 +1,75 @@
+"""Unit tests for topological sorting strategies."""
+
+import pytest
+
+from repro.exceptions import PartialOrderError
+from repro.order.builders import chain, antichain
+from repro.order.dag import PartialOrderDAG
+from repro.order.toposort import is_topological, ordinal_map, topological_sort, STRATEGIES
+
+
+@pytest.fixture
+def diamond():
+    return PartialOrderDAG("abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_every_strategy_produces_a_valid_order(self, example_dag, strategy):
+        order = topological_sort(example_dag, strategy=strategy)
+        assert is_topological(example_dag, order)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_every_value_appears_exactly_once(self, example_dag, strategy):
+        order = topological_sort(example_dag, strategy=strategy)
+        assert sorted(order) == sorted(example_dag.values)
+
+    def test_unknown_strategy_rejected(self, diamond):
+        with pytest.raises(PartialOrderError):
+            topological_sort(diamond, strategy="magic")
+
+    def test_chain_sorts_to_itself(self):
+        dag = chain(["x", "y", "z"])
+        assert topological_sort(dag) == ["x", "y", "z"]
+
+    def test_antichain_keeps_insertion_order_with_kahn(self):
+        dag = antichain(["c", "a", "b"])
+        assert topological_sort(dag, strategy="kahn") == ["c", "a", "b"]
+
+    def test_lexicographic_breaks_ties_by_value(self):
+        dag = antichain(["c", "a", "b"])
+        assert topological_sort(dag, strategy="lexicographic") == ["a", "b", "c"]
+
+    def test_lexicographic_with_custom_key(self, diamond):
+        order = topological_sort(diamond, strategy="lexicographic", key=lambda v: -ord(v))
+        assert is_topological(diamond, order)
+        # c comes before b because of the reversed key.
+        assert order.index("c") < order.index("b")
+
+    def test_by_height_groups_levels(self, diamond):
+        order = topological_sort(diamond, strategy="by_height")
+        assert order[0] == "a"
+        assert order[-1] == "d"
+        assert set(order[1:3]) == {"b", "c"}
+
+    def test_paper_example_admits_alphabetical_order(self, example_dag):
+        """Figure 2(c): a < b < ... < i is an admissible topological sort."""
+        assert is_topological(example_dag, list("abcdefghi"))
+
+
+class TestHelpers:
+    def test_ordinal_map_is_one_based(self):
+        ordinals = ordinal_map(["x", "y", "z"])
+        assert ordinals == {"x": 1, "y": 2, "z": 3}
+
+    def test_ordinal_map_custom_start(self):
+        assert ordinal_map(["x"], start=5) == {"x": 5}
+
+    def test_is_topological_rejects_wrong_length(self, diamond):
+        assert not is_topological(diamond, ["a", "b", "c"])
+
+    def test_is_topological_rejects_backward_edge(self, diamond):
+        assert not is_topological(diamond, ["d", "c", "b", "a"])
+
+    def test_is_topological_rejects_wrong_values(self, diamond):
+        assert not is_topological(diamond, ["a", "b", "c", "x"])

@@ -1,0 +1,73 @@
+"""Unit tests for uncovered levels and SDC/SDC+ strata."""
+
+from repro.order.builders import chain, diamond
+from repro.order.dag import PartialOrderDAG
+from repro.order.spanning_tree import extract_spanning_tree
+from repro.order.uncovered import completely_covered, strata, uncovered_levels
+
+
+class TestUncoveredLevels:
+    def test_tree_shaped_dag_is_fully_covered(self):
+        dag = chain(list("abcd"))
+        tree = extract_spanning_tree(dag)
+        assert set(uncovered_levels(tree).values()) == {0}
+        assert completely_covered(tree) == set("abcd")
+
+    def test_diamond_has_one_partially_covered_node(self):
+        dag = diamond("t", ["m1", "m2"], "b")
+        tree = extract_spanning_tree(dag)
+        levels = uncovered_levels(tree)
+        # "b" has two parents; one of the incoming edges is a non-tree edge.
+        assert levels["t"] == 0 and levels["m1"] == 0 and levels["m2"] == 0
+        assert levels["b"] == 1
+
+    def test_levels_accumulate_along_paths(self):
+        # Two stacked diamonds: the bottom node inherits the missing edges above it.
+        dag = PartialOrderDAG(
+            list("abcdefg"),
+            [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"),
+             ("d", "e"), ("d", "f"), ("e", "g"), ("f", "g")],
+        )
+        tree = extract_spanning_tree(dag)
+        levels = uncovered_levels(tree)
+        assert levels["d"] == 1
+        assert levels["g"] == 2
+
+    def test_roots_have_level_zero(self, example_dag):
+        tree = extract_spanning_tree(example_dag)
+        levels = uncovered_levels(tree)
+        for root in example_dag.roots():
+            assert levels[root] == 0
+
+    def test_dominators_have_smaller_or_equal_level(self, example_dag):
+        """The SDC+ stratum property: a dominator never sits in a higher stratum."""
+        tree = extract_spanning_tree(example_dag)
+        levels = uncovered_levels(tree)
+        for better in example_dag.values:
+            for worse in example_dag.values:
+                if example_dag.is_preferred(better, worse):
+                    assert levels[better] <= levels[worse]
+
+    def test_non_tree_edge_target_is_partially_covered(self, example_dag):
+        tree = extract_spanning_tree(example_dag)
+        levels = uncovered_levels(tree)
+        for _, target in tree.non_tree_edges():
+            assert levels[target] >= 1
+
+
+class TestStrata:
+    def test_strata_partition_the_domain(self, example_dag):
+        tree = extract_spanning_tree(example_dag)
+        grouped = strata(tree)
+        flattened = [value for members in grouped.values() for value in members]
+        assert sorted(flattened, key=str) == sorted(example_dag.values, key=str)
+
+    def test_strata_keys_are_sorted(self, example_dag):
+        tree = extract_spanning_tree(example_dag)
+        keys = list(strata(tree))
+        assert keys == sorted(keys)
+
+    def test_stratum_zero_is_completely_covered(self, example_dag):
+        tree = extract_spanning_tree(example_dag)
+        grouped = strata(tree)
+        assert set(grouped[0]) == completely_covered(tree)

@@ -1,0 +1,81 @@
+"""Unit tests for the shared result/stats types."""
+
+import pytest
+
+from repro.index.pager import DiskSimulator
+from repro.skyline.base import ProgressEvent, RunClock, SkylineResult, SkylineStats
+
+
+class TestSkylineStats:
+    def test_total_time_combines_cpu_and_io(self):
+        stats = SkylineStats(cpu_seconds=1.0, io_reads=10, io_writes=10, io_cost_seconds=0.005)
+        assert stats.io_seconds == pytest.approx(0.1)
+        assert stats.total_seconds == pytest.approx(1.1)
+        assert stats.total_ios == 20
+
+    def test_as_dict_contains_all_counters(self):
+        stats = SkylineStats(dominance_checks=5, points_examined=3)
+        rendered = stats.as_dict()
+        assert rendered["dominance_checks"] == 5.0
+        assert "total_seconds" in rendered
+
+
+class TestProgressEvent:
+    def test_total_seconds_applies_io_cost(self):
+        event = ProgressEvent(results_so_far=1, cpu_seconds=0.5, io_reads=10, dominance_checks=2)
+        assert event.total_seconds(0.01) == pytest.approx(0.6)
+
+
+class TestSkylineResult:
+    def make_result(self):
+        stats = SkylineStats(cpu_seconds=1.0, io_cost_seconds=0.0)
+        progress = [
+            ProgressEvent(results_so_far=i + 1, cpu_seconds=float(i + 1), io_reads=0, dominance_checks=0)
+            for i in range(4)
+        ]
+        return SkylineResult(skyline_ids=[5, 7, 9, 11], stats=stats, progress=progress)
+
+    def test_len_and_set(self):
+        result = self.make_result()
+        assert len(result) == 4
+        assert result.skyline_set == frozenset({5, 7, 9, 11})
+
+    def test_time_to_fraction(self):
+        result = self.make_result()
+        assert result.time_to_fraction(0.0) == 0.0
+        assert result.time_to_fraction(0.25) == pytest.approx(1.0)
+        assert result.time_to_fraction(0.5) == pytest.approx(2.0)
+        assert result.time_to_fraction(1.0) == pytest.approx(4.0)
+
+    def test_time_to_fraction_validates_input(self):
+        with pytest.raises(ValueError):
+            self.make_result().time_to_fraction(1.5)
+
+    def test_time_to_fraction_without_progress(self):
+        result = SkylineResult(skyline_ids=[], stats=SkylineStats())
+        assert result.time_to_fraction(0.5) == 0.0
+
+
+class TestRunClock:
+    def test_records_progress_and_finishes(self):
+        stats = SkylineStats()
+        clock = RunClock(stats)
+        clock.record_result()
+        clock.record_result()
+        clock.finish()
+        assert len(clock.progress) == 2
+        assert clock.progress[0].results_so_far == 1
+        assert stats.cpu_seconds >= 0.0
+
+    def test_tracks_io_delta_from_disk(self):
+        disk = DiskSimulator(io_cost_seconds=0.001)
+        disk.read(1)  # happens before the run starts: must be excluded
+        stats = SkylineStats()
+        clock = RunClock(stats, disk)
+        disk.read(2)
+        disk.read(3)
+        clock.record_result()
+        clock.finish()
+        assert stats.io_reads == 2
+        assert stats.io_cost_seconds == 0.001
+        assert clock.progress[0].io_reads == 2

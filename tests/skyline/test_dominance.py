@@ -1,0 +1,82 @@
+"""Unit tests for dominance relations."""
+
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.skyline.dominance import (
+    dominates_records,
+    dominates_vectors,
+    incomparable_records,
+    record_dominance_function,
+    weakly_dominates_vectors,
+)
+
+
+class TestVectorDominance:
+    def test_strict_dominance(self):
+        assert dominates_vectors((1, 2), (2, 3))
+        assert dominates_vectors((1, 2), (1, 3))
+        assert not dominates_vectors((1, 2), (1, 2))
+        assert not dominates_vectors((1, 4), (2, 3))
+        assert not dominates_vectors((2, 3), (1, 2))
+
+    def test_weak_dominance(self):
+        assert weakly_dominates_vectors((1, 2), (1, 2))
+        assert weakly_dominates_vectors((1, 2), (2, 3))
+        assert not weakly_dominates_vectors((2, 2), (1, 3))
+
+    def test_dominance_is_antisymmetric(self):
+        assert not (dominates_vectors((1, 2), (2, 1)) or dominates_vectors((2, 1), (1, 2)))
+
+
+class TestRecordDominance:
+    def test_paper_example_to_only(self, flight_dataset, flight_schema):
+        """Figure 1(b): p8 is dominated by p1 and p3 on (price, stops) alone."""
+        to_schema = Schema(
+            [TotalOrderAttribute("price"), TotalOrderAttribute("stops")]
+        )
+        data = Dataset(to_schema, [row.values[:2] for row in flight_dataset])
+        assert dominates_records(to_schema, data[0], data[7])   # p1 dominates p8
+        assert dominates_records(to_schema, data[2], data[7])   # p3 dominates p8
+        assert dominates_records(to_schema, data[5], data[3])   # p6 dominates p4
+        assert not dominates_records(to_schema, data[7], data[0])
+
+    def test_paper_example_with_airline_preferences(self, flight_dataset, flight_schema):
+        """With the airline partial order, p1 dominates p3 (same price/stops, a < b)."""
+        assert dominates_records(flight_schema, flight_dataset[0], flight_dataset[2])
+        assert not dominates_records(flight_schema, flight_dataset[2], flight_dataset[0])
+        # p6 dominates p7 (same TO values, b preferred over d).
+        assert dominates_records(flight_schema, flight_dataset[5], flight_dataset[6])
+        # p5 is no longer dominated once airlines matter (p4's airline b is incomparable to a).
+        assert not dominates_records(flight_schema, flight_dataset[3], flight_dataset[4])
+
+    def test_incomparable_po_values_block_dominance(self, flight_schema, flight_dataset):
+        # p4 (airline b) vs p5 (airline a): neither dominates.
+        assert incomparable_records(flight_schema, flight_dataset[3], flight_dataset[4])
+
+    def test_identical_records_do_not_dominate(self, flight_schema):
+        data = Dataset(flight_schema, [(100, 1, "a"), (100, 1, "a")])
+        assert not dominates_records(flight_schema, data[0], data[1])
+        assert not dominates_records(flight_schema, data[1], data[0])
+
+    def test_max_attributes_are_handled(self, airline_dag):
+        schema = Schema(
+            [TotalOrderAttribute("rating", best="max"), PartialOrderAttribute("airline", airline_dag)]
+        )
+        data = Dataset(schema, [(5, "a"), (3, "a"), (5, "b")])
+        assert dominates_records(schema, data[0], data[1])
+        assert dominates_records(schema, data[0], data[2])
+        assert not dominates_records(schema, data[1], data[2])
+
+    def test_dominance_function_binding(self, flight_schema, flight_dataset):
+        dominates = record_dominance_function(flight_schema)
+        assert dominates(flight_dataset[0], flight_dataset[2])
+
+    def test_transitivity_on_flight_data(self, flight_schema, flight_dataset):
+        records = flight_dataset.records
+        for a in records:
+            for b in records:
+                for c in records:
+                    if dominates_records(flight_schema, a, b) and dominates_records(flight_schema, b, c):
+                        assert dominates_records(flight_schema, a, c)

@@ -1,0 +1,41 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_at_least_one_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_profile_and_output(self):
+        args = build_parser().parse_args(["fig7", "--profile", "full", "--output", "x.txt"])
+        assert args.experiments == ["fig7"]
+        assert args.profile == "full"
+        assert args.output == "x.txt"
+
+
+class TestMain:
+    def test_unknown_experiment_returns_error_code(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_table1_runs_and_prints(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "p1, p5, p6, p9, p10" in out
+
+    def test_markdown_output(self, capsys):
+        assert main(["table1", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("|")
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.txt"
+        assert main(["table1", "--output", str(target)]) == 0
+        assert "Table I" in target.read_text()
+
+    def test_module_entry_point_importable(self):
+        import repro.__main__  # noqa: F401
