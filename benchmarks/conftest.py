@@ -15,14 +15,44 @@ variable (``quick`` by default, ``full`` for the larger grid).
 
 from __future__ import annotations
 
+import json
+import platform
+import sys
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.bench.reporting import ExperimentTable
 from repro.bench.runner import BenchProfile, DynamicRunner, StaticRunner
+from repro.kernels import get_kernel
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_environment() -> dict[str, object]:
+    """Environment block stamped into every machine-readable result file."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "kernel": get_kernel().name,
+        "profile": BenchProfile.from_env().name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+def save_bench_json(name: str, payload: dict[str, object]) -> Path:
+    """Write ``BENCH_<name>.json`` under benchmarks/results/ and return it.
+
+    The fixed ``BENCH_`` prefix plus ``environment`` block is the contract
+    future PRs rely on to track the perf trajectory across commits.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    document = {"environment": bench_environment(), **payload}
+    path.write_text(json.dumps(document, indent=2, default=str) + "\n", encoding="utf-8")
+    return path
 
 
 @pytest.fixture(scope="session")
@@ -32,12 +62,13 @@ def bench_profile() -> BenchProfile:
 
 @pytest.fixture(scope="session")
 def save_table():
-    """Persist an experiment table under benchmarks/results/ and echo it."""
+    """Persist an experiment table (text + JSON) under benchmarks/results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _save(table: ExperimentTable) -> ExperimentTable:
         path = RESULTS_DIR / f"{table.experiment_id}.txt"
         path.write_text(table.to_text() + "\n", encoding="utf-8")
+        save_bench_json(table.experiment_id, {"table": table.to_json_dict()})
         print("\n" + table.to_text())
         return table
 

@@ -29,7 +29,9 @@ from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
 from repro.data.workloads import WorkloadSpec, paper_defaults
 from repro.dynamic.dtss import DTSSIndex, dtss_skyline
 from repro.dynamic.sdc_dynamic import sdc_plus_dynamic_skyline
+from repro.engine.batch import BatchQuery, BatchQueryEngine
 from repro.exceptions import ReproError
+from repro.kernels import available_kernels, get_kernel, set_default_kernel
 from repro.order.dag import PartialOrderDAG
 from repro.order.encoding import DomainEncoding, encode_domain
 from repro.skyline.base import SkylineResult, SkylineStats
@@ -59,4 +61,9 @@ __all__ = [
     "DTSSIndex",
     "dtss_skyline",
     "sdc_plus_dynamic_skyline",
+    "BatchQuery",
+    "BatchQueryEngine",
+    "available_kernels",
+    "get_kernel",
+    "set_default_kernel",
 ]

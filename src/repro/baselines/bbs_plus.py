@@ -17,6 +17,7 @@ from repro.baselines.transform import BaselineMapping, BaselinePoint
 from repro.data.dataset import Dataset
 from repro.index.pager import DiskSimulator
 from repro.index.rtree import RTree
+from repro.kernels import RecordTables, resolve_kernel
 from repro.order.encoding import DomainEncoding
 from repro.skyline.base import RunClock, SkylineResult, SkylineStats
 from repro.skyline.bbs import run_bbs
@@ -30,6 +31,7 @@ def bbs_plus_skyline(
     tree: RTree | None = None,
     max_entries: int = 32,
     disk: DiskSimulator | None = None,
+    kernel=None,
 ) -> SkylineResult:
     """Compute the skyline with BBS+ (m-dominance BBS + final cross-examination)."""
     if mapping is None:
@@ -39,26 +41,24 @@ def bbs_plus_skyline(
 
     stats = SkylineStats()
     clock = RunClock(stats, disk)
+    kernel = resolve_kernel(kernel)
 
+    # m-dominance is plain vector dominance in the transformed space, so the
+    # candidate list is mirrored into a kernel vector store.
     candidates: list[BaselinePoint] = []
+    candidate_store = kernel.vector_store(mapping.dimensions)
 
     def dominated_point(point, payload) -> bool:
         candidate = mapping.point(int(payload))
-        for resident in candidates:
-            stats.dominance_checks += 1
-            if mapping.m_dominates(resident, candidate):
-                return True
-        return False
+        return candidate_store.any_dominates(candidate.coords, counter=stats)
 
     def dominated_rect(low, high) -> bool:
-        for resident in candidates:
-            stats.dominance_checks += 1
-            if mapping.weakly_m_dominates_corner(resident, low):
-                return True
-        return False
+        return candidate_store.any_weakly_dominates(low, counter=stats)
 
     def on_result(point, payload) -> None:
-        candidates.append(mapping.point(int(payload)))
+        candidate = mapping.point(int(payload))
+        candidates.append(candidate)
+        candidate_store.append(candidate.coords)
 
     run_bbs(
         tree,
@@ -71,17 +71,18 @@ def bbs_plus_skyline(
 
     # Cross-examination: eliminate candidates actually dominated by another
     # candidate.  Any true dominator of a false hit is itself represented in
-    # the candidate list (transitively), so this filter is complete.
+    # the candidate list (transitively), so this filter is complete.  Distinct
+    # value combinations make strict dominance immune to self-comparison, so
+    # the whole list can be cross-examined in one batched kernel call.
+    tables = RecordTables.from_encodings(mapping.num_total_order, mapping.encodings)
+    encoded = [
+        (p.to_values, tables.encode_po(p.po_values)) for p in candidates
+    ]
+    dominated_mask = kernel.record_block_dominated_mask(
+        tables, encoded, encoded, counter=stats
+    )
     skyline_points: list[BaselinePoint] = []
-    for candidate in candidates:
-        dominated = False
-        for other in candidates:
-            if other is candidate:
-                continue
-            stats.dominance_checks += 1
-            if mapping.actually_dominates(other, candidate):
-                dominated = True
-                break
+    for candidate, dominated in zip(candidates, dominated_mask):
         if dominated:
             stats.false_hits_removed += 1
         else:

@@ -22,6 +22,7 @@ from repro.baselines.transform import BaselineMapping, BaselinePoint
 from repro.data.dataset import Dataset
 from repro.index.pager import DiskSimulator
 from repro.index.rtree import RTree
+from repro.kernels import RecordTables, resolve_kernel
 from repro.order.encoding import DomainEncoding
 from repro.skyline.base import RunClock, SkylineResult, SkylineStats
 from repro.skyline.bbs import run_bbs
@@ -35,6 +36,7 @@ def sdc_skyline(
     tree: RTree | None = None,
     max_entries: int = 32,
     disk: DiskSimulator | None = None,
+    kernel=None,
 ) -> SkylineResult:
     """Compute the skyline with SDC (two strata: completely / partially covered)."""
     if mapping is None:
@@ -44,29 +46,24 @@ def sdc_skyline(
 
     stats = SkylineStats()
     clock = RunClock(stats, disk)
+    kernel = resolve_kernel(kernel)
 
     candidates: list[BaselinePoint] = []
+    candidate_store = kernel.vector_store(mapping.dimensions)
     confirmed: list[BaselinePoint] = []  # completely covered, reported early
     unresolved: list[BaselinePoint] = []  # partially covered, resolved at the end
 
     def dominated_point(point, payload) -> bool:
         candidate = mapping.point(int(payload))
-        for resident in candidates:
-            stats.dominance_checks += 1
-            if mapping.m_dominates(resident, candidate):
-                return True
-        return False
+        return candidate_store.any_dominates(candidate.coords, counter=stats)
 
     def dominated_rect(low, high) -> bool:
-        for resident in candidates:
-            stats.dominance_checks += 1
-            if mapping.weakly_m_dominates_corner(resident, low):
-                return True
-        return False
+        return candidate_store.any_weakly_dominates(low, counter=stats)
 
     def on_result(point, payload) -> None:
         candidate = mapping.point(int(payload))
         candidates.append(candidate)
+        candidate_store.append(candidate.coords)
         if candidate.completely_covered:
             confirmed.append(candidate)
             clock.record_result()
@@ -82,17 +79,17 @@ def sdc_skyline(
         clock=None,
     )
 
-    # Resolve the partially covered stratum with actual dominance checks.
+    # Resolve the partially covered stratum with actual dominance checks, in
+    # one batched kernel call (strictness makes self-comparison harmless for
+    # distinct value combinations).
+    tables = RecordTables.from_encodings(mapping.num_total_order, mapping.encodings)
+    dominators = [(p.to_values, tables.encode_po(p.po_values)) for p in candidates]
+    targets = [(p.to_values, tables.encode_po(p.po_values)) for p in unresolved]
+    dominated_mask = kernel.record_block_dominated_mask(
+        tables, dominators, targets, counter=stats
+    )
     survivors: list[BaselinePoint] = []
-    for candidate in unresolved:
-        dominated = False
-        for other in candidates:
-            if other is candidate:
-                continue
-            stats.dominance_checks += 1
-            if mapping.actually_dominates(other, candidate):
-                dominated = True
-                break
+    for candidate, dominated in zip(unresolved, dominated_mask):
         if dominated:
             stats.false_hits_removed += 1
         else:

@@ -27,6 +27,7 @@ from repro.baselines.transform import BaselineMapping, BaselinePoint
 from repro.data.dataset import Dataset
 from repro.index.pager import DiskSimulator
 from repro.index.rtree import RTree
+from repro.kernels import RecordTables, resolve_kernel
 from repro.order.encoding import DomainEncoding
 from repro.skyline.base import RunClock, SkylineResult, SkylineStats
 from repro.skyline.bbs import run_bbs
@@ -40,6 +41,7 @@ def sdc_plus_skyline(
     stratum_trees: dict[int, RTree] | None = None,
     max_entries: int = 32,
     disk: DiskSimulator | None = None,
+    kernel=None,
 ) -> SkylineResult:
     """Compute the skyline with SDC+ (strata by uncovered level).
 
@@ -60,50 +62,68 @@ def sdc_plus_skyline(
 
     stats = SkylineStats()
     clock = RunClock(stats, disk)
+    kernel = resolve_kernel(kernel)
+    tables = RecordTables.from_encodings(mapping.num_total_order, mapping.encodings)
 
-    global_list: list[BaselinePoint] = []
+    def encode(point: BaselinePoint) -> tuple[tuple[float, ...], tuple[int, ...]]:
+        return point.to_values, tables.encode_po(point.po_values)
+
+    # Actual dominance runs through kernel record stores; m-dominance MBB
+    # pruning through kernel vector stores over the transformed coordinates.
+    global_record_store = kernel.record_store(tables)
+    global_vector_store = kernel.vector_store(mapping.dimensions)
     ordered_results: list[BaselinePoint] = []
 
     for level in sorted(strata):
         tree = stratum_trees[level]
         local_list: list[BaselinePoint] = []
+        local_record_store = kernel.record_store(tables)
+        local_vector_store = kernel.vector_store(mapping.dimensions)
 
-        def dominated_point(point, payload, local_list=local_list) -> bool:
+        def dominated_point(
+            point,
+            payload,
+            local_list=local_list,
+            local_record_store=local_record_store,
+            local_vector_store=local_vector_store,
+        ) -> bool:
             candidate = mapping.point(int(payload))
-            # Actual dominance against the local list (same stratum).
-            for resident in local_list:
-                stats.dominance_checks += 1
-                if mapping.actually_dominates(resident, candidate):
-                    return True
-            # Cross-examination: the candidate survived, so evict local
-            # residents it actually dominates (they were false hits).
-            evicted = 0
-            for resident in list(local_list):
-                stats.dominance_checks += 1
-                if mapping.actually_dominates(candidate, resident):
-                    local_list.remove(resident)
-                    evicted += 1
-            stats.false_hits_removed += evicted
+            encoded = encode(candidate)
+            # Actual dominance against the local list (same stratum), fused
+            # with the reverse direction: evict local residents the surviving
+            # candidate actually dominates (they were false hits).
+            dominated, evicted = local_record_store.dominance_masks(
+                *encoded, counter=stats
+            )
+            if dominated:
+                return True
+            if any(evicted):
+                keep = [not flag for flag in evicted]
+                local_record_store.compress(keep)
+                local_vector_store.compress(keep)
+                local_list[:] = [p for p, k in zip(local_list, keep) if k]
+                stats.false_hits_removed += len(keep) - sum(keep)
             # Actual dominance against the global list (previous strata).
-            for resident in global_list:
-                stats.dominance_checks += 1
-                if mapping.actually_dominates(resident, candidate):
-                    return True
-            return False
+            return global_record_store.any_dominates(*encoded, counter=stats)
 
-        def dominated_rect(low, high, local_list=local_list) -> bool:
-            for resident in global_list:
-                stats.dominance_checks += 1
-                if mapping.weakly_m_dominates_corner(resident, low):
-                    return True
-            for resident in local_list:
-                stats.dominance_checks += 1
-                if mapping.weakly_m_dominates_corner(resident, low):
-                    return True
-            return False
+        def dominated_rect(
+            low, high, local_vector_store=local_vector_store
+        ) -> bool:
+            if global_vector_store.any_weakly_dominates(low, counter=stats):
+                return True
+            return local_vector_store.any_weakly_dominates(low, counter=stats)
 
-        def on_result(point, payload, local_list=local_list) -> None:
-            local_list.append(mapping.point(int(payload)))
+        def on_result(
+            point,
+            payload,
+            local_list=local_list,
+            local_record_store=local_record_store,
+            local_vector_store=local_vector_store,
+        ) -> None:
+            candidate = mapping.point(int(payload))
+            local_list.append(candidate)
+            local_record_store.append(*encode(candidate))
+            local_vector_store.append(candidate.coords)
 
         run_bbs(
             tree,
@@ -119,7 +139,8 @@ def sdc_plus_skyline(
         for resident in local_list:
             ordered_results.append(resident)
             clock.record_result()
-        global_list.extend(local_list)
+            global_record_store.append(*encode(resident))
+            global_vector_store.append(resident.coords)
 
     clock.finish()
     skyline_ids = mapping.record_ids_for([p.index for p in ordered_results])

@@ -19,10 +19,10 @@ from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 from functools import cached_property
 
+from repro.core.mapping import group_distinct_rows
 from repro.data.dataset import Dataset
 from repro.data.schema import Schema
 from repro.exceptions import SchemaError
-from repro.core.mapping import group_distinct_rows
 from repro.index.pager import DiskSimulator
 from repro.index.rtree import RTree
 from repro.order.encoding import DomainEncoding, encode_domain

@@ -382,4 +382,12 @@ def run_experiment(experiment_id: str, profile: BenchProfile | None = None) -> E
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from exc
-    return implementation(profile)
+    table = implementation(profile)
+    # Label every table with the dominance kernel that produced it: the
+    # batched backends charge whole blocks per check while the pure-Python
+    # reference early-exits, so counter-based columns are only comparable
+    # across runs that used the same backend.
+    from repro.kernels import get_kernel
+
+    table.parameters.setdefault("kernel", get_kernel().name)
+    return table

@@ -34,6 +34,18 @@ class ExperimentTable:
     def column_values(self, column: str) -> list[object]:
         return [row.get(column) for row in self.rows]
 
+    def to_json_dict(self) -> dict[str, object]:
+        """Machine-readable form (written next to the text tables by the
+        benchmark harness so later PRs can track the perf trajectory)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "parameters": dict(self.parameters),
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "expected_shape": self.expected_shape,
+        }
+
     # ------------------------------------------------------------------ #
     # Rendering
     # ------------------------------------------------------------------ #

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import os
 import random
-from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
 
 from repro.baselines.bbs_plus import bbs_plus_skyline
 from repro.baselines.sdc import sdc_skyline

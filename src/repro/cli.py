@@ -1,4 +1,15 @@
-"""Command-line interface: run the paper's experiments and print their tables.
+"""Command-line interface: experiments, batch queries and kernel inspection.
+
+Subcommands
+-----------
+``run`` (default)
+    Reproduce the paper's tables and figures.  For backward compatibility the
+    subcommand name may be omitted: ``python -m repro fig7`` works.
+``batch-query``
+    Evaluate a batch of dynamic-preference skyline queries over one synthetic
+    workload through :class:`~repro.engine.batch.BatchQueryEngine`.
+``kernels``
+    List the available dominance kernel backends.
 
 Examples
 --------
@@ -9,17 +20,47 @@ Run one figure with the quick profile::
 Run everything with the larger profile and write a combined report::
 
     python -m repro all --profile full --output results.txt
+
+Answer 20 random preference queries over a 5k-tuple workload, forcing the
+pure-Python kernel::
+
+    python -m repro batch-query --cardinality 5000 --queries 20 --kernel purepython
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import render_tables
 from repro.bench.runner import BenchProfile
+from repro.exceptions import ExperimentError
+from repro.kernels import available_kernels, get_kernel, set_default_kernel
+
+
+def _select_kernel(name: str | None) -> int:
+    """Install the CLI kernel override; returns an exit code (0 = ok)."""
+    if not name:
+        return 0
+    try:
+        set_default_kernel(name)
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(f"available kernels: {', '.join(available_kernels())}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        help="dominance kernel backend (purepython/numpy; default: REPRO_KERNEL "
+        "env var, else numpy when available)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,11 +95,121 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="additionally render each experiment as a text bar chart",
     )
+    _add_kernel_option(parser)
     return parser
 
 
+def build_batch_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tss-bench batch-query",
+        description="Evaluate a batch of dynamic-preference skyline queries over one "
+        "synthetic workload with shared dominance work and per-topology caching.",
+    )
+    parser.add_argument("--cardinality", type=int, default=2000, help="dataset size N")
+    parser.add_argument("--to", type=int, default=2, dest="num_total_order", help="|TO| attributes")
+    parser.add_argument("--po", type=int, default=1, dest="num_partial_order", help="|PO| attributes")
+    parser.add_argument("--height", type=int, default=6, help="PO lattice height h")
+    parser.add_argument("--density", type=float, default=0.8, help="PO lattice density d")
+    parser.add_argument(
+        "--distribution",
+        choices=("independent", "anticorrelated", "correlated"),
+        default="independent",
+    )
+    parser.add_argument("--queries", type=int, default=10, help="number of random queries")
+    parser.add_argument("--repeat", type=int, default=1, help="repeat the query list this many times (exercises the cache)")
+    parser.add_argument("--seed", type=int, default=7, help="workload / query seed")
+    parser.add_argument(
+        "--no-prefilter",
+        action="store_true",
+        help="disable the shared per-PO-group TO-Pareto prefilter",
+    )
+    parser.add_argument("--json", default=None, help="write results as JSON to this file")
+    _add_kernel_option(parser)
+    return parser
+
+
+def batch_query_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``batch-query`` subcommand."""
+    from repro.data.workloads import WorkloadSpec
+    from repro.engine.batch import BatchQuery, BatchQueryEngine, queries_from_seeds
+
+    args = build_batch_query_parser().parse_args(argv)
+    if (code := _select_kernel(args.kernel)) != 0:
+        return code
+
+    spec = WorkloadSpec(
+        name="batch-query",
+        distribution=args.distribution,
+        cardinality=args.cardinality,
+        num_total_order=args.num_total_order,
+        num_partial_order=args.num_partial_order,
+        dag_height=args.height,
+        dag_density=args.density,
+        seed=args.seed,
+    )
+    schema, dataset = spec.build()
+    engine = BatchQueryEngine(dataset, prefilter=not args.no_prefilter)
+
+    queries = [BatchQuery("base")]
+    queries += queries_from_seeds(schema, range(args.seed, args.seed + args.queries))
+    queries = queries * max(1, args.repeat)
+
+    rows = []
+    for result in engine.run(queries):
+        rows.append(
+            {
+                "query": result.name,
+                "skyline_size": len(result.skyline_ids),
+                "from_cache": result.from_cache,
+                "seconds": result.seconds,
+            }
+        )
+        source = "cache" if result.from_cache else f"{result.seconds * 1000:8.1f} ms"
+        print(f"{result.name:>8}  |skyline|={len(result.skyline_ids):<5d}  {source}")
+
+    summary = engine.summary()
+    print(
+        f"\n{summary['dataset_size']} tuples, {summary['candidates_after_prefilter']} "
+        f"after prefilter; {summary['queries_evaluated']} evaluated, "
+        f"{summary['cache_hits']} served from cache "
+        f"({summary['unique_topologies']} unique topologies, kernel={summary['kernel']})"
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump({"summary": summary, "results": rows}, handle, indent=2)
+            handle.write("\n")
+    return 0
+
+
+def kernels_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``kernels`` subcommand."""
+    argparse.ArgumentParser(
+        prog="tss-bench kernels",
+        description="List the available dominance kernel backends.",
+    ).parse_args(argv)
+    try:
+        default = get_kernel().name
+    except ExperimentError as error:  # e.g. a bogus REPRO_KERNEL env var
+        print(f"error: {error}", file=sys.stderr)
+        default = None
+    for name in available_kernels():
+        marker = " (default)" if name == default else ""
+        print(f"{name}{marker}")
+    return 0 if default is not None else 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "batch-query":
+        return batch_query_main(arguments[1:])
+    if arguments and arguments[0] == "kernels":
+        return kernels_main(arguments[1:])
+    if arguments and arguments[0] == "run":
+        arguments = arguments[1:]
+
+    args = build_parser().parse_args(arguments)
+    if (code := _select_kernel(args.kernel)) != 0:
+        return code
     if args.profile is None:
         profile = BenchProfile.from_env()
     else:

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.core.mapping import MappedPoint, TSSMapping
+from repro.core.mapping import TSSMapping
 from repro.core.tdominance import TDominanceChecker
 from repro.core.virtual_rtree import VirtualPointIndex
 from repro.data.dataset import Dataset
@@ -43,6 +43,7 @@ def stss_skyline(
     use_dyadic_cache: bool = True,
     max_entries: int = 32,
     disk: DiskSimulator | None = None,
+    kernel=None,
 ) -> SkylineResult:
     """Compute the static skyline of a mixed TO/PO dataset with sTSS.
 
@@ -70,6 +71,10 @@ def stss_skyline(
     disk:
         Optional simulated disk for IO accounting (the paper charges 5 ms per
         node access).
+    kernel:
+        Dominance kernel backend for the skyline-list t-dominance checks
+        (instance, name or ``None`` for the process default); see
+        :mod:`repro.kernels`.
 
     Returns
     -------
@@ -84,9 +89,9 @@ def stss_skyline(
 
     stats = SkylineStats()
     clock = RunClock(stats, disk)
-    checker = TDominanceChecker(mapping, use_dyadic_cache=use_dyadic_cache)
+    checker = TDominanceChecker(mapping, use_dyadic_cache=use_dyadic_cache, kernel=kernel)
+    skyline_store = checker.make_skyline_store()
 
-    skyline_points: list[MappedPoint] = []
     virtual_index: VirtualPointIndex | None = None
     if use_virtual_rtree:
         virtual_index = VirtualPointIndex(mapping.num_total_order, mapping.encodings)
@@ -100,7 +105,7 @@ def stss_skyline(
             return virtual_index.dominates_candidate_point(
                 candidate.to_values, candidate.po_values
             )
-        return checker.point_dominated_by_any(skyline_points, candidate, counter=stats)
+        return checker.store_dominates_point(skyline_store, candidate, counter=stats)
 
     def dominated_rect(low, high) -> bool:
         if virtual_index is not None:
@@ -112,11 +117,11 @@ def stss_skyline(
             ]
             stats.dominance_checks += 1
             return virtual_index.dominates_candidate_mbb(low, high, range_sets)
-        return checker.mbb_dominated_by_any(skyline_points, low, high, counter=stats)
+        return checker.store_dominates_mbb(skyline_store, low, high, counter=stats)
 
     def on_result(point, payload) -> None:
         mapped = mapping.point(int(payload))
-        skyline_points.append(mapped)
+        skyline_store.append(mapped)
         if virtual_index is not None:
             virtual_index.insert_mapped_point(mapped)
 

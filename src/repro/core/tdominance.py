@@ -22,22 +22,44 @@ merged interval set of the MBB's ``A_TO`` range per PO attribute.
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Hashable, Sequence
 
 from repro.core.dyadic import DyadicIntervalCache
 from repro.core.mapping import MappedPoint, TSSMapping
+from repro.kernels import TDominanceTables, resolve_kernel
 from repro.order.encoding import DomainEncoding
-from repro.order.intervals import IntervalSet
+from repro.order.intervals import IntervalSet, covers_many
 
 Value = Hashable
+
+#: One :class:`TDominanceTables` per mapping, shared by every checker built
+#: over it (the preference matrices are O(domain²) to build).
+_TABLES_CACHE: "weakref.WeakKeyDictionary[TSSMapping, TDominanceTables]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def tdominance_tables(mapping: TSSMapping) -> TDominanceTables:
+    """The (cached) kernel lookup tables of one mapping."""
+    tables = _TABLES_CACHE.get(mapping)
+    if tables is None:
+        tables = TDominanceTables.from_encodings(
+            mapping.num_total_order, mapping.encodings
+        )
+        _TABLES_CACHE[mapping] = tables
+    return tables
 
 
 class TDominanceChecker:
     """t-dominance between mapped points / MBBs for one :class:`TSSMapping`."""
 
-    def __init__(self, mapping: TSSMapping, *, use_dyadic_cache: bool = True) -> None:
+    def __init__(
+        self, mapping: TSSMapping, *, use_dyadic_cache: bool = True, kernel=None
+    ) -> None:
         self.mapping = mapping
         self.encodings: tuple[DomainEncoding, ...] = mapping.encodings
+        self.kernel = resolve_kernel(kernel)
         self._dyadic: list[DyadicIntervalCache] | None = None
         if use_dyadic_cache:
             self._dyadic = [DyadicIntervalCache(encoding) for encoding in self.encodings]
@@ -160,3 +182,96 @@ class TDominanceChecker:
             if self.dominates_mbb(p, low, high):
                 return True
         return False
+
+    # ------------------------------------------------------------------ #
+    # Kernel-backed skyline store (batched sTSS path)
+    # ------------------------------------------------------------------ #
+    def make_skyline_store(self) -> "TDominanceSkylineStore":
+        """An empty kernel-backed store for the skyline found so far."""
+        return TDominanceSkylineStore(self)
+
+    def store_dominates_point(
+        self, store: "TDominanceSkylineStore", q: MappedPoint, *, counter=None
+    ) -> bool:
+        """Batched form of :meth:`point_dominated_by_any` over a store."""
+        return store.kernel_store.any_weakly_dominates(
+            q.to_values, store.codes_of(q), counter
+        )
+
+    def store_dominates_mbb(
+        self,
+        store: "TDominanceSkylineStore",
+        low: Sequence[float],
+        high: Sequence[float],
+        *,
+        counter=None,
+    ) -> bool:
+        """Batched form of :meth:`mbb_dominated_by_any` over a store.
+
+        Necessary conditions (TO corner, ordinal bound, minimum-bounding-
+        interval containment) are evaluated vectorized over the whole store;
+        only the survivors go through the exact interval-containment matrix
+        of :meth:`DominanceKernel.covers_many
+        <repro.kernels.base.DominanceKernel.covers_many>`.
+        """
+        offset = self.mapping.to_offset
+        num_po = self.mapping.num_partial_order
+        range_sets = [
+            self.range_interval_set(
+                po_index, int(low[offset + po_index]), int(high[offset + po_index])
+            )
+            for po_index in range(num_po)
+        ]
+        range_mbis = [
+            (rs.intervals[0].low, rs.intervals[-1].high)
+            if rs
+            else (float("inf"), float("-inf"))
+            for rs in range_sets
+        ]
+        alive = store.kernel_store.mbb_candidates(
+            low[:offset], low[offset:], range_mbis, counter
+        )
+        if not alive:
+            return False
+        tables = store.tables
+        for po_index, range_set in enumerate(range_sets):
+            if not len(range_set):
+                continue  # an empty range set is covered trivially
+            cover_sets = [
+                tables.interval_sets[po_index][store.codes[i][po_index]] for i in alive
+            ]
+            covered = covers_many(cover_sets, range_set, self.kernel)
+            alive = [i for i, flag in zip(alive, covered) if flag]
+            if not alive:
+                return False
+        return True
+
+
+class TDominanceSkylineStore:
+    """The skyline found so far, mirrored into a kernel store.
+
+    Keeps the members' PO codes on the Python side as well, because the exact
+    MBB phase needs each survivor's interval set.
+    """
+
+    __slots__ = ("checker", "tables", "kernel_store", "codes", "_offset")
+
+    def __init__(self, checker: TDominanceChecker) -> None:
+        self.checker = checker
+        self.tables = tdominance_tables(checker.mapping)
+        self.kernel_store = checker.kernel.tdominance_store(self.tables)
+        self.codes: list[tuple[int, ...]] = []
+        self._offset = checker.mapping.to_offset
+
+    def codes_of(self, point: MappedPoint) -> tuple[int, ...]:
+        """PO codes (topological position, 0-based) from the mapped ordinals."""
+        offset = self._offset
+        return tuple(int(c) - 1 for c in point.coords[offset:])
+
+    def append(self, point: MappedPoint) -> None:
+        codes = self.codes_of(point)
+        self.kernel_store.append(point.to_values, codes)
+        self.codes.append(codes)
+
+    def __len__(self) -> int:
+        return len(self.codes)

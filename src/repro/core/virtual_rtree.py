@@ -134,6 +134,20 @@ class VirtualPointIndex:
             combination_count *= len(range_set)
             if combination_count > self.max_combinations:
                 return False
+        # Fast path: one query with each range set's minimum bounding
+        # interval.  A virtual point covering the MBI combination covers every
+        # interval combination at once, so a hit proves dominance without
+        # enumerating the product.
+        if combination_count > 1:
+            mbi_rect = self._query_rect(
+                low[: self.num_total_order],
+                [
+                    (mbi.low, mbi.high)
+                    for mbi in (s.bounding_interval() for s in range_sets)
+                ],
+            )
+            if self._tree.boolean_range_query(mbi_rect):
+                return True
         for combination in itertools.product(*(s.intervals for s in range_sets)):
             rect = self._query_rect(
                 low[: self.num_total_order],

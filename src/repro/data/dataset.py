@@ -10,11 +10,13 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-import numpy as np
-
-from repro.exceptions import DatasetError
 from repro.data.schema import Schema
+from repro.exceptions import DatasetError
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    import numpy as np
 
 Value = Hashable
 
@@ -84,8 +86,17 @@ class Dataset:
         position = self._schema.position(name)
         return [record.values[position] for record in self._records]
 
-    def to_numeric_matrix(self) -> np.ndarray:
-        """The totally ordered attributes as a float matrix (canonical, min-is-best)."""
+    def to_numeric_matrix(self) -> "np.ndarray":
+        """The totally ordered attributes as a float matrix (canonical, min-is-best).
+
+        Requires the optional NumPy dependency (``pip install repro[numpy]``).
+        """
+        try:
+            import numpy as np
+        except ImportError as exc:  # pragma: no cover - exercised in the no-numpy CI job
+            raise DatasetError(
+                "Dataset.to_numeric_matrix requires NumPy; install the [numpy] extra"
+            ) from exc
         return np.array(
             [self._schema.canonical_to_values(record.values) for record in self._records],
             dtype=float,

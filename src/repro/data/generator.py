@@ -21,9 +21,9 @@ from __future__ import annotations
 import random
 from collections.abc import Sequence
 
-from repro.exceptions import DatasetError
 from repro.data.dataset import Dataset
 from repro.data.schema import Schema
+from repro.exceptions import DatasetError
 
 DISTRIBUTIONS = ("independent", "correlated", "anticorrelated")
 

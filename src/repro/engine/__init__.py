@@ -1,0 +1,5 @@
+"""Query engines layered on top of the skyline algorithms."""
+
+from repro.engine.batch import BatchQuery, BatchQueryEngine, BatchQueryResult
+
+__all__ = ["BatchQuery", "BatchQueryEngine", "BatchQueryResult"]

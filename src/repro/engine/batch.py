@@ -1,0 +1,269 @@
+"""Batch evaluation of many skyline queries over one dataset.
+
+A *batch query* re-specifies the preference DAG of some (or all) PO
+attributes while the data stays fixed — the dynamic-preference scenario of
+Section V of the paper, but answered for a whole set of queries at once.
+:class:`BatchQueryEngine` amortizes two kinds of work across the batch:
+
+* **Shared dominance work.**  Records with identical PO value combinations
+  tie on every PO attribute under *every* possible preference DAG, so
+  dominance between them is decided by the TO attributes alone.  The engine
+  therefore partitions the data by PO combination once and keeps only each
+  group's TO-Pareto front (one vectorized :meth:`pareto_mask
+  <repro.kernels.base.DominanceKernel.pareto_mask>` call per group).  The
+  dropped records are dominated under every query and can never appear in
+  any skyline; every query then runs against the reduced dataset.
+* **Per-topology result caching.**  Queries are keyed by the *semantic*
+  topology of their preference DAGs (values plus transitive-closure edges,
+  per PO attribute).  Two queries that induce the same preference relation —
+  even through differently drawn Hasse diagrams — share one skyline
+  computation, and the per-DAG interval encodings are cached the same way.
+
+Per query, the engine runs sTSS (or SFS for TO-only schemas) on the reduced
+dataset through the configured dominance kernel and maps the resulting ids
+back to the original dataset.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.stss import stss_skyline
+from repro.data.dataset import Dataset
+from repro.exceptions import QueryError
+from repro.kernels import resolve_kernel
+from repro.order.dag import PartialOrderDAG
+from repro.order.encoding import DomainEncoding, encode_domain
+from repro.skyline.base import SkylineStats
+from repro.skyline.sfs import sfs_skyline
+
+Value = Hashable
+
+#: Semantic signature of one preference DAG (values + closure edges).
+DagKey = tuple[tuple[Value, ...], tuple[tuple[Value, Value], ...]]
+#: Signature of a whole query: one DagKey per PO attribute, in schema order.
+TopologyKey = tuple[DagKey, ...]
+
+
+@dataclass(frozen=True)
+class BatchQuery:
+    """One skyline query of a batch: a name plus per-attribute DAG overrides.
+
+    An empty ``dag_overrides`` mapping asks for the skyline under the
+    dataset's own (base) preferences.
+    """
+
+    name: str
+    dag_overrides: Mapping[str, PartialOrderDAG] = field(default_factory=dict)
+
+
+@dataclass
+class BatchQueryResult:
+    """Outcome of one query of a batch."""
+
+    name: str
+    skyline_ids: list[int]
+    topology_key: TopologyKey
+    from_cache: bool
+    seconds: float
+    stats: SkylineStats | None = None
+
+    @property
+    def skyline_set(self) -> frozenset[int]:
+        return frozenset(self.skyline_ids)
+
+
+def dag_signature(dag: PartialOrderDAG) -> DagKey:
+    """Semantic identity of a preference DAG: values + transitive closure."""
+    return (
+        dag.values,
+        tuple(sorted(dag.transitive_closure_edges(), key=repr)),
+    )
+
+
+class BatchQueryEngine:
+    """Evaluate many skyline queries over one dataset with shared work."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        kernel=None,
+        max_entries: int = 32,
+        prefilter: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.schema = dataset.schema
+        self.kernel = resolve_kernel(kernel)
+        self.max_entries = max_entries
+        self._result_cache: dict[TopologyKey, list[int]] = {}
+        self._encoding_cache: dict[DagKey, DomainEncoding] = {}
+        self.queries_evaluated = 0
+        self.cache_hits = 0
+        self._candidate_ids, self._reduced = self._prefilter() if prefilter else (
+            [record.id for record in dataset.records],
+            dataset,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared dominance work
+    # ------------------------------------------------------------------ #
+    def _prefilter(self) -> tuple[list[int], Dataset]:
+        """Keep only each PO-combination group's TO-Pareto front.
+
+        Query-independent: within a group the PO attributes tie under every
+        preference DAG, so a record strictly TO-dominated by a group sibling
+        is dominated under every query.
+        """
+        schema = self.schema
+        if not schema.num_total_order or not len(self.dataset):
+            ids = [record.id for record in self.dataset.records]
+            return ids, self.dataset
+        groups: dict[tuple[Value, ...], list[int]] = {}
+        for record in self.dataset.records:
+            groups.setdefault(schema.partial_values(record.values), []).append(record.id)
+        survivors: list[int] = []
+        for member_ids in groups.values():
+            if len(member_ids) == 1:
+                survivors.append(member_ids[0])
+                continue
+            rows = [
+                schema.canonical_to_values(self.dataset[record_id].values)
+                for record_id in member_ids
+            ]
+            mask = self.kernel.pareto_mask(rows)
+            survivors.extend(
+                record_id for record_id, keep in zip(member_ids, mask) if keep
+            )
+        survivors.sort()
+        return survivors, self.dataset.subset(survivors)
+
+    @property
+    def candidate_count(self) -> int:
+        """Records that can appear in some query's skyline (after prefilter)."""
+        return len(self._candidate_ids)
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+    def topology_key(self, query: BatchQuery) -> TopologyKey:
+        po_names = {a.name for a in self.schema.partial_order_attributes}
+        unknown = set(query.dag_overrides) - po_names
+        if unknown:
+            raise QueryError(
+                f"query {query.name!r} overrides non-PO attributes: {sorted(unknown)}"
+            )
+        keys: list[DagKey] = []
+        for attribute in self.schema.partial_order_attributes:
+            dag = query.dag_overrides.get(attribute.name, attribute.dag)
+            keys.append(dag_signature(dag))
+        return tuple(keys)
+
+    def _encodings_for(
+        self, query: BatchQuery, key: TopologyKey
+    ) -> list[DomainEncoding]:
+        encodings: list[DomainEncoding] = []
+        for attribute, dag_key in zip(self.schema.partial_order_attributes, key):
+            encoding = self._encoding_cache.get(dag_key)
+            if encoding is None:
+                dag = query.dag_overrides.get(attribute.name, attribute.dag)
+                encoding = encode_domain(dag)
+                self._encoding_cache[dag_key] = encoding
+            encodings.append(encoding)
+        return encodings
+
+    def run_query(self, query: BatchQuery) -> BatchQueryResult:
+        """Answer one query (possibly from the per-topology cache)."""
+        started = time.perf_counter()
+        key = self.topology_key(query)
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return BatchQueryResult(
+                name=query.name,
+                skyline_ids=list(cached),
+                topology_key=key,
+                from_cache=True,
+                seconds=time.perf_counter() - started,
+            )
+
+        self.queries_evaluated += 1
+        if query.dag_overrides:
+            schema = self.schema.replace_partial_order(dict(query.dag_overrides))
+            data = self._reduced.with_schema(schema)
+        else:
+            data = self._reduced
+        if self.schema.num_partial_order:
+            result = stss_skyline(
+                data,
+                encodings=self._encodings_for(query, key),
+                max_entries=self.max_entries,
+                kernel=self.kernel,
+            )
+        else:
+            result = sfs_skyline(data, kernel=self.kernel)
+        skyline_ids = sorted(
+            self._candidate_ids[reduced_id] for reduced_id in result.skyline_ids
+        )
+        self._result_cache[key] = skyline_ids
+        return BatchQueryResult(
+            name=query.name,
+            skyline_ids=list(skyline_ids),
+            topology_key=key,
+            from_cache=False,
+            seconds=time.perf_counter() - started,
+            stats=result.stats,
+        )
+
+    def run(self, queries: Iterable[BatchQuery]) -> list[BatchQueryResult]:
+        """Answer a whole batch in order."""
+        return [self.run_query(query) for query in queries]
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "dataset_size": len(self.dataset),
+            "candidates_after_prefilter": self.candidate_count,
+            "queries_evaluated": self.queries_evaluated,
+            "cache_hits": self.cache_hits,
+            "unique_topologies": len(self._result_cache),
+            "kernel": self.kernel.name,
+        }
+
+
+def random_query_preferences(
+    schema, query_seed: int, *, max_probability: float = 0.5
+) -> dict[str, PartialOrderDAG]:
+    """A random dynamic preference specification over the schema's PO domains.
+
+    Mirrors the benchmark harness's query generator: each PO attribute keeps
+    its value domain but re-draws preference edges over a random ranking,
+    with a probability calibrated to the base DAG's density.
+    """
+    import random
+
+    overrides: dict[str, PartialOrderDAG] = {}
+    for attr_index, attribute in enumerate(schema.partial_order_attributes):
+        dag = attribute.dag
+        rng = random.Random(query_seed * 1009 + attr_index)
+        values = list(dag.values)
+        rng.shuffle(values)
+        pairs = len(values) * (len(values) - 1) / 2 or 1.0
+        probability = min(max_probability, dag.num_edges / pairs * 2.0)
+        edges = [
+            (values[i], values[j])
+            for i in range(len(values))
+            for j in range(i + 1, len(values))
+            if rng.random() < probability
+        ]
+        overrides[attribute.name] = PartialOrderDAG(dag.values, edges)
+    return overrides
+
+
+def queries_from_seeds(schema, seeds: Sequence[int]) -> list[BatchQuery]:
+    """One random :class:`BatchQuery` per seed (named ``q<seed>``)."""
+    return [
+        BatchQuery(name=f"q{seed}", dag_overrides=random_query_preferences(schema, seed))
+        for seed in seeds
+    ]

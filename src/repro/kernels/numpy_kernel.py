@@ -1,0 +1,363 @@
+"""The vectorized dominance kernel: NumPy block tests.
+
+Stores keep their members in amortized-doubling arrays, so appends are O(1)
+and every query is a handful of vectorized comparisons over the whole block
+instead of a Python-level loop.  Preference / t-preference matrices are
+converted to boolean ``ndarray`` once per :class:`~repro.kernels.tables`
+object and cached in its ``scratch`` dict, so all stores sharing the tables
+share the arrays.
+
+This module imports :mod:`numpy` at import time; the registry in
+:mod:`repro.kernels` only loads it when NumPy is installed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.kernels.base import (
+    DominanceKernel,
+    RecordStore,
+    TDominanceStore,
+    VectorStore,
+    charge,
+)
+from repro.kernels.tables import RecordTables, TDominanceTables
+from repro.order.intervals import IntervalSet
+
+_INITIAL_CAPACITY = 16
+
+
+class _GrowableMatrix:
+    """A row-appendable 2-D array with amortized-doubling storage."""
+
+    __slots__ = ("_buffer", "_size")
+
+    def __init__(self, columns: int, dtype) -> None:
+        self._buffer = np.empty((_INITIAL_CAPACITY, columns), dtype=dtype)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def view(self) -> np.ndarray:
+        return self._buffer[: self._size]
+
+    def append(self, row: Sequence[float]) -> None:
+        if self._size == len(self._buffer):
+            grown = np.empty(
+                (2 * len(self._buffer), self._buffer.shape[1]), dtype=self._buffer.dtype
+            )
+            grown[: self._size] = self._buffer
+            self._buffer = grown
+        self._buffer[self._size] = row
+        self._size += 1
+
+    def compress(self, keep: np.ndarray) -> None:
+        kept = self.view[keep]
+        self._size = len(kept)
+        self._buffer[: self._size] = kept
+
+
+def _pref_matrices(tables: RecordTables | TDominanceTables) -> list[np.ndarray]:
+    """Boolean preferred-or-equal matrices, cached on the tables object."""
+    cached = tables.scratch.get("numpy_pref")
+    if cached is None:
+        cached = [
+            np.array(table.pref_or_equal, dtype=bool) for table in tables.attributes
+        ]
+        tables.scratch["numpy_pref"] = cached
+    return cached
+
+
+def _mbi_arrays(tables: TDominanceTables) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    cached = tables.scratch.get("numpy_mbi")
+    if cached is None:
+        cached = (
+            [np.array(low, dtype=np.int64) for low in tables.mbi_low],
+            [np.array(high, dtype=np.int64) for high in tables.mbi_high],
+        )
+        tables.scratch["numpy_mbi"] = cached
+    return cached
+
+
+class NumpyVectorStore(VectorStore):
+    def __init__(self, dimensions: int) -> None:
+        self.dimensions = dimensions
+        self._rows = _GrowableMatrix(dimensions, dtype=np.float64)
+
+    def append(self, vector: Sequence[float]) -> None:
+        self._rows.append(vector)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def compress(self, keep: Sequence[bool]) -> None:
+        self._rows.compress(np.asarray(keep, dtype=bool))
+
+    def any_dominates(self, candidate: Sequence[float], counter=None) -> bool:
+        block = self._rows.view
+        charge(counter, len(block))
+        if not len(block):
+            return False
+        q = np.asarray(candidate, dtype=np.float64)
+        le = block <= q
+        return bool(np.any(le.all(axis=1) & (block < q).any(axis=1)))
+
+    def any_weakly_dominates(
+        self, corner: Sequence[float], counter=None, *, exclude_equal: bool = False
+    ) -> bool:
+        block = self._rows.view
+        charge(counter, len(block))
+        if not len(block):
+            return False
+        q = np.asarray(corner, dtype=np.float64)
+        weak = (block <= q).all(axis=1)
+        if exclude_equal:
+            weak &= (block != q).any(axis=1)
+        return bool(weak.any())
+
+
+class NumpyRecordStore(RecordStore):
+    def __init__(self, tables: RecordTables) -> None:
+        self.tables = tables
+        self._pref = _pref_matrices(tables)
+        self._to = _GrowableMatrix(tables.num_total_order, dtype=np.float64)
+        self._codes = _GrowableMatrix(max(1, tables.num_partial_order), dtype=np.int64)
+        self._num_po = tables.num_partial_order
+
+    def append(self, to_values: Sequence[float], po_codes: Sequence[int]) -> None:
+        self._to.append(to_values)
+        self._codes.append(po_codes if self._num_po else (0,))
+
+    def __len__(self) -> int:
+        return len(self._to)
+
+    def compress(self, keep: Sequence[bool]) -> None:
+        mask = np.asarray(keep, dtype=bool)
+        self._to.compress(mask)
+        self._codes.compress(mask)
+
+    def _masks_against(self, to_values, po_codes) -> tuple[np.ndarray, np.ndarray]:
+        """(members dominate candidate, candidate dominates members)."""
+        block_to = self._to.view
+        block_codes = self._codes.view
+        q_to = np.asarray(to_values, dtype=np.float64)
+        to_weak_fwd = (block_to <= q_to).all(axis=1)
+        to_strict_fwd = (block_to < q_to).any(axis=1)
+        to_weak_bwd = (block_to >= q_to).all(axis=1)
+        to_strict_bwd = (block_to > q_to).any(axis=1)
+        po_ok_fwd = np.ones(len(block_to), dtype=bool)
+        po_strict_fwd = np.zeros(len(block_to), dtype=bool)
+        po_ok_bwd = np.ones(len(block_to), dtype=bool)
+        po_strict_bwd = np.zeros(len(block_to), dtype=bool)
+        for po_index in range(self._num_po):
+            matrix = self._pref[po_index]
+            codes = block_codes[:, po_index]
+            q_code = int(po_codes[po_index])
+            fwd = matrix[codes, q_code]
+            bwd = matrix[q_code, codes]
+            differs = codes != q_code
+            po_ok_fwd &= fwd
+            po_ok_bwd &= bwd
+            po_strict_fwd |= fwd & differs
+            po_strict_bwd |= bwd & differs
+        forward = to_weak_fwd & po_ok_fwd & (to_strict_fwd | po_strict_fwd)
+        backward = to_weak_bwd & po_ok_bwd & (to_strict_bwd | po_strict_bwd)
+        return forward, backward
+
+    def any_dominates(
+        self, to_values: Sequence[float], po_codes: Sequence[int], counter=None
+    ) -> bool:
+        charge(counter, len(self))
+        if not len(self):
+            return False
+        forward, _ = self._masks_against(to_values, po_codes)
+        return bool(forward.any())
+
+    def dominance_masks(
+        self, to_values: Sequence[float], po_codes: Sequence[int], counter=None
+    ) -> tuple[bool, list[bool]]:
+        charge(counter, 2 * len(self))
+        if not len(self):
+            return False, []
+        forward, backward = self._masks_against(to_values, po_codes)
+        return bool(forward.any()), backward.tolist()
+
+
+class NumpyTDominanceStore(TDominanceStore):
+    def __init__(self, tables: TDominanceTables) -> None:
+        self.tables = tables
+        self._pref = _pref_matrices(tables)
+        self._mbi_low, self._mbi_high = _mbi_arrays(tables)
+        self._to = _GrowableMatrix(tables.num_total_order, dtype=np.float64)
+        self._codes = _GrowableMatrix(max(1, tables.num_partial_order), dtype=np.int64)
+        self._num_po = tables.num_partial_order
+
+    def append(self, to_values: Sequence[float], po_codes: Sequence[int]) -> None:
+        self._to.append(to_values)
+        self._codes.append(po_codes if self._num_po else (0,))
+
+    def __len__(self) -> int:
+        return len(self._to)
+
+    def any_weakly_dominates(
+        self, to_values: Sequence[float], po_codes: Sequence[int], counter=None
+    ) -> bool:
+        charge(counter, len(self))
+        if not len(self):
+            return False
+        block_to = self._to.view
+        block_codes = self._codes.view
+        mask = (block_to <= np.asarray(to_values, dtype=np.float64)).all(axis=1)
+        for po_index in range(self._num_po):
+            if not mask.any():
+                return False
+            matrix = self._pref[po_index]
+            mask &= matrix[block_codes[:, po_index], int(po_codes[po_index])]
+        return bool(mask.any())
+
+    def mbb_candidates(
+        self,
+        to_low: Sequence[float],
+        ordinal_low: Sequence[float],
+        range_mbis: Sequence[tuple[float, float]],
+        counter=None,
+    ) -> list[int]:
+        charge(counter, len(self))
+        if not len(self):
+            return []
+        block_to = self._to.view
+        block_codes = self._codes.view
+        mask = (block_to <= np.asarray(to_low, dtype=np.float64)).all(axis=1)
+        for po_index in range(self._num_po):
+            codes = block_codes[:, po_index]
+            mbi_low, mbi_high = range_mbis[po_index]
+            mask &= codes + 1 <= ordinal_low[po_index]
+            mask &= self._mbi_low[po_index][codes] <= mbi_low
+            mask &= self._mbi_high[po_index][codes] >= mbi_high
+        return np.flatnonzero(mask).tolist()
+
+
+class NumpyKernel(DominanceKernel):
+    """Vectorized backend (requires NumPy)."""
+
+    name = "numpy"
+
+    def vector_store(self, dimensions: int) -> VectorStore:
+        return NumpyVectorStore(dimensions)
+
+    def record_store(self, tables: RecordTables) -> RecordStore:
+        return NumpyRecordStore(tables)
+
+    def tdominance_store(self, tables: TDominanceTables) -> TDominanceStore:
+        return NumpyTDominanceStore(tables)
+
+    #: Points processed per vectorized step of :meth:`pareto_mask`.
+    PARETO_CHUNK = 512
+    #: Kept-front rows compared per sub-step.  Small on purpose: the front is
+    #: kept in sum order, so most points are killed by its first rows and the
+    #: shrinking-active-set loop regains the early-exit a scalar scan enjoys.
+    PARETO_KEPT_CHUNK = 64
+
+    def pareto_mask(self, rows: Sequence[Sequence[float]]) -> list[bool]:
+        matrix = np.asarray(rows, dtype=np.float64)
+        if matrix.ndim != 2 or not len(matrix):
+            return [True] * len(matrix)
+        # Sweep in monotone (sum) order: strict dominance implies a strictly
+        # smaller coordinate sum, so a point can only be dominated by an
+        # earlier one.  Chunks are resolved with two broadcast tests — chunk
+        # vs the kept front, and chunk vs itself (upper triangle; transitivity
+        # makes testing against dominated chunk members harmless).
+        order = np.argsort(matrix.sum(axis=1), kind="stable")
+        ordered = matrix[order]
+        total = len(ordered)
+        kept_rows = np.empty_like(matrix)
+        num_kept = 0
+        mask = np.zeros(total, dtype=bool)
+        for start in range(0, total, self.PARETO_CHUNK):
+            chunk = ordered[start : start + self.PARETO_CHUNK]
+            size = len(chunk)
+            dominated = np.zeros(size, dtype=bool)
+            active = np.arange(size)
+            for kept_start in range(0, num_kept, self.PARETO_KEPT_CHUNK):
+                if not len(active):
+                    break
+                block = kept_rows[kept_start : min(kept_start + self.PARETO_KEPT_CHUNK, num_kept)]
+                sub = chunk[active]
+                le = block[:, None, :] <= sub[None, :, :]
+                lt = block[:, None, :] < sub[None, :, :]
+                newly = (le.all(axis=2) & lt.any(axis=2)).any(axis=0)
+                dominated[active[newly]] = True
+                active = active[~newly]
+            # Within-chunk pass over the points the front did not kill.  A
+            # chunk member dominated by the front cannot create new verdicts:
+            # anything it dominates is dominated by its dominator too.
+            undominated = np.flatnonzero(~dominated)
+            if len(undominated) > 1:
+                sub = chunk[undominated]
+                le = sub[:, None, :] <= sub[None, :, :]
+                lt = sub[:, None, :] < sub[None, :, :]
+                within = le.all(axis=2) & lt.any(axis=2)
+                # Only earlier members (strictly smaller sum) can be
+                # dominators; the triangle restriction also removes self-pairs.
+                within &= np.tri(len(sub), len(sub), -1, dtype=bool).T
+                dominated[undominated[within.any(axis=0)]] = True
+            survivors = chunk[~dominated]
+            kept_rows[num_kept : num_kept + len(survivors)] = survivors
+            num_kept += len(survivors)
+            mask[start : start + size] = ~dominated
+        result = np.zeros(total, dtype=bool)
+        result[order] = mask
+        return result.tolist()
+
+    def record_block_dominated_mask(
+        self,
+        tables: RecordTables,
+        dominators: Sequence[tuple[Sequence[float], Sequence[int]]],
+        targets: Sequence[tuple[Sequence[float], Sequence[int]]],
+        counter=None,
+    ) -> list[bool]:
+        charge(counter, len(dominators) * len(targets))
+        if not dominators or not targets:
+            return [False] * len(targets)
+        store = NumpyRecordStore(tables)
+        for to_values, po_codes in dominators:
+            store.append(to_values, po_codes)
+        mask: list[bool] = []
+        for to_values, po_codes in targets:
+            forward, _ = store._masks_against(to_values, po_codes)
+            mask.append(bool(forward.any()))
+        return mask
+
+    def covers_many(
+        self, cover_sets: Sequence[IntervalSet], target: IntervalSet
+    ) -> list[bool]:
+        if not cover_sets:
+            return []
+        target_lows = np.array([iv.low for iv in target.intervals], dtype=np.int64)
+        target_highs = np.array([iv.high for iv in target.intervals], dtype=np.int64)
+        if not len(target_lows):
+            return [True] * len(cover_sets)
+        lows: list[int] = []
+        highs: list[int] = []
+        owners: list[int] = []
+        for owner, cover in enumerate(cover_sets):
+            for interval in cover.intervals:
+                lows.append(interval.low)
+                highs.append(interval.high)
+                owners.append(owner)
+        if not lows:
+            return [False] * len(cover_sets)
+        low_arr = np.array(lows, dtype=np.int64)[:, None]
+        high_arr = np.array(highs, dtype=np.int64)[:, None]
+        owner_arr = np.array(owners, dtype=np.int64)
+        contains = (low_arr <= target_lows[None, :]) & (
+            target_highs[None, :] <= high_arr
+        )
+        covered = np.zeros((len(cover_sets), len(target_lows)), dtype=bool)
+        np.logical_or.at(covered, owner_arr, contains)
+        return covered.all(axis=1).tolist()

@@ -1,0 +1,177 @@
+"""Precomputed lookup tables that dominance kernels operate on.
+
+The kernels (see :mod:`repro.kernels.base`) are deliberately ignorant of
+schemas, DAGs and interval encodings: they work on integer codes and boolean
+preference matrices.  This module bridges the gap once per dataset/query:
+
+* :class:`PreferenceTable` — one PO attribute: its domain values, a value-to-
+  code mapping and the dense ``pref_or_equal[better][worse]`` boolean matrix.
+* :class:`RecordTables` — everything needed for *ground-truth* record
+  dominance over a mixed TO/PO schema (used by BNL/SFS/LESS and the
+  baselines' cross-examination).
+* :class:`TDominanceTables` — everything needed for batched *t-dominance*
+  over mapped points: t-preference matrices, postorder numbers, per-value
+  interval sets and their minimum bounding intervals (MBIs), which serve as a
+  cheap vectorizable necessary condition for interval-set containment.
+
+Tables carry a ``scratch`` dict so a backend can stash converted
+representations (e.g. NumPy arrays) and share them across stores built from
+the same tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass, field
+
+from repro.data.schema import Schema
+from repro.order.dag import PartialOrderDAG
+from repro.order.encoding import DomainEncoding
+from repro.order.intervals import IntervalSet
+
+Value = Hashable
+
+
+@dataclass(frozen=True)
+class PreferenceTable:
+    """Dense preferred-or-equal matrix of one partially ordered domain."""
+
+    values: tuple[Value, ...]
+    code_of: dict[Value, int]
+    #: ``pref_or_equal[i][j]`` — value ``i`` is preferred over or equal to ``j``.
+    pref_or_equal: tuple[tuple[bool, ...], ...]
+
+    @classmethod
+    def from_dag(cls, dag: PartialOrderDAG) -> "PreferenceTable":
+        """Ground-truth preference matrix from DAG reachability."""
+        values = dag.values
+        rows = []
+        for i, value in enumerate(values):
+            descendants = dag.descendants(value)
+            rows.append(
+                tuple(i == j or other in descendants for j, other in enumerate(values))
+            )
+        return cls(
+            values=values,
+            code_of={value: i for i, value in enumerate(values)},
+            pref_or_equal=tuple(rows),
+        )
+
+    @classmethod
+    def from_encoding(cls, encoding: DomainEncoding) -> "PreferenceTable":
+        """Exact t-preference matrix (interval containment; coincides with
+        reachability because the interval sets are exact)."""
+        values = encoding.order
+        posts = [encoding.post_of(value) for value in values]
+        rows = []
+        for i, value in enumerate(values):
+            interval_set = encoding.interval_set(value)
+            rows.append(
+                tuple(
+                    i == j or interval_set.contains_point(posts[j])
+                    for j in range(len(values))
+                )
+            )
+        return cls(
+            values=values,
+            code_of={value: i for i, value in enumerate(values)},
+            pref_or_equal=tuple(rows),
+        )
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+
+@dataclass
+class RecordTables:
+    """Tables for ground-truth record dominance over a mixed TO/PO schema."""
+
+    num_total_order: int
+    attributes: tuple[PreferenceTable, ...]
+    scratch: dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_schema(cls, schema: Schema) -> "RecordTables":
+        return cls(
+            num_total_order=schema.num_total_order,
+            attributes=tuple(
+                PreferenceTable.from_dag(attribute.dag)
+                for attribute in schema.partial_order_attributes
+            ),
+        )
+
+    @classmethod
+    def from_encodings(
+        cls, num_total_order: int, encodings: Sequence[DomainEncoding]
+    ) -> "RecordTables":
+        """Ground-truth tables keyed by the encodings' domains (baselines)."""
+        return cls(
+            num_total_order=num_total_order,
+            attributes=tuple(
+                PreferenceTable.from_dag(encoding.dag) for encoding in encodings
+            ),
+        )
+
+    @property
+    def num_partial_order(self) -> int:
+        return len(self.attributes)
+
+    def encode_po(self, po_values: Sequence[Value]) -> tuple[int, ...]:
+        return tuple(
+            table.code_of[value] for table, value in zip(self.attributes, po_values)
+        )
+
+
+@dataclass
+class TDominanceTables:
+    """Tables for batched t-dominance over TSS mapped points.
+
+    Codes are positions in the encoding's topological order (``ordinal - 1``),
+    so a mapped point's PO code is derivable from its ordinal coordinate.
+    """
+
+    num_total_order: int
+    attributes: tuple[PreferenceTable, ...]
+    #: Per attribute, per code: the value's spanning-tree postorder number.
+    posts: tuple[tuple[int, ...], ...]
+    #: Per attribute, per code: the value's exact interval set.
+    interval_sets: tuple[tuple[IntervalSet, ...], ...]
+    #: Per attribute, per code: low/high ends of the minimum bounding interval.
+    mbi_low: tuple[tuple[int, ...], ...]
+    mbi_high: tuple[tuple[int, ...], ...]
+    scratch: dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_encodings(
+        cls, num_total_order: int, encodings: Sequence[DomainEncoding]
+    ) -> "TDominanceTables":
+        attributes = []
+        posts = []
+        interval_sets = []
+        mbi_low = []
+        mbi_high = []
+        for encoding in encodings:
+            attributes.append(PreferenceTable.from_encoding(encoding))
+            posts.append(tuple(encoding.post_of(value) for value in encoding.order))
+            sets = tuple(encoding.interval_set(value) for value in encoding.order)
+            interval_sets.append(sets)
+            mbi_low.append(tuple(s.intervals[0].low for s in sets))
+            mbi_high.append(tuple(s.intervals[-1].high for s in sets))
+        return cls(
+            num_total_order=num_total_order,
+            attributes=tuple(attributes),
+            posts=tuple(posts),
+            interval_sets=tuple(interval_sets),
+            mbi_low=tuple(mbi_low),
+            mbi_high=tuple(mbi_high),
+        )
+
+    @property
+    def num_partial_order(self) -> int:
+        return len(self.attributes)
+
+    def encode_po(self, po_values: Sequence[Value]) -> tuple[int, ...]:
+        return tuple(
+            table.code_of[value] for table, value in zip(self.attributes, po_values)
+        )

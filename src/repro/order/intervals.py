@@ -15,7 +15,7 @@ are equal).
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.exceptions import PartialOrderError
@@ -146,6 +146,17 @@ class IntervalSet:
         """
         return all(self.contains_interval(iv) for iv in other)
 
+    def bounding_interval(self) -> Interval:
+        """The minimum bounding interval (MBI) covering the whole set.
+
+        ``A.covers(B)`` implies ``A.bounding_interval().contains(
+        B.bounding_interval())`` — the cheap necessary condition the batched
+        t-dominance kernels test before the exact containment matrix.
+        """
+        if not self._intervals:
+            raise PartialOrderError("an empty interval set has no bounding interval")
+        return Interval(self._intervals[0].low, self._intervals[-1].high)
+
     def points(self) -> list[int]:
         """Materialize every covered integer (small domains only; used in tests)."""
         return [p for iv in self._intervals for p in range(iv.low, iv.high + 1)]
@@ -171,6 +182,20 @@ class IntervalSet:
         if start is not None:
             intervals.append(Interval(start, previous))  # type: ignore[arg-type]
         return cls(intervals)
+
+
+def covers_many(
+    cover_sets: Sequence["IntervalSet"], target: "IntervalSet", kernel=None
+) -> list[bool]:
+    """Batched :meth:`IntervalSet.covers`: one verdict per cover set.
+
+    Dispatches through the dominance kernel layer (one interval-containment
+    matrix between all member intervals and the target's intervals when the
+    NumPy backend is active).
+    """
+    from repro.kernels import resolve_kernel  # local import: kernels import this module
+
+    return resolve_kernel(kernel).covers_many(cover_sets, target)
 
 
 def _normalize(intervals: list[Interval]) -> list[Interval]:

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 
-from repro.order.dag import PartialOrderDAG
 from repro.order.intervals import IntervalSet
 from repro.order.spanning_tree import SpanningTree
 from repro.order.toposort import topological_sort

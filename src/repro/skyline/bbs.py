@@ -18,14 +18,14 @@ Two entry points are provided:
 
 from __future__ import annotations
 
-from collections.abc import Callable, Hashable, Sequence
+from collections.abc import Callable, Hashable
 
 from repro.data.dataset import Dataset
 from repro.exceptions import SchemaError
 from repro.index.pager import DiskSimulator
-from repro.index.rtree import BestFirstTraversal, NodeRef, RTree, RTreeEntry
+from repro.index.rtree import NodeRef, RTree, RTreeEntry
+from repro.kernels import resolve_kernel
 from repro.skyline.base import RunClock, SkylineResult, SkylineStats
-from repro.skyline.dominance import dominates_vectors, weakly_dominates_vectors
 
 Payload = Hashable
 Point = tuple[float, ...]
@@ -94,11 +94,13 @@ def bbs_skyline(
     max_entries: int = 32,
     disk: DiskSimulator | None = None,
     tree: RTree | None = None,
+    kernel=None,
 ) -> SkylineResult:
     """Classical BBS for a totally ordered dataset.
 
     The dataset's schema must not contain PO attributes; use
-    :func:`repro.core.stss.stss_skyline` for mixed schemas.
+    :func:`repro.core.stss.stss_skyline` for mixed schemas.  The skyline-list
+    scans run through the block-dominance kernel (see :mod:`repro.kernels`).
     """
     schema = dataset.schema
     if schema.num_partial_order:
@@ -112,24 +114,19 @@ def bbs_skyline(
         tree = RTree.bulk_load(schema.num_total_order, entries, max_entries=max_entries, disk=disk)
     clock = RunClock(stats, disk)
 
-    skyline_points: list[tuple[Point, int]] = []
+    skyline_store = resolve_kernel(kernel).vector_store(schema.num_total_order)
 
     def dominated_point(point: Point, payload: Payload) -> bool:
-        for resident, _ in skyline_points:
-            stats.dominance_checks += 1
-            if dominates_vectors(resident, point):
-                return True
-        return False
+        return skyline_store.any_dominates(point, counter=stats)
 
     def dominated_rect(low: Point, high: Point) -> bool:
-        for resident, _ in skyline_points:
-            stats.dominance_checks += 1
-            if weakly_dominates_vectors(resident, low) and resident != tuple(low):
-                return True
-        return False
+        # A resident equal to the MBB's best corner must not prune it: the
+        # corner point itself could still be an (equal, thus undominated)
+        # skyline member inside the subtree.
+        return skyline_store.any_weakly_dominates(low, counter=stats, exclude_equal=True)
 
     def on_result(point: Point, payload: Payload) -> None:
-        skyline_points.append((tuple(point), int(payload)))
+        skyline_store.append(point)
 
     ordered = run_bbs(
         tree,

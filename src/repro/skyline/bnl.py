@@ -18,7 +18,7 @@ from collections.abc import Callable
 
 from repro.data.dataset import Dataset, Record
 from repro.skyline.base import RunClock, SkylineResult, SkylineStats
-from repro.skyline.dominance import record_dominance_function
+from repro.skyline.dominance import RecordEncoder, record_store_for
 
 
 def bnl_skyline(
@@ -26,6 +26,7 @@ def bnl_skyline(
     *,
     window_size: int | None = None,
     dominates: Callable[[Record, Record], bool] | None = None,
+    kernel=None,
 ) -> SkylineResult:
     """Compute the skyline of ``dataset`` with Block Nested Loops.
 
@@ -39,9 +40,76 @@ def bnl_skyline(
         means unbounded (a single pass).
     dominates:
         Optional dominance predicate override (defaults to ground-truth
-        record dominance for the dataset's schema).
+        record dominance for the dataset's schema).  Passing a predicate
+        falls back to the record-at-a-time reference path.
+    kernel:
+        Dominance kernel backend used for the window scans (instance, name
+        or ``None`` for the process default).
     """
-    dominates = dominates or record_dominance_function(dataset.schema)
+    if dominates is None:
+        return _bnl_skyline_kernel(dataset, window_size, kernel)
+    return _bnl_skyline_predicate(dataset, window_size, dominates)
+
+
+def _bnl_skyline_kernel(dataset, window_size, kernel) -> SkylineResult:
+    """Kernel path: the candidate-vs-window test is one block dominance call."""
+    stats = SkylineStats()
+    clock = RunClock(stats)
+    encoder = RecordEncoder(dataset.schema)
+
+    # Window entries carry the sequence number at which they entered the
+    # window (see the reference path below for the confirmation rule).  The
+    # kernel store holds the window's encoded records in the same order as
+    # ``window_meta``.
+    _, window_store = record_store_for(dataset.schema, kernel, encoder=encoder)
+    window_meta: list[tuple[int, Record]] = []
+    confirmed: list[Record] = []
+    pending: list[tuple[Record, tuple[tuple[float, ...], tuple[int, ...]]]] = [
+        (record, encoder.encode(record)) for record in dataset.records
+    ]
+
+    while pending:
+        overflow: list[tuple[Record, tuple[tuple[float, ...], tuple[int, ...]]]] = []
+        sequence = 0
+        first_overflow_sequence: int | None = None
+        for candidate, encoded in pending:
+            sequence += 1
+            stats.points_examined += 1
+            dominated, evicted = window_store.dominance_masks(*encoded, counter=stats)
+            if dominated:
+                # Window members form an antichain, so a dominated candidate
+                # cannot evict anyone: the window is unchanged.
+                continue
+            if any(evicted):
+                keep = [not flag for flag in evicted]
+                window_store.compress(keep)
+                window_meta = [entry for entry, k in zip(window_meta, keep) if k]
+            if window_size is None or len(window_meta) < window_size:
+                window_store.append(*encoded)
+                window_meta.append((sequence, candidate))
+            else:
+                if first_overflow_sequence is None:
+                    first_overflow_sequence = sequence
+                overflow.append((candidate, encoded))
+
+        carried: list[tuple[Record, tuple[tuple[float, ...], tuple[int, ...]]]] = []
+        for inserted_at, resident in window_meta:
+            if first_overflow_sequence is None or inserted_at < first_overflow_sequence:
+                confirmed.append(resident)
+                clock.record_result()
+            else:
+                carried.append((resident, encoder.encode(resident)))
+        window_meta = []
+        window_store.compress([False] * len(window_store))
+        pending = carried + overflow
+
+    clock.finish()
+    skyline_ids = sorted(record.id for record in confirmed)
+    return SkylineResult(skyline_ids=skyline_ids, stats=stats, progress=clock.progress)
+
+
+def _bnl_skyline_predicate(dataset, window_size, dominates) -> SkylineResult:
+    """Reference path: record-at-a-time window scans with a custom predicate."""
     stats = SkylineStats()
     clock = RunClock(stats)
 

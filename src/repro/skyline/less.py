@@ -25,7 +25,7 @@ from collections.abc import Callable
 
 from repro.data.dataset import Dataset, Record
 from repro.skyline.base import RunClock, SkylineResult, SkylineStats
-from repro.skyline.dominance import record_dominance_function
+from repro.skyline.dominance import RecordEncoder, record_store_for
 from repro.skyline.sfs import monotone_sort_key
 
 #: Default size of the elimination-filter window (records).
@@ -38,6 +38,7 @@ def less_skyline(
     filter_window: int = DEFAULT_FILTER_WINDOW,
     dominates: Callable[[Record, Record], bool] | None = None,
     key: Callable[[Record], float] | None = None,
+    kernel=None,
 ) -> SkylineResult:
     """Compute the skyline of ``dataset`` with LESS.
 
@@ -52,18 +53,75 @@ def less_skyline(
     dominates / key:
         Optional overrides for the dominance predicate and the monotone sort
         key (defaults: ground-truth record dominance and the canonical
-        TO-sum + PO-depth score).
+        TO-sum + PO-depth score).  Passing ``dominates`` falls back to the
+        record-at-a-time reference path.
+    kernel:
+        Dominance kernel backend (instance, name or ``None`` for the process
+        default) used for both the elimination filter and the SFS filter.
     """
     schema = dataset.schema
-    dominates = dominates or record_dominance_function(schema)
     key = key or monotone_sort_key(schema)
+    if dominates is None:
+        return _less_skyline_kernel(dataset, filter_window, key, kernel)
+    return _less_skyline_predicate(dataset, filter_window, dominates, key)
 
+
+def _less_skyline_kernel(dataset, filter_window, key, kernel) -> SkylineResult:
+    """Kernel path: both passes scan blocks through the dominance kernel."""
     stats = SkylineStats()
     clock = RunClock(stats)
+    encoder = RecordEncoder(dataset.schema)
 
     # ------------------------------------------------------------------ #
     # Pass 1: elimination filter while "reading the input for sorting".
+    # The elite window is a kernel store plus a parallel score list; the
+    # worst-scoring member is replaced when a better-scoring record arrives.
     # ------------------------------------------------------------------ #
+    _, elite_store = record_store_for(dataset.schema, kernel, encoder=encoder)
+    elite_scores: list[float] = []
+    survivors: list[tuple[Record, tuple[tuple[float, ...], tuple[int, ...]]]] = []
+    for record in dataset.records:
+        stats.points_examined += 1
+        score = key(record)
+        encoded = encoder.encode(record)
+        if elite_store.any_dominates(*encoded, counter=stats):
+            continue
+        survivors.append((record, encoded))
+        if filter_window <= 0:
+            continue
+        if len(elite_scores) < filter_window:
+            elite_store.append(*encoded)
+            elite_scores.append(score)
+        else:
+            worst = max(range(len(elite_scores)), key=elite_scores.__getitem__)
+            if score < elite_scores[worst]:
+                keep = [i != worst for i in range(len(elite_scores))]
+                elite_store.compress(keep)
+                del elite_scores[worst]
+                elite_store.append(*encoded)
+                elite_scores.append(score)
+
+    # ------------------------------------------------------------------ #
+    # Pass 2: sort the survivors and filter like SFS.
+    # ------------------------------------------------------------------ #
+    survivors.sort(key=lambda item: key(item[0]))
+    _, skyline_store = record_store_for(dataset.schema, kernel, encoder=encoder)
+    skyline_ids: list[int] = []
+    for record, encoded in survivors:
+        if not skyline_store.any_dominates(*encoded, counter=stats):
+            skyline_store.append(*encoded)
+            skyline_ids.append(record.id)
+            clock.record_result()
+
+    clock.finish()
+    return SkylineResult(skyline_ids=skyline_ids, stats=stats, progress=clock.progress)
+
+
+def _less_skyline_predicate(dataset, filter_window, dominates, key) -> SkylineResult:
+    """Reference path: record-at-a-time scans with a custom predicate."""
+    stats = SkylineStats()
+    clock = RunClock(stats)
+
     elite: list[tuple[float, Record]] = []
     survivors: list[Record] = []
     for record in dataset.records:
@@ -81,9 +139,6 @@ def less_skyline(
         if filter_window > 0:
             _update_filter(elite, record, score, filter_window)
 
-    # ------------------------------------------------------------------ #
-    # Pass 2: sort the survivors and filter like SFS.
-    # ------------------------------------------------------------------ #
     survivors.sort(key=key)
     skyline: list[Record] = []
     skyline_ids: list[int] = []

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 from repro.data.dataset import Dataset
 from repro.exceptions import SchemaError
+from repro.kernels import resolve_kernel
 from repro.skyline.base import RunClock, SkylineResult, SkylineStats
-from repro.skyline.dominance import dominates_vectors
 
 
-def salsa_skyline(dataset: Dataset) -> SkylineResult:
+def salsa_skyline(dataset: Dataset, *, kernel=None) -> SkylineResult:
     """Compute the skyline of a TO-only dataset with SaLSa (early termination).
 
     Raises
@@ -43,7 +43,7 @@ def salsa_skyline(dataset: Dataset) -> SkylineResult:
     # Sort by (min coordinate, sum of coordinates): monotone w.r.t. dominance.
     points.sort(key=lambda item: (min(item[0]), sum(item[0])))
 
-    skyline: list[tuple[float, ...]] = []
+    skyline = resolve_kernel(kernel).vector_store(schema.num_total_order)
     skyline_ids: list[int] = []
     stop_value = float("inf")
 
@@ -57,13 +57,7 @@ def salsa_skyline(dataset: Dataset) -> SkylineResult:
         if min(coords) > stop_value:
             break
         stats.points_examined += 1
-        dominated = False
-        for resident in skyline:
-            stats.dominance_checks += 1
-            if dominates_vectors(resident, coords):
-                dominated = True
-                break
-        if dominated:
+        if skyline.any_dominates(coords, counter=stats):
             continue
         skyline.append(coords)
         skyline_ids.append(record_id)

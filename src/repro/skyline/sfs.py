@@ -22,7 +22,7 @@ from repro.data.schema import Schema
 from repro.order.dag import PartialOrderDAG
 from repro.order.toposort import topological_sort
 from repro.skyline.base import RunClock, SkylineResult, SkylineStats
-from repro.skyline.dominance import record_dominance_function
+from repro.skyline.dominance import record_store_for
 
 Value = Hashable
 
@@ -62,29 +62,44 @@ def sfs_skyline(
     *,
     dominates: Callable[[Record, Record], bool] | None = None,
     key: Callable[[Record], float] | None = None,
+    kernel=None,
 ) -> SkylineResult:
-    """Compute the skyline of ``dataset`` with Sort-Filter-Skyline."""
+    """Compute the skyline of ``dataset`` with Sort-Filter-Skyline.
+
+    The skyline-list scan runs through the block-dominance kernel (see
+    :mod:`repro.kernels`); passing an explicit ``dominates`` predicate
+    falls back to the record-at-a-time reference path.
+    """
     schema = dataset.schema
-    dominates = dominates or record_dominance_function(schema)
     key = key or monotone_sort_key(schema)
 
     stats = SkylineStats()
     clock = RunClock(stats)
 
     ordered = sorted(dataset.records, key=key)
-    skyline: list[Record] = []
     skyline_ids: list[int] = []
-    for candidate in ordered:
-        stats.points_examined += 1
-        dominated = False
-        for resident in skyline:
-            stats.dominance_checks += 1
-            if dominates(resident, candidate):
-                dominated = True
-                break
-        if not dominated:
-            skyline.append(candidate)
-            skyline_ids.append(candidate.id)
-            clock.record_result()
+    if dominates is None:
+        encoder, store = record_store_for(schema, kernel)
+        for candidate in ordered:
+            stats.points_examined += 1
+            to_values, po_codes = encoder.encode(candidate)
+            if not store.any_dominates(to_values, po_codes, counter=stats):
+                store.append(to_values, po_codes)
+                skyline_ids.append(candidate.id)
+                clock.record_result()
+    else:
+        skyline: list[Record] = []
+        for candidate in ordered:
+            stats.points_examined += 1
+            dominated = False
+            for resident in skyline:
+                stats.dominance_checks += 1
+                if dominates(resident, candidate):
+                    dominated = True
+                    break
+            if not dominated:
+                skyline.append(candidate)
+                skyline_ids.append(candidate.id)
+                clock.record_result()
     clock.finish()
     return SkylineResult(skyline_ids=skyline_ids, stats=stats, progress=clock.progress)

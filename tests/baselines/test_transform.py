@@ -3,7 +3,6 @@
 import pytest
 
 from repro.baselines.transform import BaselineMapping
-from repro.core.mapping import TSSMapping
 from repro.data.dataset import Dataset
 from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
 from repro.exceptions import SchemaError

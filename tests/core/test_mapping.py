@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.mapping import TSSMapping, group_distinct_rows
 from repro.data.dataset import Dataset
-from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.data.schema import Schema, TotalOrderAttribute
 from repro.exceptions import SchemaError
 from repro.order.encoding import encode_domain
 

@@ -14,7 +14,6 @@ from repro.data.dataset import Dataset
 from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
 from repro.dynamic.dtss import dtss_skyline
 from repro.order.builders import (
-    airline_preference_dag,
     airline_preference_dag_second,
     paper_example_dag,
 )

@@ -7,7 +7,6 @@ from repro.core.tdominance import TDominanceChecker
 from repro.core.virtual_rtree import VirtualPointIndex
 from repro.data.dataset import Dataset
 from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
-from repro.order.encoding import encode_domain
 
 
 @pytest.fixture

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.exceptions import DatasetError, SchemaError
 from repro.data.dataset import Dataset
 from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.exceptions import DatasetError, SchemaError
 from repro.order.builders import chain
 
 
@@ -31,6 +31,7 @@ class TestDataset:
         assert prices[0] == 1800 and len(prices) == 10
 
     def test_to_numeric_matrix_shape_and_canonicalization(self, airline_dag):
+        pytest.importorskip("numpy")
         schema = Schema(
             [
                 TotalOrderAttribute("price"),

@@ -4,9 +4,9 @@ import statistics
 
 import pytest
 
-from repro.exceptions import DatasetError
 from repro.data.generator import DISTRIBUTIONS, generate_dataset
 from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.exceptions import DatasetError
 from repro.order.lattice import lattice_domain
 
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.exceptions import SchemaError
 from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute, make_schema
+from repro.exceptions import SchemaError
 from repro.order.builders import chain
 
 

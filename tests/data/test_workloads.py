@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.exceptions import ExperimentError
 from repro.data.workloads import (
     DEFAULT_SCALE_FACTOR,
     PAPER_CARDINALITIES,
@@ -14,6 +13,7 @@ from repro.data.workloads import (
     paper_defaults,
     scale_cardinality,
 )
+from repro.exceptions import ExperimentError
 
 
 class TestScaling:

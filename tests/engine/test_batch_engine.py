@@ -1,0 +1,131 @@
+"""Regression tests: BatchQueryEngine results equal per-query STSS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stss import stss_skyline
+from repro.data.dataset import Dataset
+from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.data.workloads import WorkloadSpec
+from repro.engine.batch import (
+    BatchQuery,
+    BatchQueryEngine,
+    dag_signature,
+    queries_from_seeds,
+    random_query_preferences,
+)
+from repro.exceptions import QueryError
+from repro.kernels import available_kernels
+from repro.order.builders import chain, paper_example_dag
+from repro.skyline.bruteforce import brute_force_skyline
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = WorkloadSpec(
+        name="batch-test",
+        cardinality=300,
+        num_total_order=2,
+        num_partial_order=2,
+        dag_height=4,
+        dag_density=0.8,
+        to_domain_size=40,
+        seed=5,
+    )
+    return spec.build()
+
+
+class TestAgainstPerQuerySTSS:
+    @pytest.mark.parametrize("kernel_name", available_kernels())
+    def test_matches_per_query_stss_on_full_dataset(self, workload, kernel_name):
+        schema, dataset = workload
+        engine = BatchQueryEngine(dataset, kernel=kernel_name)
+        queries = [BatchQuery("base")] + queries_from_seeds(schema, [1, 2, 3])
+        for result in engine.run(queries):
+            if result.name == "base":
+                reference = stss_skyline(dataset)
+            else:
+                overrides = random_query_preferences(schema, int(result.name[1:]))
+                reference = stss_skyline(
+                    dataset.with_schema(schema.replace_partial_order(overrides))
+                )
+            assert sorted(result.skyline_ids) == sorted(reference.skyline_ids)
+
+    def test_prefilter_disabled_gives_same_results(self, workload):
+        schema, dataset = workload
+        with_filter = BatchQueryEngine(dataset, prefilter=True)
+        without_filter = BatchQueryEngine(dataset, prefilter=False)
+        queries = queries_from_seeds(schema, [4, 5])
+        for a, b in zip(with_filter.run(queries), without_filter.run(queries)):
+            assert a.skyline_set == b.skyline_set
+
+    def test_base_query_matches_brute_force(self, workload):
+        _, dataset = workload
+        engine = BatchQueryEngine(dataset)
+        result = engine.run_query(BatchQuery("base"))
+        truth = frozenset(brute_force_skyline(dataset).skyline_ids)
+        assert result.skyline_set == truth
+
+
+class TestCaching:
+    def test_identical_topology_is_cached(self, workload):
+        schema, dataset = workload
+        engine = BatchQueryEngine(dataset)
+        first = engine.run_query(BatchQuery("a", random_query_preferences(schema, 9)))
+        second = engine.run_query(BatchQuery("b", random_query_preferences(schema, 9)))
+        assert not first.from_cache and second.from_cache
+        assert first.skyline_set == second.skyline_set
+        assert engine.queries_evaluated == 1 and engine.cache_hits == 1
+
+    def test_semantically_equal_dags_share_cache(self):
+        # A chain given as Hasse edges vs its full transitive closure: same
+        # preference relation, different edge sets.
+        hasse = chain(["a", "b", "c"])
+        from repro.order.dag import PartialOrderDAG
+
+        closure = PartialOrderDAG(
+            ["a", "b", "c"], [("a", "b"), ("b", "c"), ("a", "c")]
+        )
+        assert dag_signature(hasse) == dag_signature(closure)
+        schema = Schema(
+            [TotalOrderAttribute("x"), PartialOrderAttribute("p", hasse)]
+        )
+        dataset = Dataset(schema, [(1, "a"), (2, "b"), (0, "c")])
+        engine = BatchQueryEngine(dataset)
+        first = engine.run_query(BatchQuery("hasse", {"p": hasse}))
+        second = engine.run_query(BatchQuery("closure", {"p": closure}))
+        assert second.from_cache
+        assert first.skyline_set == second.skyline_set
+
+
+class TestPrefilter:
+    def test_prefilter_never_drops_a_skyline_record(self, workload):
+        schema, dataset = workload
+        engine = BatchQueryEngine(dataset)
+        candidates = set(engine._candidate_ids)
+        assert len(candidates) <= len(dataset)
+        for seed in range(6):
+            overrides = random_query_preferences(schema, seed)
+            reference = stss_skyline(
+                dataset.with_schema(schema.replace_partial_order(overrides))
+            )
+            assert set(reference.skyline_ids) <= candidates
+
+
+class TestValidation:
+    def test_unknown_attribute_override_rejected(self, workload):
+        schema, dataset = workload
+        engine = BatchQueryEngine(dataset)
+        with pytest.raises(QueryError):
+            engine.run_query(BatchQuery("bad", {"nope": paper_example_dag()}))
+
+    def test_summary_counts(self, workload):
+        schema, dataset = workload
+        engine = BatchQueryEngine(dataset)
+        engine.run(queries_from_seeds(schema, [1, 1, 2]))
+        summary = engine.summary()
+        assert summary["queries_evaluated"] == 2
+        assert summary["cache_hits"] == 1
+        assert summary["dataset_size"] == len(dataset)
+        assert 0 < summary["candidates_after_prefilter"] <= len(dataset)

@@ -7,7 +7,7 @@ import pytest
 from repro.exceptions import IndexError_
 from repro.index.geometry import Rect
 from repro.index.pager import DiskSimulator
-from repro.index.rtree import BestFirstTraversal, NodeRef, RTree, RTreeEntry
+from repro.index.rtree import NodeRef, RTree, RTreeEntry
 
 
 def random_points(n, dims=2, seed=0, extent=100.0):

@@ -1,0 +1,284 @@
+"""Property tests: every kernel backend agrees with the pure-Python reference.
+
+The reference backend defines the semantics; these tests drive both backends
+with random datasets and random DAG topologies (hypothesis) and assert they
+return identical verdicts for every operation of the kernel interface.
+Skipped entirely when NumPy is unavailable (there is only one backend then).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import TSSMapping
+from repro.core.tdominance import TDominanceChecker
+from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.kernels import RecordTables, TDominanceTables, get_kernel
+from repro.order.encoding import encode_domain
+from repro.order.intervals import IntervalSet
+from tests.conftest import mixed_dataset_strategy, random_dag_strategy
+
+numpy = pytest.importorskip("numpy")
+
+PURE = get_kernel("purepython")
+NUMPY = get_kernel("numpy")
+KERNELS = (PURE, NUMPY)
+
+
+def _interval_set_strategy(max_point: int = 30) -> st.SearchStrategy[IntervalSet]:
+    @st.composite
+    def build(draw):
+        count = draw(st.integers(min_value=0, max_value=4))
+        intervals = []
+        for _ in range(count):
+            low = draw(st.integers(min_value=1, max_value=max_point))
+            high = draw(st.integers(min_value=low, max_value=max_point))
+            intervals.append((low, high))
+        return IntervalSet(intervals)
+
+    return build()
+
+
+class TestVectorStoreAgreement:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        dims=st.integers(min_value=1, max_value=4),
+        rows=st.integers(min_value=0, max_value=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dominance_verdicts_match(self, seed, dims, rows):
+        rng = random.Random(seed)
+        block = [tuple(rng.randint(0, 5) for _ in range(dims)) for _ in range(rows)]
+        candidates = [tuple(rng.randint(0, 5) for _ in range(dims)) for _ in range(15)]
+        stores = []
+        for kernel in KERNELS:
+            store = kernel.vector_store(dims)
+            for vector in block:
+                store.append(vector)
+            stores.append(store)
+        for candidate in candidates:
+            verdicts = [s.any_dominates(candidate) for s in stores]
+            assert verdicts[0] == verdicts[1]
+            weak = [s.any_weakly_dominates(candidate) for s in stores]
+            assert weak[0] == weak[1]
+            weak_excl = [
+                s.any_weakly_dominates(candidate, exclude_equal=True) for s in stores
+            ]
+            assert weak_excl[0] == weak_excl[1]
+
+
+class TestRecordStoreAgreement:
+    @given(dataset=mixed_dataset_strategy(max_rows=30))
+    @settings(max_examples=30, deadline=None)
+    def test_dominance_and_masks_match(self, dataset):
+        schema = dataset.schema
+        tables = RecordTables.from_schema(schema)
+        encoded = [
+            (
+                schema.canonical_to_values(record.values),
+                tables.encode_po(schema.partial_values(record.values)),
+            )
+            for record in dataset.records
+        ]
+        split = max(1, len(encoded) // 2)
+        members, candidates = encoded[:split], encoded[split:] or encoded[:1]
+        stores = []
+        for kernel in KERNELS:
+            store = kernel.record_store(tables)
+            for to_values, po_codes in members:
+                store.append(to_values, po_codes)
+            stores.append(store)
+        for to_values, po_codes in candidates:
+            assert stores[0].any_dominates(to_values, po_codes) == stores[1].any_dominates(
+                to_values, po_codes
+            )
+            masks = [s.dominance_masks(to_values, po_codes) for s in stores]
+            assert masks[0] == (masks[1][0], list(masks[1][1]))
+        # Batched cross-examination agrees too.
+        cross = [
+            kernel.record_block_dominated_mask(tables, encoded, encoded)
+            for kernel in KERNELS
+        ]
+        assert cross[0] == cross[1]
+
+    @given(dataset=mixed_dataset_strategy(max_rows=24))
+    @settings(max_examples=20, deadline=None)
+    def test_compress_keeps_agreement(self, dataset):
+        schema = dataset.schema
+        tables = RecordTables.from_schema(schema)
+        encoded = [
+            (
+                schema.canonical_to_values(record.values),
+                tables.encode_po(schema.partial_values(record.values)),
+            )
+            for record in dataset.records
+        ]
+        rng = random.Random(len(encoded))
+        keep = [rng.random() < 0.6 for _ in encoded]
+        stores = []
+        for kernel in KERNELS:
+            store = kernel.record_store(tables)
+            for to_values, po_codes in encoded:
+                store.append(to_values, po_codes)
+            store.compress(keep)
+            stores.append(store)
+        assert len(stores[0]) == len(stores[1]) == sum(keep)
+        for to_values, po_codes in encoded:
+            assert stores[0].any_dominates(to_values, po_codes) == stores[1].any_dominates(
+                to_values, po_codes
+            )
+
+
+class TestTDominanceAgreement:
+    @given(
+        dag=random_dag_strategy(max_values=8),
+        seed=st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_weak_t_dominance_matches_reference_checker(self, dag, seed):
+        rng = random.Random(seed)
+        schema = Schema(
+            [TotalOrderAttribute("x"), PartialOrderAttribute("p", dag)]
+        )
+        from repro.data.dataset import Dataset
+
+        rows = [
+            (rng.randint(0, 4), rng.choice(dag.values)) for _ in range(20)
+        ]
+        dataset = Dataset(schema, rows)
+        mapping = TSSMapping(dataset)
+        points = mapping.points
+        split = max(1, len(points) // 2)
+        members, candidates = points[:split], points[split:] or points[:1]
+        results = []
+        for kernel in KERNELS:
+            checker = TDominanceChecker(mapping, kernel=kernel)
+            store = checker.make_skyline_store()
+            for member in members:
+                store.append(member)
+            verdicts = [
+                checker.store_dominates_point(store, candidate)
+                for candidate in candidates
+            ]
+            results.append(verdicts)
+        assert results[0] == results[1]
+        # Both agree with the scalar reference scan as well.
+        checker = TDominanceChecker(mapping)
+        reference = [
+            checker.point_dominated_by_any(members, candidate)
+            for candidate in candidates
+        ]
+        assert results[0] == reference
+
+    @given(
+        dag=random_dag_strategy(max_values=7),
+        seed=st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_mbb_verdicts_match_reference_checker(self, dag, seed):
+        rng = random.Random(seed)
+        schema = Schema(
+            [TotalOrderAttribute("x"), PartialOrderAttribute("p", dag)]
+        )
+        from repro.data.dataset import Dataset
+
+        rows = [
+            (rng.randint(0, 4), rng.choice(dag.values)) for _ in range(16)
+        ]
+        dataset = Dataset(schema, rows)
+        mapping = TSSMapping(dataset)
+        points = mapping.points
+        cardinality = len(dag.values)
+        boxes = []
+        for _ in range(6):
+            x = rng.randint(0, 4)
+            low_ord = rng.randint(1, cardinality)
+            high_ord = rng.randint(low_ord, cardinality)
+            boxes.append(
+                ((float(x), float(low_ord)), (float(x + 2), float(high_ord)))
+            )
+        results = []
+        for kernel in KERNELS:
+            checker = TDominanceChecker(mapping, kernel=kernel)
+            store = checker.make_skyline_store()
+            for member in points:
+                store.append(member)
+            results.append(
+                [checker.store_dominates_mbb(store, low, high) for low, high in boxes]
+            )
+        assert results[0] == results[1]
+        checker = TDominanceChecker(mapping)
+        reference = [
+            checker.mbb_dominated_by_any(points, low, high) for low, high in boxes
+        ]
+        assert results[0] == reference
+
+
+class TestStatelessOpsAgreement:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        dims=st.integers(min_value=1, max_value=4),
+        rows=st.integers(min_value=0, max_value=80),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pareto_mask_matches(self, seed, dims, rows):
+        rng = random.Random(seed)
+        block = [tuple(rng.randint(0, 4) for _ in range(dims)) for _ in range(rows)]
+        assert PURE.pareto_mask(block) == NUMPY.pareto_mask(block)
+
+    @given(
+        cover_sets=st.lists(_interval_set_strategy(), min_size=0, max_size=8),
+        target=_interval_set_strategy(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_covers_many_matches(self, cover_sets, target):
+        expected = [cover.covers(target) for cover in cover_sets]
+        assert PURE.covers_many(cover_sets, target) == expected
+        assert NUMPY.covers_many(cover_sets, target) == expected
+
+
+class TestAlgorithmLevelAgreement:
+    """End-to-end: whole skyline algorithms agree across backends."""
+
+    @given(dataset=mixed_dataset_strategy(max_rows=25))
+    @settings(max_examples=15, deadline=None)
+    def test_stss_identical_across_backends(self, dataset):
+        from repro.core.stss import stss_skyline
+
+        by_backend = [
+            frozenset(stss_skyline(dataset, kernel=kernel).skyline_ids)
+            for kernel in KERNELS
+        ]
+        assert by_backend[0] == by_backend[1]
+
+    @given(dataset=mixed_dataset_strategy(max_rows=25))
+    @settings(max_examples=15, deadline=None)
+    def test_scan_algorithms_identical_across_backends(self, dataset):
+        from repro.skyline.bnl import bnl_skyline
+        from repro.skyline.less import less_skyline
+        from repro.skyline.sfs import sfs_skyline
+
+        for algorithm in (bnl_skyline, sfs_skyline, less_skyline):
+            by_backend = [
+                frozenset(algorithm(dataset, kernel=kernel).skyline_ids)
+                for kernel in KERNELS
+            ]
+            assert by_backend[0] == by_backend[1], algorithm.__name__
+
+
+def test_tdominance_tables_match_encoding():
+    """The t-preference matrix equals pairwise t_prefers_or_equal verdicts."""
+    from repro.order.lattice import lattice_domain
+
+    encoding = encode_domain(lattice_domain(3, 1.0, seed=1))
+    tables = TDominanceTables.from_encodings(1, [encoding])
+    table = tables.attributes[0]
+    for i, better in enumerate(table.values):
+        for j, worse in enumerate(table.values):
+            assert table.pref_or_equal[i][j] == encoding.t_prefers_or_equal(
+                better, worse
+            )

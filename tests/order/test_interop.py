@@ -1,12 +1,14 @@
 """Unit tests for networkx interoperability helpers."""
 
-import networkx as nx
 import pytest
 
 from repro.exceptions import PartialOrderError
 from repro.order.builders import antichain, chain
 from repro.order.dag import PartialOrderDAG
-from repro.order.interop import (
+
+nx = pytest.importorskip("networkx")
+
+from repro.order.interop import (  # noqa: E402
     comparability_ratio,
     from_networkx,
     from_preference_graph,

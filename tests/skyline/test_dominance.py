@@ -1,6 +1,5 @@
 """Unit tests for dominance relations."""
 
-import pytest
 
 from repro.data.dataset import Dataset
 from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute

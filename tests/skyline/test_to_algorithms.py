@@ -3,8 +3,8 @@
 import pytest
 
 from repro.data.dataset import Dataset
-from repro.data.schema import Schema, TotalOrderAttribute
 from repro.data.generator import generate_dataset
+from repro.data.schema import Schema, TotalOrderAttribute
 from repro.exceptions import SchemaError
 from repro.index.pager import DiskSimulator
 from repro.skyline.bbs import bbs_skyline
@@ -108,6 +108,7 @@ class TestBBS:
             bbs_skyline(flight_dataset)
 
     def test_results_come_out_in_mindist_order(self, to_dataset):
+        pytest.importorskip("numpy")
         result = bbs_skyline(to_dataset)
         matrix = to_dataset.to_numeric_matrix()
         mindists = [float(matrix[i].sum()) for i in result.skyline_ids]
