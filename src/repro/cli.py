@@ -1,4 +1,4 @@
-"""Command-line interface: experiments, batch queries and kernel inspection.
+"""Command-line interface: experiments, batch queries, service and kernels.
 
 Subcommands
 -----------
@@ -8,6 +8,11 @@ Subcommands
 ``batch-query``
     Evaluate a batch of dynamic-preference skyline queries over one synthetic
     workload through :class:`~repro.engine.batch.BatchQueryEngine`.
+``serve``
+    Start the long-running JSON-over-TCP skyline query service
+    (:mod:`repro.service`) over one synthetic workload.
+``query``
+    Send one request (query / ping / stats / shutdown) to a running service.
 ``kernels``
     List the available dominance kernel backends.
 
@@ -17,14 +22,17 @@ Run one figure with the quick profile::
 
     python -m repro fig7
 
-Run everything with the larger profile and write a combined report::
-
-    python -m repro all --profile full --output results.txt
-
 Answer 20 random preference queries over a 5k-tuple workload, forcing the
 pure-Python kernel::
 
     python -m repro batch-query --cardinality 5000 --queries 20 --kernel purepython
+
+Serve a 50k-tuple workload on 4 worker processes and query it::
+
+    python -m repro serve --cardinality 50000 --workers 4 &
+    python -m repro query --wait 30 --seed 3
+    python -m repro query --stats
+    python -m repro query --shutdown
 """
 
 from __future__ import annotations
@@ -37,7 +45,7 @@ from collections.abc import Sequence
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import render_tables
 from repro.bench.runner import BenchProfile
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ReproError
 from repro.kernels import available_kernels, get_kernel, set_default_kernel
 
 
@@ -61,6 +69,89 @@ def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
         help="dominance kernel backend (purepython/numpy; default: REPRO_KERNEL "
         "env var, else numpy when available)",
     )
+
+
+def _add_sharding_options(parser: argparse.ArgumentParser) -> None:
+    """``--workers`` mirrors ``--kernel``: flag, then REPRO_WORKERS, then 0."""
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help="worker processes for sharded execution (default: REPRO_WORKERS "
+        "env var, else 0 = single process)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="number of data shards (default: one per worker)",
+    )
+    parser.add_argument(
+        "--partitioner",
+        choices=("round-robin", "po-group"),
+        default="round-robin",
+        help="dataset sharding strategy",
+    )
+
+
+def _add_workload_options(parser: argparse.ArgumentParser) -> None:
+    """The synthetic-workload knobs shared by batch-query and serve."""
+    parser.add_argument("--cardinality", type=int, default=2000, help="dataset size N")
+    parser.add_argument("--to", type=int, default=2, dest="num_total_order", help="|TO| attributes")
+    parser.add_argument("--po", type=int, default=1, dest="num_partial_order", help="|PO| attributes")
+    parser.add_argument("--height", type=int, default=6, help="PO lattice height h")
+    parser.add_argument("--density", type=float, default=0.8, help="PO lattice density d")
+    parser.add_argument(
+        "--distribution",
+        choices=("independent", "anticorrelated", "correlated"),
+        default="independent",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload / query seed")
+    parser.add_argument(
+        "--no-prefilter",
+        action="store_true",
+        help="disable the shared per-PO-group TO-Pareto prefilter",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="LRU bound of the per-topology result/encoding caches "
+        f"(default {_default_cache_size()})",
+    )
+
+
+def _default_cache_size() -> int:
+    from repro.engine.batch import DEFAULT_CACHE_SIZE
+
+    return DEFAULT_CACHE_SIZE
+
+
+def _build_workload(args, name: str):
+    from repro.data.workloads import WorkloadSpec
+
+    spec = WorkloadSpec(
+        name=name,
+        distribution=args.distribution,
+        cardinality=args.cardinality,
+        num_total_order=args.num_total_order,
+        num_partial_order=args.num_partial_order,
+        dag_height=args.height,
+        dag_density=args.density,
+        seed=args.seed,
+    )
+    return spec.build()
+
+
+def _engine_options(args) -> dict:
+    options = {
+        "prefilter": not args.no_prefilter,
+        "workers": args.workers,
+        "num_shards": args.shards,
+        "partitioner": args.partitioner,
+    }
+    if args.cache_size is not None:
+        options["cache_size"] = args.cache_size
+    return options
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,78 +196,229 @@ def build_batch_query_parser() -> argparse.ArgumentParser:
         description="Evaluate a batch of dynamic-preference skyline queries over one "
         "synthetic workload with shared dominance work and per-topology caching.",
     )
-    parser.add_argument("--cardinality", type=int, default=2000, help="dataset size N")
-    parser.add_argument("--to", type=int, default=2, dest="num_total_order", help="|TO| attributes")
-    parser.add_argument("--po", type=int, default=1, dest="num_partial_order", help="|PO| attributes")
-    parser.add_argument("--height", type=int, default=6, help="PO lattice height h")
-    parser.add_argument("--density", type=float, default=0.8, help="PO lattice density d")
-    parser.add_argument(
-        "--distribution",
-        choices=("independent", "anticorrelated", "correlated"),
-        default="independent",
-    )
+    _add_workload_options(parser)
     parser.add_argument("--queries", type=int, default=10, help="number of random queries")
     parser.add_argument("--repeat", type=int, default=1, help="repeat the query list this many times (exercises the cache)")
-    parser.add_argument("--seed", type=int, default=7, help="workload / query seed")
-    parser.add_argument(
-        "--no-prefilter",
-        action="store_true",
-        help="disable the shared per-PO-group TO-Pareto prefilter",
-    )
     parser.add_argument("--json", default=None, help="write results as JSON to this file")
     _add_kernel_option(parser)
+    _add_sharding_options(parser)
     return parser
 
 
 def batch_query_main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``batch-query`` subcommand."""
-    from repro.data.workloads import WorkloadSpec
     from repro.engine.batch import BatchQuery, BatchQueryEngine, queries_from_seeds
 
     args = build_batch_query_parser().parse_args(argv)
     if (code := _select_kernel(args.kernel)) != 0:
         return code
 
-    spec = WorkloadSpec(
-        name="batch-query",
-        distribution=args.distribution,
-        cardinality=args.cardinality,
-        num_total_order=args.num_total_order,
-        num_partial_order=args.num_partial_order,
-        dag_height=args.height,
-        dag_density=args.density,
-        seed=args.seed,
-    )
-    schema, dataset = spec.build()
-    engine = BatchQueryEngine(dataset, prefilter=not args.no_prefilter)
+    schema, dataset = _build_workload(args, "batch-query")
+    try:
+        with BatchQueryEngine(dataset, **_engine_options(args)) as engine:
+            queries = [BatchQuery("base")]
+            queries += queries_from_seeds(schema, range(args.seed, args.seed + args.queries))
+            queries = queries * max(1, args.repeat)
 
-    queries = [BatchQuery("base")]
-    queries += queries_from_seeds(schema, range(args.seed, args.seed + args.queries))
-    queries = queries * max(1, args.repeat)
+            rows = []
+            for result in engine.run(queries):
+                rows.append(
+                    {
+                        "query": result.name,
+                        "skyline_size": len(result.skyline_ids),
+                        "from_cache": result.from_cache,
+                        "seconds": result.seconds,
+                    }
+                )
+                source = "cache" if result.from_cache else f"{result.seconds * 1000:8.1f} ms"
+                print(f"{result.name:>8}  |skyline|={len(result.skyline_ids):<5d}  {source}")
 
-    rows = []
-    for result in engine.run(queries):
-        rows.append(
-            {
-                "query": result.name,
-                "skyline_size": len(result.skyline_ids),
-                "from_cache": result.from_cache,
-                "seconds": result.seconds,
-            }
-        )
-        source = "cache" if result.from_cache else f"{result.seconds * 1000:8.1f} ms"
-        print(f"{result.name:>8}  |skyline|={len(result.skyline_ids):<5d}  {source}")
-
-    summary = engine.summary()
+            summary = engine.summary()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    workers = summary["workers"]
+    sharded = f", workers={workers}" if workers else ""
     print(
         f"\n{summary['dataset_size']} tuples, {summary['candidates_after_prefilter']} "
         f"after prefilter; {summary['queries_evaluated']} evaluated, "
         f"{summary['cache_hits']} served from cache "
-        f"({summary['unique_topologies']} unique topologies, kernel={summary['kernel']})"
+        f"({summary['cached_topologies']} cached topologies, kernel={summary['kernel']}"
+        f"{sharded})"
     )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump({"summary": summary, "results": rows}, handle, indent=2)
+            handle.write("\n")
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tss-bench serve",
+        description="Serve dynamic-preference skyline queries over one synthetic "
+        "workload: JSON over TCP, shared result cache, optional sharded "
+        "parallel execution.",
+    )
+    parser.add_argument("--host", default=None, help="bind address (default 127.0.0.1)")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (default 7409; 0 picks an ephemeral port)",
+    )
+    _add_workload_options(parser)
+    _add_kernel_option(parser)
+    _add_sharding_options(parser)
+    return parser
+
+
+def serve_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``serve`` subcommand."""
+    import asyncio
+
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT, QueryService
+
+    args = build_serve_parser().parse_args(argv)
+    if (code := _select_kernel(args.kernel)) != 0:
+        return code
+
+    schema, dataset = _build_workload(args, "serve")
+
+    async def _serve() -> None:
+        service = QueryService(dataset, **_engine_options(args))
+        host, port = await service.start(
+            args.host if args.host is not None else DEFAULT_HOST,
+            args.port if args.port is not None else DEFAULT_PORT,
+        )
+        summary = service.engine.summary()
+        print(
+            f"repro serve: listening on {host}:{port} "
+            f"({summary['dataset_size']} tuples, "
+            f"{summary['candidates_after_prefilter']} candidates, "
+            f"kernel={summary['kernel']}, workers={summary['workers']})",
+            flush=True,
+        )
+        await service.serve_until_shutdown()
+        stats = service.stats()
+        print(
+            f"repro serve: shut down cleanly after {stats['queries']} queries "
+            f"({stats['requests_served']} requests, "
+            f"{stats['connections_served']} connections)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted", file=sys.stderr)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tss-bench query",
+        description="Send one request to a running 'repro serve' instance.",
+    )
+    parser.add_argument("--host", default=None, help="service address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None, help="service port (default 7409)")
+    parser.add_argument(
+        "--wait",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wait up to this long for the service to become ready first",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-response socket timeout (raise it for big cold queries)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="send the query this many times (exercises the cache)"
+    )
+    parser.add_argument("--json", default=None, help="write the raw response(s) to this file")
+    what = parser.add_mutually_exclusive_group()
+    what.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="query with server-side random preferences drawn from this seed",
+    )
+    what.add_argument(
+        "--overrides-json",
+        default=None,
+        metavar="FILE",
+        help="query with explicit DAG overrides read from a JSON file "
+        '({"po1": {"values": [...], "edges": [[u, v], ...]}})',
+    )
+    what.add_argument("--stats", action="store_true", help="fetch service statistics")
+    what.add_argument("--ping", action="store_true", help="liveness probe")
+    what.add_argument("--shutdown", action="store_true", help="stop the service cleanly")
+    return parser
+
+
+def query_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``query`` subcommand."""
+    from repro.exceptions import ServiceError
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT, ServiceClient, wait_for_service
+
+    args = build_query_parser().parse_args(argv)
+    host = args.host if args.host is not None else DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
+
+    overrides = None
+    if args.overrides_json is not None:
+        try:
+            with open(args.overrides_json, encoding="utf-8") as handle:
+                overrides = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read overrides file: {error}", file=sys.stderr)
+            return 2
+
+    try:
+        if args.wait > 0:
+            wait_for_service(host, port, timeout=args.wait)
+        responses: list[dict] = []
+        with ServiceClient(host, port, timeout=args.timeout) as client:
+            if args.ping:
+                responses.append(client.ping())
+                print(f"pong (protocol {responses[-1]['protocol']})")
+            elif args.stats:
+                stats = client.stats()
+                responses.append({"ok": True, "stats": stats})
+                print(json.dumps(stats, indent=2))
+            elif args.shutdown:
+                responses.append(client.shutdown())
+                print("service stopping")
+            else:
+                payload: dict[str, object] = {"op": "query", "omit_ids": True}
+                if args.seed is not None:
+                    payload["seed"] = args.seed
+                elif overrides is not None:
+                    payload["overrides"] = overrides
+                for _ in range(max(1, args.repeat)):
+                    response = client.checked_request(payload)
+                    responses.append(response)
+                    source = (
+                        "cache"
+                        if response["from_cache"]
+                        else f"{float(response['seconds']) * 1000:8.1f} ms"
+                    )
+                    print(
+                        f"{response['name']:>8}  |skyline|={response['skyline_size']:<5d}  {source}"
+                    )
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(responses if len(responses) > 1 else responses[0], handle, indent=2)
             handle.write("\n")
     return 0
 
@@ -202,6 +444,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     arguments = list(sys.argv[1:] if argv is None else argv)
     if arguments and arguments[0] == "batch-query":
         return batch_query_main(arguments[1:])
+    if arguments and arguments[0] == "serve":
+        return serve_main(arguments[1:])
+    if arguments and arguments[0] == "query":
+        return query_main(arguments[1:])
     if arguments and arguments[0] == "kernels":
         return kernels_main(arguments[1:])
     if arguments and arguments[0] == "run":

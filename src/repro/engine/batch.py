@@ -21,7 +21,10 @@ Section V of the paper, but answered for a whole set of queries at once.
 
 Per query, the engine runs sTSS (or SFS for TO-only schemas) on the reduced
 dataset through the configured dominance kernel and maps the resulting ids
-back to the original dataset.
+back to the original dataset.  Both caches are bounded LRU maps
+(``cache_size``) so a long-running service cannot grow memory without limit,
+and with ``workers``/``num_shards`` the per-query work is delegated to a
+:class:`~repro.parallel.executor.ShardedExecutor` over the reduced dataset.
 """
 
 from __future__ import annotations
@@ -32,17 +35,29 @@ from dataclasses import dataclass, field
 
 from repro.core.stss import stss_skyline
 from repro.data.dataset import Dataset
+from repro.engine.encodings import DagKey, EncodingCache, dag_signature
+from repro.engine.lru import LRUDict
 from repro.exceptions import QueryError
 from repro.kernels import resolve_kernel
 from repro.order.dag import PartialOrderDAG
-from repro.order.encoding import DomainEncoding, encode_domain
+from repro.order.encoding import DomainEncoding
 from repro.skyline.base import SkylineStats
 from repro.skyline.sfs import sfs_skyline
 
 Value = Hashable
 
-#: Semantic signature of one preference DAG (values + closure edges).
-DagKey = tuple[tuple[Value, ...], tuple[tuple[Value, Value], ...]]
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "BatchQuery",
+    "BatchQueryEngine",
+    "BatchQueryResult",
+    "DagKey",
+    "TopologyKey",
+    "dag_signature",
+    "queries_from_seeds",
+    "random_query_preferences",
+]
+
 #: Signature of a whole query: one DagKey per PO attribute, in schema order.
 TopologyKey = tuple[DagKey, ...]
 
@@ -75,16 +90,20 @@ class BatchQueryResult:
         return frozenset(self.skyline_ids)
 
 
-def dag_signature(dag: PartialOrderDAG) -> DagKey:
-    """Semantic identity of a preference DAG: values + transitive closure."""
-    return (
-        dag.values,
-        tuple(sorted(dag.transitive_closure_edges(), key=repr)),
-    )
+#: Default bound of the per-topology result / encoding LRU caches.
+DEFAULT_CACHE_SIZE = 256
 
 
 class BatchQueryEngine:
-    """Evaluate many skyline queries over one dataset with shared work."""
+    """Evaluate many skyline queries over one dataset with shared work.
+
+    ``cache_size`` bounds both LRU caches (results and per-DAG encodings).
+    ``workers``/``num_shards``/``partitioner`` optionally route each evaluated
+    query through a sharded executor built over the reduced dataset
+    (``workers=0`` with ``num_shards>1`` shards in-process; ``workers>=1``
+    uses a persistent worker pool — close the engine, e.g. as a context
+    manager, to release it).
+    """
 
     def __init__(
         self,
@@ -93,19 +112,61 @@ class BatchQueryEngine:
         kernel=None,
         max_entries: int = 32,
         prefilter: bool = True,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        workers: int | str | None = None,
+        num_shards: int | None = None,
+        partitioner="round-robin",
     ) -> None:
         self.dataset = dataset
         self.schema = dataset.schema
         self.kernel = resolve_kernel(kernel)
         self.max_entries = max_entries
-        self._result_cache: dict[TopologyKey, list[int]] = {}
-        self._encoding_cache: dict[DagKey, DomainEncoding] = {}
+        self.cache_size = cache_size
+        self._result_cache: LRUDict[TopologyKey, list[int]] = LRUDict(cache_size)
+        self._encoding_cache = EncodingCache(cache_size)
         self.queries_evaluated = 0
         self.cache_hits = 0
         self._candidate_ids, self._reduced = self._prefilter() if prefilter else (
             [record.id for record in dataset.records],
             dataset,
         )
+        # Mirrors the kernel registry: an explicit ``workers`` wins, ``None``
+        # consults REPRO_WORKERS, and 0 means single-process evaluation.
+        from repro.parallel.executor import resolve_workers
+
+        resolved_workers = resolve_workers(workers)
+        self._executor = None
+        if resolved_workers >= 1 or (num_shards is not None and num_shards > 1):
+            from repro.parallel.executor import ShardedExecutor
+
+            self._executor = ShardedExecutor(
+                self._reduced,
+                workers=resolved_workers,
+                num_shards=num_shards,
+                partitioner=partitioner,
+                kernel=self.kernel,
+                max_entries=max_entries,
+                encoding_cache_size=cache_size,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def executor(self):
+        """The sharded executor evaluating this engine's queries, if any."""
+        return self._executor
+
+    def close(self) -> None:
+        """Release the sharded executor's worker pool, if one is running."""
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "BatchQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Shared dominance work
@@ -164,15 +225,9 @@ class BatchQueryEngine:
     def _encodings_for(
         self, query: BatchQuery, key: TopologyKey
     ) -> list[DomainEncoding]:
-        encodings: list[DomainEncoding] = []
-        for attribute, dag_key in zip(self.schema.partial_order_attributes, key):
-            encoding = self._encoding_cache.get(dag_key)
-            if encoding is None:
-                dag = query.dag_overrides.get(attribute.name, attribute.dag)
-                encoding = encode_domain(dag)
-                self._encoding_cache[dag_key] = encoding
-            encodings.append(encoding)
-        return encodings
+        return self._encoding_cache.encodings_for(
+            self.schema.partial_order_attributes, query.dag_overrides, keys=key
+        )
 
     def run_query(self, query: BatchQuery) -> BatchQueryResult:
         """Answer one query (possibly from the per-topology cache)."""
@@ -190,22 +245,29 @@ class BatchQueryEngine:
             )
 
         self.queries_evaluated += 1
-        if query.dag_overrides:
-            schema = self.schema.replace_partial_order(dict(query.dag_overrides))
-            data = self._reduced.with_schema(schema)
+        stats = None
+        if self._executor is not None:
+            sharded = self._executor.query(query.dag_overrides, name=query.name)
+            reduced_ids = sharded.skyline_ids
         else:
-            data = self._reduced
-        if self.schema.num_partial_order:
-            result = stss_skyline(
-                data,
-                encodings=self._encodings_for(query, key),
-                max_entries=self.max_entries,
-                kernel=self.kernel,
-            )
-        else:
-            result = sfs_skyline(data, kernel=self.kernel)
+            if query.dag_overrides:
+                schema = self.schema.replace_partial_order(dict(query.dag_overrides))
+                data = self._reduced.with_schema(schema)
+            else:
+                data = self._reduced
+            if self.schema.num_partial_order:
+                result = stss_skyline(
+                    data,
+                    encodings=self._encodings_for(query, key),
+                    max_entries=self.max_entries,
+                    kernel=self.kernel,
+                )
+            else:
+                result = sfs_skyline(data, kernel=self.kernel)
+            reduced_ids = result.skyline_ids
+            stats = result.stats
         skyline_ids = sorted(
-            self._candidate_ids[reduced_id] for reduced_id in result.skyline_ids
+            self._candidate_ids[reduced_id] for reduced_id in reduced_ids
         )
         self._result_cache[key] = skyline_ids
         return BatchQueryResult(
@@ -214,7 +276,7 @@ class BatchQueryEngine:
             topology_key=key,
             from_cache=False,
             seconds=time.perf_counter() - started,
-            stats=result.stats,
+            stats=stats,
         )
 
     def run(self, queries: Iterable[BatchQuery]) -> list[BatchQueryResult]:
@@ -222,14 +284,24 @@ class BatchQueryEngine:
         return [self.run_query(query) for query in queries]
 
     def summary(self) -> dict[str, object]:
-        return {
+        summary: dict[str, object] = {
             "dataset_size": len(self.dataset),
             "candidates_after_prefilter": self.candidate_count,
             "queries_evaluated": self.queries_evaluated,
             "cache_hits": self.cache_hits,
-            "unique_topologies": len(self._result_cache),
+            # Live LRU entries — a lower bound on distinct topologies seen
+            # once evictions start (cache_evictions tells the rest).
+            "cached_topologies": len(self._result_cache),
+            "cache_capacity": self.cache_size,
+            "cache_evictions": self._result_cache.evictions,
+            "encoding_cache_entries": len(self._encoding_cache),
+            "encoding_cache_evictions": self._encoding_cache.evictions,
             "kernel": self.kernel.name,
+            "workers": self._executor.workers if self._executor is not None else 0,
         }
+        if self._executor is not None:
+            summary["sharding"] = self._executor.summary()
+        return summary
 
 
 def random_query_preferences(

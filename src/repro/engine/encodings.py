@@ -1,0 +1,69 @@
+"""Semantic DAG signatures and the shared per-DAG encoding cache.
+
+Queries are keyed by the *semantic* topology of their preference DAGs —
+values plus transitive-closure edges — so two specifications that imply the
+same preference relation (a Hasse diagram vs its transitive closure) share
+one cache entry.  :class:`EncodingCache` maps those signatures to
+:class:`~repro.order.encoding.DomainEncoding` objects under an LRU bound;
+the batch engine and every sharded-executor worker each hold one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+
+from repro.engine.lru import LRUDict
+from repro.order.dag import PartialOrderDAG
+from repro.order.encoding import DomainEncoding, encode_domain
+
+Value = Hashable
+
+#: Semantic signature of one preference DAG (values + closure edges).
+DagKey = tuple[tuple[Value, ...], tuple[tuple[Value, Value], ...]]
+
+
+def dag_signature(dag: PartialOrderDAG) -> DagKey:
+    """Semantic identity of a preference DAG: values + transitive closure."""
+    return (
+        dag.values,
+        tuple(sorted(dag.transitive_closure_edges(), key=repr)),
+    )
+
+
+class EncodingCache:
+    """An LRU-bounded map from DAG signatures to interval encodings."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, capacity: int) -> None:
+        self._entries: LRUDict[DagKey, DomainEncoding] = LRUDict(capacity)
+
+    def encodings_for(
+        self,
+        attributes: Sequence,
+        overrides: Mapping[str, PartialOrderDAG],
+        *,
+        keys: Sequence[DagKey] | None = None,
+    ) -> list[DomainEncoding]:
+        """One encoding per PO attribute, honoring per-attribute overrides.
+
+        ``keys`` may supply precomputed signatures (one per attribute, in
+        order) to avoid recomputing them.
+        """
+        encodings: list[DomainEncoding] = []
+        for index, attribute in enumerate(attributes):
+            dag = overrides.get(attribute.name, attribute.dag)
+            key = keys[index] if keys is not None else dag_signature(dag)
+            encoding = self._entries.get(key)
+            if encoding is None:
+                encoding = encode_domain(dag)
+                self._entries[key] = encoding
+            encodings.append(encoding)
+        return encodings
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def evictions(self) -> int:
+        return self._entries.evictions

@@ -1,0 +1,61 @@
+"""A small bounded mapping with least-recently-used eviction.
+
+Long-running services keep a :class:`~repro.engine.batch.BatchQueryEngine`
+alive across millions of queries; its per-topology result and encoding caches
+must therefore be bounded.  :class:`LRUDict` is the shared primitive: a
+dict-shaped container that evicts the least recently *used* entry (reads
+refresh recency) once a fixed capacity is exceeded, counting evictions so
+cache pressure is observable in service statistics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable, Iterator
+from typing import Generic, TypeVar
+
+from repro.exceptions import QueryError
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUDict(Generic[K, V]):
+    """A bounded mapping evicting the least recently used entry."""
+
+    __slots__ = ("capacity", "evictions", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise QueryError(f"LRU capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.evictions = 0
+        self._entries: OrderedDict[K, V] = OrderedDict()
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Look a key up, refreshing its recency on a hit."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            return default
+        self._entries.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: K, value: V) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -42,3 +42,7 @@ class QueryError(ReproError):
 
 class ExperimentError(ReproError):
     """A benchmark/experiment configuration is invalid."""
+
+
+class ServiceError(ReproError):
+    """A query-service request failed (connection, protocol or server side)."""

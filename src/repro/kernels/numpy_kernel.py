@@ -29,6 +29,11 @@ from repro.order.intervals import IntervalSet
 
 _INITIAL_CAPACITY = 16
 
+#: Bound on the elements of one (dominators, target-chunk, dims) comparison
+#: cube in :meth:`NumpyKernel.record_block_dominated_mask`; keeps the
+#: temporaries of huge cross-examinations around 32 MB.
+_BLOCK_MASK_ELEMENTS = 32_000_000
+
 
 class _GrowableMatrix:
     """A row-appendable 2-D array with amortized-doubling storage."""
@@ -324,14 +329,38 @@ class NumpyKernel(DominanceKernel):
         charge(counter, len(dominators) * len(targets))
         if not dominators or not targets:
             return [False] * len(targets)
-        store = NumpyRecordStore(tables)
-        for to_values, po_codes in dominators:
-            store.append(to_values, po_codes)
-        mask: list[bool] = []
-        for to_values, po_codes in targets:
-            forward, _ = store._masks_against(to_values, po_codes)
-            mask.append(bool(forward.any()))
-        return mask
+        num_to = tables.num_total_order
+        num_po = tables.num_partial_order
+        prefs = _pref_matrices(tables)
+        dom_to = np.array([d[0] for d in dominators], dtype=np.float64).reshape(
+            len(dominators), num_to
+        )
+        tgt_to = np.array([t[0] for t in targets], dtype=np.float64).reshape(
+            len(targets), num_to
+        )
+        dom_codes = np.array([d[1] for d in dominators], dtype=np.int64).reshape(
+            len(dominators), num_po
+        )
+        tgt_codes = np.array([t[1] for t in targets], dtype=np.int64).reshape(
+            len(targets), num_po
+        )
+        # One dominators x targets matrix per chunk of targets; the chunk size
+        # caps the (dominators, chunk, dims) temporaries at ~32 MB.
+        chunk = max(1, _BLOCK_MASK_ELEMENTS // max(1, len(dominators) * max(1, num_to)))
+        out = np.zeros(len(targets), dtype=bool)
+        for low in range(0, len(targets), chunk):
+            high = min(low + chunk, len(targets))
+            to_block = tgt_to[None, low:high, :]
+            weak = (dom_to[:, None, :] <= to_block).all(axis=2)
+            strict = (dom_to[:, None, :] < to_block).any(axis=2)
+            for po_index in range(num_po):
+                codes = dom_codes[:, po_index][:, None]
+                target_codes = tgt_codes[low:high, po_index][None, :]
+                preferred = prefs[po_index][codes, target_codes]
+                weak &= preferred
+                strict |= preferred & (codes != target_codes)
+            out[low:high] = (weak & strict).any(axis=0)
+        return out.tolist()
 
     def covers_many(
         self, cover_sets: Sequence[IntervalSet], target: IntervalSet

@@ -1,0 +1,36 @@
+"""Sharded parallel execution of skyline queries.
+
+Classic divide-and-conquer skyline decomposition on top of the library's
+kernel layer: partition the dataset into shards once
+(:mod:`repro.parallel.partition`), compute per-shard local skylines — in
+process or on a persistent :mod:`multiprocessing` worker pool with
+process-local shard state — and merge by cross-examining the local skylines
+through one batched kernel call per shard pair
+(:mod:`repro.parallel.executor`).
+"""
+
+from repro.parallel.executor import (
+    WORKERS_ENV_VAR,
+    ShardedExecutor,
+    ShardedQueryResult,
+    resolve_workers,
+)
+from repro.parallel.partition import (
+    PARTITIONERS,
+    Shard,
+    po_group_partition,
+    resolve_partitioner,
+    round_robin_partition,
+)
+
+__all__ = [
+    "PARTITIONERS",
+    "WORKERS_ENV_VAR",
+    "Shard",
+    "ShardedExecutor",
+    "ShardedQueryResult",
+    "po_group_partition",
+    "resolve_partitioner",
+    "resolve_workers",
+    "round_robin_partition",
+]

@@ -1,0 +1,461 @@
+"""The sharded executor: local skylines per shard, batched cross-shard merge.
+
+The classic divide-and-conquer skyline identity: for any partition of the
+data into shards, the global skyline is exactly the set of local skyline
+records not dominated by a local skyline record of another shard.  (A record
+dominated by anything is dominated by a skyline record of the dominator's
+shard; a local skyline record not dominated across shards is dominated by
+nothing.)  :class:`ShardedExecutor` exploits it in two phases:
+
+* **Local phase** — each shard's skyline is computed with sTSS (or SFS for
+  TO-only schemas).  With ``workers >= 1`` the phase runs on a persistent
+  :mod:`multiprocessing` pool whose workers hold the shards in process-local
+  state: shards are shipped once at pool startup, and per query only the
+  preference-DAG overrides travel.  Each worker keeps a per-topology interval
+  encoding cache, mirroring the batch engine's.
+* **Merge phase** — local skylines are cross-examined through one batched
+  :meth:`~repro.kernels.base.DominanceKernel.record_block_dominated_mask`
+  call per shard pair (targets already eliminated by an earlier pair are
+  dropped from later calls).
+
+``workers = 0`` runs both phases in-process — same partition and merge, no
+pool — which is the deterministic baseline the property tests compare
+against, and what a one-core host should use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.stss import stss_skyline
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.engine.encodings import DagKey, EncodingCache, dag_signature
+from repro.engine.lru import LRUDict
+from repro.exceptions import ExperimentError, QueryError
+from repro.kernels import resolve_kernel
+from repro.kernels.tables import RecordTables
+from repro.order.dag import PartialOrderDAG
+from repro.parallel.partition import Shard, resolve_partitioner
+from repro.skyline.dominance import RecordEncoder
+from repro.skyline.sfs import sfs_skyline
+
+#: Environment variable consulted when no explicit worker count is given
+#: (mirrors ``REPRO_KERNEL`` for the kernel backend).
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: int | str | None = None) -> int:
+    """Coerce a worker-count argument (int, string, or ``None`` for the env).
+
+    ``0`` means in-process execution (no pool); ``None`` falls back to the
+    ``REPRO_WORKERS`` environment variable, else ``0``.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR)
+        if raw is None or not raw.strip():
+            return 0
+        workers = raw
+    try:
+        count = int(workers)
+    except (TypeError, ValueError):
+        raise ExperimentError(f"worker count must be an integer, got {workers!r}") from None
+    if count < 0:
+        raise ExperimentError(f"worker count must be >= 0, got {count}")
+    return count
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side machinery
+# ---------------------------------------------------------------------- #
+class _WorkerState:
+    """Process-local state of one pool worker (or of the inline executor).
+
+    Holds only the shards *owned* by this worker (shipped once at pool
+    startup, keyed by shard index) plus a per-DAG interval encoding cache,
+    so repeated queries against the same topology re-derive nothing.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        shard_datasets: dict[int, Dataset],
+        kernel_name: str | None,
+        max_entries: int,
+        encoding_cache_size: int,
+    ) -> None:
+        self.schema = schema
+        self.shard_datasets = shard_datasets
+        self.kernel = resolve_kernel(kernel_name)
+        self.max_entries = max_entries
+        self._encoding_cache = EncodingCache(encoding_cache_size)
+
+    def local_skyline(
+        self, shard_index: int, overrides: Mapping[str, PartialOrderDAG]
+    ) -> list[int]:
+        """Local skyline ids (shard-local positions) of one shard."""
+        dataset = self.shard_datasets[shard_index]
+        if not len(dataset):
+            return []
+        if overrides:
+            schema = self.schema.replace_partial_order(dict(overrides))
+            dataset = dataset.with_schema(schema, validate=False)
+        if self.schema.num_partial_order:
+            result = stss_skyline(
+                dataset,
+                encodings=self._encoding_cache.encodings_for(
+                    self.schema.partial_order_attributes, overrides
+                ),
+                max_entries=self.max_entries,
+                kernel=self.kernel,
+            )
+        else:
+            result = sfs_skyline(dataset, kernel=self.kernel)
+        return result.skyline_ids
+
+
+_WORKER_STATE: _WorkerState | None = None
+
+
+def _init_worker(
+    schema: Schema,
+    shard_datasets: dict[int, Dataset],
+    kernel_name: str | None,
+    max_entries: int,
+    encoding_cache_size: int,
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = _WorkerState(
+        schema, shard_datasets, kernel_name, max_entries, encoding_cache_size
+    )
+
+
+def _worker_local_skyline(
+    task: tuple[int, dict[str, PartialOrderDAG]],
+) -> tuple[int, list[int]]:
+    shard_index, overrides = task
+    assert _WORKER_STATE is not None, "worker pool used before initialization"
+    return shard_index, _WORKER_STATE.local_skyline(shard_index, overrides)
+
+
+# ---------------------------------------------------------------------- #
+# Results
+# ---------------------------------------------------------------------- #
+@dataclass
+class ShardedQueryResult:
+    """Outcome of one sharded skyline query, with per-phase accounting."""
+
+    name: str
+    skyline_ids: list[int]
+    seconds: float
+    seconds_local: float
+    seconds_merge: float
+    local_skyline_sizes: list[int] = field(default_factory=list)
+    merge_pairs: int = 0
+    merge_checks: int = 0
+
+    @property
+    def skyline_set(self) -> frozenset[int]:
+        return frozenset(self.skyline_ids)
+
+
+class _MergeCounter:
+    """Minimal dominance-check counter accepted by the kernel layer."""
+
+    __slots__ = ("dominance_checks",)
+
+    def __init__(self) -> None:
+        self.dominance_checks = 0
+
+
+# ---------------------------------------------------------------------- #
+# The executor
+# ---------------------------------------------------------------------- #
+class ShardedExecutor:
+    """Answer dynamic-preference skyline queries over a sharded dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The relation to shard.  Shards are derived once at construction.
+    num_shards:
+        Number of shards; defaults to ``max(1, workers)``.
+    workers:
+        Worker processes for the local phase.  ``0`` (default, or via the
+        ``REPRO_WORKERS`` environment variable) runs in-process; ``>= 1``
+        uses a persistent pool started lazily on the first query (or
+        explicitly with :meth:`start`).
+    partitioner:
+        ``"round-robin"``, ``"po-group"``, or a callable (see
+        :mod:`repro.parallel.partition`).
+    kernel / max_entries:
+        Dominance kernel backend and R-tree fanout, forwarded to the local
+        sTSS runs and the merge phase.
+    encoding_cache_size:
+        LRU bound of each worker's per-DAG interval-encoding cache (the
+        batch engine forwards its ``cache_size`` here).
+    task_timeout:
+        Seconds to wait for one shard's local skyline from the pool before
+        failing the query with :class:`~repro.exceptions.QueryError` —
+        without it a crashed worker (e.g. OOM-killed) would wedge the query,
+        and any service serializing on it, forever.  ``None`` disables.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        num_shards: int | None = None,
+        workers: int | str | None = None,
+        partitioner="round-robin",
+        kernel=None,
+        max_entries: int = 32,
+        encoding_cache_size: int = 256,
+        task_timeout: float | None = 600.0,
+    ) -> None:
+        self.dataset = dataset
+        self.schema = dataset.schema
+        self.workers = resolve_workers(workers)
+        self.num_shards = max(1, self.workers) if num_shards is None else num_shards
+        if self.num_shards < 1:
+            raise QueryError(f"num_shards must be >= 1, got {self.num_shards}")
+        self.partitioner_name, partition = resolve_partitioner(partitioner)
+        self.shards: list[Shard] = partition(dataset, self.num_shards)
+        self.kernel = resolve_kernel(kernel)
+        self.max_entries = max_entries
+        self.encoding_cache_size = encoding_cache_size
+        self.task_timeout = task_timeout
+        self.queries_answered = 0
+        self._pools: list[multiprocessing.pool.Pool] | None = None
+        self._inline_state: _WorkerState | None = None
+        self._merge_tables: LRUDict[tuple[DagKey, ...], tuple[RecordTables, RecordEncoder]]
+        self._merge_tables = LRUDict(encoding_cache_size)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _owner_of(self, shard_index: int) -> int:
+        """The worker owning a shard (fixed round-robin assignment)."""
+        return shard_index % self.workers
+
+    def start(self) -> "ShardedExecutor":
+        """Start the worker pool (no-op when ``workers == 0`` or already up).
+
+        Each worker is a single-process pool that receives *only its own
+        shards* (fixed round-robin shard-to-worker assignment) exactly once,
+        through the pool initializer — per query only the DAG overrides
+        travel.  Forking is only safe while the process is single-threaded
+        (forking a multithreaded process can clone held locks into the
+        child), so callers that spin up threads or an event loop — the query
+        service does both — should start the pool eagerly; a lazy start from
+        a multithreaded process falls back to ``spawn``.
+        """
+        if self.workers >= 1 and self._pools is None:
+            can_fork = (
+                "fork" in multiprocessing.get_all_start_methods()
+                and threading.active_count() == 1
+            )
+            context = multiprocessing.get_context("fork" if can_fork else "spawn")
+            pools = []
+            for worker in range(self.workers):
+                owned = {
+                    index: shard.dataset
+                    for index, shard in enumerate(self.shards)
+                    if self._owner_of(index) == worker
+                }
+                pools.append(
+                    context.Pool(
+                        processes=1,
+                        initializer=_init_worker,
+                        initargs=(
+                            self.schema,
+                            owned,
+                            self.kernel.name,
+                            self.max_entries,
+                            self.encoding_cache_size,
+                        ),
+                    )
+                )
+            self._pools = pools
+        return self
+
+    def close(self) -> None:
+        """Shut the worker pools down (idempotent)."""
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.terminate()
+            for pool in self._pools:
+                pool.join()
+            self._pools = None
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Query execution
+    # ------------------------------------------------------------------ #
+    def _validate_overrides(self, overrides: Mapping[str, PartialOrderDAG]) -> None:
+        attributes = {a.name: a for a in self.schema.partial_order_attributes}
+        unknown = set(overrides) - set(attributes)
+        if unknown:
+            raise QueryError(f"query overrides non-PO attributes: {sorted(unknown)}")
+        # Shard workers skip row re-validation (validate=False), so check up
+        # front that every override covers its attribute's whole domain —
+        # the cheap equivalent of the single-process path's row validation.
+        for name, dag in overrides.items():
+            missing = set(attributes[name].domain) - set(dag.values)
+            if missing:
+                raise QueryError(
+                    f"override for {name!r} is missing domain values: "
+                    f"{sorted(missing, key=repr)}"
+                )
+
+    def _local_phase(
+        self, overrides: dict[str, PartialOrderDAG]
+    ) -> list[list[int]]:
+        """Per shard: parent-dataset ids of the shard's local skyline."""
+        tasks = [
+            (index, overrides) for index, shard in enumerate(self.shards) if len(shard)
+        ]
+        if self.workers >= 1:
+            self.start()
+            assert self._pools is not None
+            pending = [
+                self._pools[self._owner_of(index)].apply_async(
+                    _worker_local_skyline, ((index, overrides),)
+                )
+                for index, overrides in tasks
+            ]
+            try:
+                outcomes = [result.get(self.task_timeout) for result in pending]
+            except multiprocessing.TimeoutError:
+                raise QueryError(
+                    f"sharded local phase did not finish within "
+                    f"{self.task_timeout:.0f}s (crashed or overloaded worker?)"
+                ) from None
+        else:
+            if self._inline_state is None:
+                self._inline_state = _WorkerState(
+                    self.schema,
+                    {index: shard.dataset for index, shard in enumerate(self.shards)},
+                    self.kernel.name,
+                    self.max_entries,
+                    self.encoding_cache_size,
+                )
+            outcomes = [
+                (index, self._inline_state.local_skyline(index, overrides))
+                for index, _ in tasks
+            ]
+        local_ids: list[list[int]] = [[] for _ in self.shards]
+        for shard_index, positions in outcomes:
+            record_ids = self.shards[shard_index].record_ids
+            local_ids[shard_index] = [record_ids[position] for position in positions]
+        return local_ids
+
+    def _merge_artifacts(
+        self, overrides: dict[str, PartialOrderDAG]
+    ) -> tuple[RecordTables, RecordEncoder]:
+        """Per-topology ground-truth tables/encoder for the merge phase."""
+        key = tuple(
+            dag_signature(overrides.get(attribute.name, attribute.dag))
+            for attribute in self.schema.partial_order_attributes
+        )
+        cached = self._merge_tables.get(key)
+        if cached is None:
+            schema = (
+                self.schema.replace_partial_order(overrides) if overrides else self.schema
+            )
+            tables = RecordTables.from_schema(schema)
+            cached = (tables, RecordEncoder(schema, tables))
+            self._merge_tables[key] = cached
+        return cached
+
+    def _merge_phase(
+        self,
+        local_ids: list[list[int]],
+        overrides: dict[str, PartialOrderDAG],
+        counter: _MergeCounter,
+    ) -> tuple[list[int], int]:
+        """Cross-examine local skylines; returns (survivor ids, pair count)."""
+        tables, encoder = self._merge_artifacts(overrides)
+        encoded = [
+            [encoder.encode(self.dataset[record_id]) for record_id in ids]
+            for ids in local_ids
+        ]
+        survivors: list[int] = []
+        pairs = 0
+        for i, ids in enumerate(local_ids):
+            # Indices of shard i members still alive; shrink after each pair so
+            # later pairs cross-examine only the remaining contenders.
+            alive = list(range(len(ids)))
+            for j, dominators in enumerate(encoded):
+                if i == j or not alive or not dominators:
+                    continue
+                pairs += 1
+                targets = [encoded[i][index] for index in alive]
+                mask = self.kernel.record_block_dominated_mask(
+                    tables, dominators, targets, counter=counter
+                )
+                alive = [index for index, dead in zip(alive, mask) if not dead]
+            survivors.extend(ids[index] for index in alive)
+        return sorted(survivors), pairs
+
+    def query(
+        self,
+        dag_overrides: Mapping[str, PartialOrderDAG] | None = None,
+        *,
+        name: str = "query",
+    ) -> ShardedQueryResult:
+        """Compute the skyline under (possibly overridden) preferences.
+
+        Returns parent-dataset record ids, identical to what a single-process
+        sTSS run over the whole dataset would report.
+        """
+        overrides = dict(dag_overrides or {})
+        self._validate_overrides(overrides)
+        started = time.perf_counter()
+        local_ids = self._local_phase(overrides)
+        local_done = time.perf_counter()
+        counter = _MergeCounter()
+        skyline_ids, pairs = self._merge_phase(local_ids, overrides, counter)
+        finished = time.perf_counter()
+        self.queries_answered += 1
+        return ShardedQueryResult(
+            name=name,
+            skyline_ids=skyline_ids,
+            seconds=finished - started,
+            seconds_local=local_done - started,
+            seconds_merge=finished - local_done,
+            local_skyline_sizes=[len(ids) for ids in local_ids],
+            merge_pairs=pairs,
+            merge_checks=counter.dominance_checks,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict[str, object]:
+        return {
+            "dataset_size": len(self.dataset),
+            "num_shards": self.num_shards,
+            "shard_sizes": [len(shard) for shard in self.shards],
+            "workers": self.workers,
+            "partitioner": self.partitioner_name,
+            "kernel": self.kernel.name,
+            "queries_answered": self.queries_answered,
+            "pool_running": self._pools is not None,
+        }

@@ -1,0 +1,116 @@
+"""Dataset sharding strategies for the parallel executor.
+
+A *partitioner* splits a :class:`~repro.data.dataset.Dataset` into a fixed
+number of :class:`Shard` objects.  Correctness of the divide-and-conquer
+skyline (local skylines + cross-shard merge) does not depend on the strategy —
+any partition works — but the strategy shapes the constants:
+
+* :func:`round_robin_partition` — deal records out cyclically.  Shard sizes
+  differ by at most one, and records that are adjacent in generation order
+  (often correlated) land on different shards.
+* :func:`po_group_partition` — keep all records that share one PO value
+  combination on the same shard (largest groups first, each assigned to the
+  currently smallest shard).  Records of a group tie on every PO attribute
+  under every preference DAG, so their mutual dominance is decided by the TO
+  attributes alone; co-locating them lets the per-shard skyline pass resolve
+  those fights locally instead of deferring them to the merge phase.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+
+from repro.data.dataset import Dataset
+from repro.exceptions import QueryError
+
+Value = Hashable
+
+#: A partitioner maps ``(dataset, num_shards)`` to exactly ``num_shards`` shards.
+Partitioner = Callable[[Dataset, int], list["Shard"]]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One horizontal slice of a dataset.
+
+    ``record_ids[i]`` is the parent-dataset id of the shard record with local
+    id ``i`` (subsets re-assign ids positionally), so local skyline ids map
+    back to parent ids by indexing.
+    """
+
+    shard_id: int
+    record_ids: tuple[int, ...]
+    dataset: Dataset
+
+    def __len__(self) -> int:
+        return len(self.record_ids)
+
+
+def _check_num_shards(num_shards: int) -> None:
+    if num_shards < 1:
+        raise QueryError(f"num_shards must be >= 1, got {num_shards}")
+
+
+def _build_shards(dataset: Dataset, assignments: list[list[int]]) -> list[Shard]:
+    return [
+        Shard(
+            shard_id=shard_id,
+            record_ids=tuple(ids),
+            dataset=dataset.subset(ids),
+        )
+        for shard_id, ids in enumerate(assignments)
+    ]
+
+
+def round_robin_partition(dataset: Dataset, num_shards: int) -> list[Shard]:
+    """Deal records out cyclically; shard sizes differ by at most one."""
+    _check_num_shards(num_shards)
+    assignments: list[list[int]] = [[] for _ in range(num_shards)]
+    for record in dataset.records:
+        assignments[record.id % num_shards].append(record.id)
+    return _build_shards(dataset, assignments)
+
+
+def po_group_partition(dataset: Dataset, num_shards: int) -> list[Shard]:
+    """Keep each PO-combination group whole; balance group sizes greedily.
+
+    Groups are placed largest-first onto the currently smallest shard (ties
+    broken by shard id), the classic longest-processing-time heuristic.  For
+    TO-only schemas every record is its own group, which degenerates to a
+    balanced — but order-scrambled — assignment, so round-robin is used
+    instead.
+    """
+    _check_num_shards(num_shards)
+    schema = dataset.schema
+    if not schema.num_partial_order:
+        return round_robin_partition(dataset, num_shards)
+    groups: dict[tuple[Value, ...], list[int]] = {}
+    for record in dataset.records:
+        groups.setdefault(schema.partial_values(record.values), []).append(record.id)
+    assignments: list[list[int]] = [[] for _ in range(num_shards)]
+    # Sort by (size desc, first id) so the assignment is deterministic.
+    for member_ids in sorted(groups.values(), key=lambda ids: (-len(ids), ids[0])):
+        smallest = min(range(num_shards), key=lambda i: len(assignments[i]))
+        assignments[smallest].extend(member_ids)
+    for ids in assignments:
+        ids.sort()
+    return _build_shards(dataset, assignments)
+
+
+PARTITIONERS: dict[str, Partitioner] = {
+    "round-robin": round_robin_partition,
+    "po-group": po_group_partition,
+}
+
+
+def resolve_partitioner(partitioner: str | Partitioner) -> tuple[str, Partitioner]:
+    """Coerce a partitioner argument (name or callable) to ``(name, callable)``."""
+    if callable(partitioner):
+        return getattr(partitioner, "__name__", "custom"), partitioner
+    try:
+        return partitioner, PARTITIONERS[partitioner]
+    except KeyError:
+        raise QueryError(
+            f"unknown partitioner {partitioner!r}; known: {sorted(PARTITIONERS)}"
+        ) from None

@@ -1,0 +1,139 @@
+"""A blocking JSON-lines client for the query service.
+
+Used by the ``repro query`` CLI subcommand, the integration tests and the CI
+smoke test.  One :class:`ServiceClient` holds one TCP connection; requests
+and responses are matched one-to-one, so a client instance must not be shared
+across threads (open one per thread — the server multiplexes connections).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from collections.abc import Mapping
+
+from repro.exceptions import ServiceError
+from repro.order.dag import PartialOrderDAG
+from repro.service import protocol
+
+DEFAULT_HOST = "127.0.0.1"
+#: Default TCP port of ``repro serve`` (unassigned range, mnemonic: ICDE'09).
+DEFAULT_PORT = 7409
+
+
+class ServiceClient:
+    """One blocking connection to a running query service."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as error:
+            raise ServiceError(f"cannot connect to {host}:{port}: {error}") from error
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def request(self, payload: Mapping[str, object]) -> dict[str, object]:
+        """Send one request object, return the raw response object."""
+        try:
+            self._file.write(json.dumps(dict(payload)).encode("utf-8") + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as error:
+            raise ServiceError(f"service connection failed: {error}") from error
+        if not line:
+            raise ServiceError("service closed the connection")
+        try:
+            response = json.loads(line)
+        except ValueError as error:
+            raise ServiceError(f"malformed service response: {error}") from error
+        if not isinstance(response, dict):
+            raise ServiceError("service response is not a JSON object")
+        return response
+
+    def checked_request(self, payload: Mapping[str, object]) -> dict[str, object]:
+        """Like :meth:`request`, but raises :class:`ServiceError` on ``ok: false``."""
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ServiceError(str(response.get("error", "unknown service error")))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def ping(self) -> dict[str, object]:
+        return self.checked_request({"op": "ping"})
+
+    def stats(self) -> dict[str, object]:
+        return self.checked_request({"op": "stats"})["stats"]  # type: ignore[return-value]
+
+    def query(
+        self,
+        *,
+        seed: int | None = None,
+        overrides: Mapping[str, PartialOrderDAG] | None = None,
+        name: str | None = None,
+        omit_ids: bool = False,
+    ) -> dict[str, object]:
+        """One skyline query: by server-side ``seed``, explicit ``overrides``
+        (encoded for the wire here), or neither for the base preferences."""
+        payload: dict[str, object] = {"op": "query"}
+        if seed is not None:
+            payload["seed"] = seed
+        if overrides is not None:
+            payload["overrides"] = protocol.encode_overrides(overrides)
+        if name is not None:
+            payload["name"] = name
+        if omit_ids:
+            payload["omit_ids"] = True
+        return self.checked_request(payload)
+
+    def shutdown(self) -> dict[str, object]:
+        """Ask the server to stop; the server answers before stopping."""
+        return self.checked_request({"op": "shutdown"})
+
+
+def wait_for_service(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    *,
+    timeout: float = 30.0,
+    interval: float = 0.2,
+) -> None:
+    """Block until a service answers ``ping`` at ``host:port`` (or raise).
+
+    The readiness probe used by the CI smoke test and ``repro query --wait``.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient(host, port, timeout=min(5.0, timeout)) as client:
+                client.ping()
+            return
+        except ServiceError as error:
+            last_error = error
+            time.sleep(interval)
+    raise ServiceError(
+        f"service at {host}:{port} not ready after {timeout:.0f}s: {last_error}"
+    )

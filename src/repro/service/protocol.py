@@ -1,0 +1,108 @@
+"""Wire format of the query service: newline-delimited JSON over TCP.
+
+Each request and each response is one JSON object on one line (UTF-8,
+``\\n``-terminated).  Requests carry an ``op``:
+
+``ping``
+    Liveness probe; answers ``{"ok": true, "pong": true}``.
+``stats``
+    Engine/cache/shard statistics plus service latency aggregates.
+``query``
+    One dynamic-preference skyline query.  The preference DAGs come from one
+    of: ``overrides`` (explicit per-attribute DAGs, see :func:`encode_dag`),
+    ``seed`` (server-side random preferences — handy for smoke tests, since
+    the client needs no schema knowledge), or neither (the dataset's base
+    preferences).
+``shutdown``
+    Acknowledge, then stop the server cleanly.
+
+Responses always carry ``ok``; failures carry ``error`` and never tear the
+connection down.  PO domain values must be JSON scalars (the synthetic
+workloads use integer bitmasks); an override must keep its attribute's value
+domain — dynamic preference queries re-rank an existing domain, they do not
+change it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.data.schema import Schema
+from repro.exceptions import QueryError, ReproError
+from repro.order.dag import PartialOrderDAG
+
+#: Protocol revision, reported by ``ping`` and ``stats``.
+PROTOCOL_VERSION = 1
+
+
+def encode_dag(dag: PartialOrderDAG) -> dict[str, object]:
+    """JSON payload of one preference DAG: domain values plus edges."""
+    return {
+        "values": list(dag.values),
+        "edges": [[better, worse] for better, worse in dag.edges],
+    }
+
+
+def decode_dag(payload: object) -> PartialOrderDAG:
+    """Parse one preference DAG from its JSON payload (strictly validated)."""
+    if not isinstance(payload, Mapping):
+        raise QueryError(f"a DAG override must be an object, got {type(payload).__name__}")
+    values = payload.get("values")
+    edges = payload.get("edges", [])
+    if not isinstance(values, list) or not values:
+        raise QueryError("a DAG override needs a non-empty 'values' list")
+    if not isinstance(edges, list):
+        raise QueryError("'edges' must be a list of [better, worse] pairs")
+    pairs = []
+    for edge in edges:
+        if not isinstance(edge, list) or len(edge) != 2:
+            raise QueryError(f"malformed edge {edge!r}; expected [better, worse]")
+        pairs.append((edge[0], edge[1]))
+    try:
+        return PartialOrderDAG(values, pairs)
+    except ReproError as error:
+        raise QueryError(f"invalid DAG override: {error}") from error
+
+
+def encode_overrides(
+    overrides: Mapping[str, PartialOrderDAG],
+) -> dict[str, dict[str, object]]:
+    """JSON payload of a whole per-attribute override mapping."""
+    return {name: encode_dag(dag) for name, dag in overrides.items()}
+
+
+def decode_overrides(
+    payload: object, schema: Schema
+) -> dict[str, PartialOrderDAG]:
+    """Parse and validate the ``overrides`` field of a query request.
+
+    Checks attribute names against the schema and requires each override to
+    keep the attribute's value domain.
+    """
+    if payload is None:
+        return {}
+    if not isinstance(payload, Mapping):
+        raise QueryError("'overrides' must map PO attribute names to DAG objects")
+    po_attributes = {a.name: a for a in schema.partial_order_attributes}
+    overrides: dict[str, PartialOrderDAG] = {}
+    for name, dag_payload in payload.items():
+        attribute = po_attributes.get(name)
+        if attribute is None:
+            raise QueryError(
+                f"unknown PO attribute {name!r}; known: {sorted(po_attributes)}"
+            )
+        dag = decode_dag(dag_payload)
+        if set(dag.values) != set(attribute.domain):
+            raise QueryError(
+                f"override for {name!r} must keep the attribute's value domain"
+            )
+        overrides[name] = dag
+    return overrides
+
+
+def ok_response(**fields: object) -> dict[str, object]:
+    return {"ok": True, **fields}
+
+
+def error_response(message: str) -> dict[str, object]:
+    return {"ok": False, "error": message}

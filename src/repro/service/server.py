@@ -1,0 +1,248 @@
+"""The asyncio query server behind ``repro serve``.
+
+:class:`QueryService` owns one :class:`~repro.engine.batch.BatchQueryEngine`
+(and through it, optionally, a sharded executor with a persistent worker
+pool).  All connected clients share the engine — and therefore its
+per-PO-group prefilter, its bounded per-topology result cache and the pool —
+which is the whole point of running the engine as a service instead of a
+per-query process.
+
+Queries are CPU-bound, so they run on the event loop's default thread-pool
+executor behind an :class:`asyncio.Lock` (the engine is not thread-safe):
+the loop stays responsive to new connections, pings and stats while a query
+computes, and queries from concurrent clients serialize.  A query stream
+that needs more parallelism scales *inside* a query via the sharded
+executor's workers, not by running engine calls concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from repro.data.dataset import Dataset
+from repro.engine.batch import (
+    DEFAULT_CACHE_SIZE,
+    BatchQuery,
+    BatchQueryEngine,
+    random_query_preferences,
+)
+from repro.exceptions import ReproError
+from repro.service import protocol
+
+#: Refuse request lines larger than this (1 MB covers any sane DAG override).
+MAX_REQUEST_BYTES = 1 << 20
+
+
+class QueryService:
+    """A shared-engine skyline query service speaking the JSON protocol."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        *,
+        kernel=None,
+        workers: int | str | None = None,
+        num_shards: int | None = None,
+        partitioner="round-robin",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_entries: int = 32,
+        prefilter: bool = True,
+    ) -> None:
+        self.engine = BatchQueryEngine(
+            dataset,
+            kernel=kernel,
+            workers=workers,
+            num_shards=num_shards,
+            partitioner=partitioner,
+            cache_size=cache_size,
+            max_entries=max_entries,
+            prefilter=prefilter,
+        )
+        # Start the worker pool (if any) now, while the process is still
+        # single-threaded — the event loop and executor threads come later,
+        # and forking after they exist is unsafe (see ShardedExecutor.start).
+        if self.engine.executor is not None:
+            self.engine.executor.start()
+        self.schema = dataset.schema
+        self.started_at = time.time()
+        self.connections_served = 0
+        self.requests_served = 0
+        self.query_seconds_total = 0.0
+        self.query_seconds_max = 0.0
+        self._engine_lock = asyncio.Lock()
+        self._shutdown = asyncio.Event()
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self, host: str, port: int) -> tuple[str, int]:
+        """Bind and start serving; returns the actual ``(host, port)``.
+
+        Pass ``port=0`` for an ephemeral port (tests, CI smoke).
+        """
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port, limit=MAX_REQUEST_BYTES
+        )
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a client sends ``shutdown`` (or the task is cancelled)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._shutdown.wait()
+            # Unblock handlers parked in readline() on idle connections —
+            # Server.wait_closed() (the context exit) waits for them on
+            # Python >= 3.12, so a lingering client must not hold us up.
+            for writer in list(self._connections):
+                writer.close()
+        # On Python < 3.12 wait_closed() does NOT wait for handlers, so an
+        # in-flight query may still hold the worker pool; closing the engine
+        # under the query lock would otherwise terminate the pool mid-map and
+        # strand the executor thread forever.
+        async with self._engine_lock:
+            self.engine.close()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        self._connections.add(writer)
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except ConnectionError:
+                    break
+                except ValueError:  # request line exceeded MAX_REQUEST_BYTES
+                    await self._respond(
+                        writer, protocol.error_response("request too large")
+                    )
+                    break
+                if not line:
+                    break
+                response = await self._dispatch_line(line)
+                delivered = await self._respond(writer, response)
+                if response.get("stopping"):
+                    # Honor the shutdown even when the acknowledgment could
+                    # not be delivered (fire-and-forget client).
+                    self.request_shutdown()
+                    break
+                if not delivered:
+                    break
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform-dependent
+                pass
+
+    async def _respond(self, writer: asyncio.StreamWriter, response: dict) -> bool:
+        """Write one response line; False when the client is already gone."""
+        try:
+            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    async def _dispatch_line(self, line: bytes) -> dict[str, object]:
+        try:
+            request = json.loads(line)
+        except ValueError:
+            return protocol.error_response("request is not valid JSON")
+        if not isinstance(request, dict):
+            return protocol.error_response("request must be a JSON object")
+        self.requests_served += 1
+        op = request.get("op", "query")
+        try:
+            if op == "ping":
+                return protocol.ok_response(pong=True, protocol=protocol.PROTOCOL_VERSION)
+            if op == "stats":
+                return protocol.ok_response(stats=self.stats())
+            if op == "shutdown":
+                return protocol.ok_response(stopping=True)
+            if op == "query":
+                return await self._run_query(request)
+            return protocol.error_response(f"unknown op {op!r}")
+        except ReproError as error:
+            return protocol.error_response(str(error))
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+    def _build_query(self, request: dict[str, object]) -> BatchQuery:
+        seed = request.get("seed")
+        overrides_payload = request.get("overrides")
+        if seed is not None and overrides_payload is not None:
+            raise ReproError("a query takes 'seed' or 'overrides', not both")
+        if seed is not None:
+            if not isinstance(seed, int):
+                raise ReproError("'seed' must be an integer")
+            overrides = random_query_preferences(self.schema, seed)
+            default_name = f"q{seed}"
+        else:
+            overrides = protocol.decode_overrides(overrides_payload, self.schema)
+            default_name = "query" if overrides else "base"
+        name = request.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ReproError("'name' must be a string")
+        return BatchQuery(name=name or default_name, dag_overrides=overrides)
+
+    async def _run_query(self, request: dict[str, object]) -> dict[str, object]:
+        query = self._build_query(request)
+        loop = asyncio.get_running_loop()
+        async with self._engine_lock:
+            result = await loop.run_in_executor(None, self.engine.run_query, query)
+        self.query_seconds_total += result.seconds
+        self.query_seconds_max = max(self.query_seconds_max, result.seconds)
+        payload: dict[str, object] = {
+            "name": result.name,
+            "skyline_size": len(result.skyline_ids),
+            "from_cache": result.from_cache,
+            "seconds": result.seconds,
+        }
+        if not request.get("omit_ids"):
+            payload["skyline_ids"] = result.skyline_ids
+        return protocol.ok_response(**payload)
+
+    def stats(self) -> dict[str, object]:
+        """Cache, shard and latency statistics for the ``stats`` op."""
+        engine_summary = self.engine.summary()
+        queries = self.engine.queries_evaluated + self.engine.cache_hits
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "uptime_seconds": time.time() - self.started_at,
+            "connections_served": self.connections_served,
+            "requests_served": self.requests_served,
+            "queries": queries,
+            "query_seconds_total": self.query_seconds_total,
+            "query_seconds_mean": self.query_seconds_total / queries if queries else 0.0,
+            "query_seconds_max": self.query_seconds_max,
+            "schema": {
+                "attributes": [
+                    {
+                        "name": attribute.name,
+                        "kind": "po" if attribute.is_partial else "to",
+                        **(
+                            {"domain_size": len(attribute.domain)}
+                            if attribute.is_partial
+                            else {}
+                        ),
+                    }
+                    for attribute in self.schema.attributes
+                ],
+            },
+            "engine": engine_summary,
+        }

@@ -129,3 +129,59 @@ class TestValidation:
         assert summary["cache_hits"] == 1
         assert summary["dataset_size"] == len(dataset)
         assert 0 < summary["candidates_after_prefilter"] <= len(dataset)
+
+
+class TestBoundedCaches:
+    def test_result_cache_is_lru_bounded(self, workload):
+        schema, dataset = workload
+        engine = BatchQueryEngine(dataset, cache_size=2)
+        engine.run(queries_from_seeds(schema, [1, 2, 3]))
+        summary = engine.summary()
+        assert summary["cached_topologies"] <= 2
+        assert summary["cache_capacity"] == 2
+        assert summary["cache_evictions"] >= 1
+        # The evicted topology (seed 1) must be recomputed, not served stale.
+        result = engine.run_query(queries_from_seeds(schema, [1])[0])
+        assert not result.from_cache
+        reference = stss_skyline(
+            dataset.with_schema(
+                schema.replace_partial_order(random_query_preferences(schema, 1))
+            )
+        )
+        assert result.skyline_set == frozenset(reference.skyline_ids)
+
+    def test_recently_used_entries_survive(self, workload):
+        schema, dataset = workload
+        engine = BatchQueryEngine(dataset, cache_size=2)
+        q1, q2, q3 = queries_from_seeds(schema, [1, 2, 3])
+        engine.run([q1, q2, q1, q3])  # refresh q1 before q3 evicts q2
+        assert engine.run_query(q1).from_cache
+        assert not engine.run_query(q2).from_cache
+
+    def test_cache_size_must_be_positive(self, workload):
+        _, dataset = workload
+        with pytest.raises(QueryError):
+            BatchQueryEngine(dataset, cache_size=0)
+
+
+class TestShardedEngine:
+    @pytest.mark.parametrize("workers,num_shards", [(0, 3), (2, 4)])
+    def test_sharded_engine_matches_single_process(self, workload, workers, num_shards):
+        schema, dataset = workload
+        plain = BatchQueryEngine(dataset)
+        queries = [BatchQuery("base")] + queries_from_seeds(schema, [11, 12])
+        with BatchQueryEngine(dataset, workers=workers, num_shards=num_shards) as sharded:
+            for a, b in zip(plain.run(queries), sharded.run(queries)):
+                assert a.skyline_set == b.skyline_set
+            summary = sharded.summary()
+            assert summary["workers"] == workers
+            assert summary["sharding"]["num_shards"] == num_shards
+
+    def test_workers_env_var_mirrors_flag(self, workload, monkeypatch):
+        _, dataset = workload
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert BatchQueryEngine(dataset).executor is None
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert BatchQueryEngine(dataset).executor is None
+        with BatchQueryEngine(dataset, workers=0, num_shards=2) as engine:
+            assert engine.executor is not None and engine.executor.workers == 0

@@ -1,0 +1,107 @@
+"""Unit tests for the dataset sharding strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.parallel.partition import (
+    PARTITIONERS,
+    po_group_partition,
+    resolve_partitioner,
+    round_robin_partition,
+)
+
+
+def _all_ids(shards):
+    ids = [record_id for shard in shards for record_id in shard.record_ids]
+    return sorted(ids)
+
+
+class TestRoundRobin:
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 7])
+    def test_partition_covers_every_record_once(self, small_workload, num_shards):
+        _, dataset = small_workload
+        shards = round_robin_partition(dataset, num_shards)
+        assert len(shards) == num_shards
+        assert _all_ids(shards) == [record.id for record in dataset.records]
+
+    def test_sizes_differ_by_at_most_one(self, small_workload):
+        _, dataset = small_workload
+        sizes = [len(shard) for shard in round_robin_partition(dataset, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_records(self, small_workload):
+        _, dataset = small_workload
+        few = dataset.subset([0, 1, 2])
+        shards = round_robin_partition(few, 8)
+        assert len(shards) == 8
+        assert sum(len(shard) for shard in shards) == 3
+
+    def test_local_ids_map_back_positionally(self, small_workload):
+        _, dataset = small_workload
+        for shard in round_robin_partition(dataset, 4):
+            for position, record in enumerate(shard.dataset.records):
+                assert record.id == position
+                assert dataset[shard.record_ids[position]].values == record.values
+
+
+class TestPoGroupPartition:
+    def test_groups_stay_whole(self, small_workload):
+        schema, dataset = small_workload
+        shards = po_group_partition(dataset, 4)
+        assert _all_ids(shards) == [record.id for record in dataset.records]
+        home: dict[tuple, int] = {}
+        for shard in shards:
+            for record_id in shard.record_ids:
+                key = schema.partial_values(dataset[record_id].values)
+                assert home.setdefault(key, shard.shard_id) == shard.shard_id
+
+    def test_balances_group_sizes(self, small_workload):
+        _, dataset = small_workload
+        sizes = [len(shard) for shard in po_group_partition(dataset, 2)]
+        # LPT balancing cannot be perfect, but no shard should hold
+        # everything when there are many groups.
+        assert min(sizes) > 0
+        assert max(sizes) < len(dataset)
+
+    def test_to_only_schema_falls_back_to_round_robin(self):
+        from repro.data.dataset import Dataset
+        from repro.data.schema import Schema, TotalOrderAttribute
+
+        schema = Schema([TotalOrderAttribute("x")])
+        dataset = Dataset(schema, [(i,) for i in range(10)])
+        shards = po_group_partition(dataset, 3)
+        assert [shard.record_ids for shard in shards] == [
+            shard.record_ids for shard in round_robin_partition(dataset, 3)
+        ]
+
+    def test_deterministic(self, small_workload):
+        _, dataset = small_workload
+        first = po_group_partition(dataset, 3)
+        second = po_group_partition(dataset, 3)
+        assert [s.record_ids for s in first] == [s.record_ids for s in second]
+
+
+class TestResolution:
+    def test_known_names(self):
+        for name in PARTITIONERS:
+            resolved_name, func = resolve_partitioner(name)
+            assert resolved_name == name and callable(func)
+
+    def test_callable_passthrough(self):
+        name, func = resolve_partitioner(round_robin_partition)
+        assert func is round_robin_partition
+        assert name == "round_robin_partition"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(QueryError):
+            resolve_partitioner("hash")
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bad_shard_count_rejected(self, small_workload, bad):
+        _, dataset = small_workload
+        with pytest.raises(QueryError):
+            round_robin_partition(dataset, bad)
+        with pytest.raises(QueryError):
+            po_group_partition(dataset, bad)

@@ -1,0 +1,188 @@
+"""Property and integration tests for the sharded executor.
+
+The load-bearing property: for *any* dataset, *any* preference DAG topology,
+*any* shard count and *either* partitioner, the partition → local skyline →
+cross-shard merge pipeline returns exactly the single-process sTSS skyline.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stss import stss_skyline
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema, TotalOrderAttribute
+from repro.engine.batch import random_query_preferences
+from repro.exceptions import ExperimentError, QueryError
+from repro.kernels import available_kernels
+from repro.parallel import ShardedExecutor, resolve_workers
+from repro.skyline.sfs import sfs_skyline
+from tests.conftest import mixed_dataset_strategy
+
+
+class TestShardedMatchesSingleProcess:
+    """The hypothesis matrix of the acceptance criteria."""
+
+    @given(
+        dataset=mixed_dataset_strategy(max_rows=40),
+        num_shards=st.integers(min_value=1, max_value=8),
+        partitioner=st.sampled_from(["round-robin", "po-group"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_base_preferences(self, dataset, num_shards, partitioner):
+        reference = sorted(stss_skyline(dataset).skyline_ids)
+        executor = ShardedExecutor(
+            dataset, num_shards=num_shards, workers=0, partitioner=partitioner
+        )
+        assert executor.query().skyline_ids == reference
+
+    @given(
+        dataset=mixed_dataset_strategy(max_rows=30),
+        query_seed=st.integers(min_value=0, max_value=10_000),
+        num_shards=st.integers(min_value=1, max_value=8),
+        partitioner=st.sampled_from(["round-robin", "po-group"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dynamic_preference_overrides(
+        self, dataset, query_seed, num_shards, partitioner
+    ):
+        schema = dataset.schema
+        # Random preferences re-drawn over each attribute's own domain
+        # (dynamic queries re-rank a domain, they do not change it).
+        overrides = random_query_preferences(schema, query_seed)
+        reference = sorted(
+            stss_skyline(
+                dataset.with_schema(schema.replace_partial_order(overrides))
+            ).skyline_ids
+        )
+        executor = ShardedExecutor(
+            dataset, num_shards=num_shards, workers=0, partitioner=partitioner
+        )
+        assert executor.query(overrides).skyline_ids == reference
+
+    @pytest.mark.parametrize("kernel_name", available_kernels())
+    @pytest.mark.parametrize("partitioner", ["round-robin", "po-group"])
+    def test_workload_all_kernels(self, small_anticorrelated_workload, kernel_name, partitioner):
+        schema, dataset = small_anticorrelated_workload
+        reference = sorted(stss_skyline(dataset, kernel=kernel_name).skyline_ids)
+        executor = ShardedExecutor(
+            dataset, num_shards=5, workers=0, partitioner=partitioner, kernel=kernel_name
+        )
+        result = executor.query()
+        assert result.skyline_ids == reference
+        assert sum(result.local_skyline_sizes) >= len(reference)
+
+    def test_to_only_schema_uses_sfs(self):
+        schema = Schema([TotalOrderAttribute("x"), TotalOrderAttribute("y")])
+        rows = [(i % 7, (3 * i + 1) % 5) for i in range(40)]
+        dataset = Dataset(schema, rows)
+        reference = sorted(sfs_skyline(dataset).skyline_ids)
+        for partitioner in ("round-robin", "po-group"):
+            executor = ShardedExecutor(
+                dataset, num_shards=4, workers=0, partitioner=partitioner
+            )
+            assert executor.query().skyline_ids == reference
+
+    def test_empty_shards_are_harmless(self, small_workload):
+        _, dataset = small_workload
+        tiny = dataset.subset([0, 1])
+        reference = sorted(stss_skyline(tiny).skyline_ids)
+        executor = ShardedExecutor(tiny, num_shards=6, workers=0)
+        assert executor.query().skyline_ids == reference
+
+
+class TestWorkerPool:
+    """The multiprocessing path must agree with the in-process path."""
+
+    def test_pool_matches_inline(self, small_workload):
+        schema, dataset = small_workload
+        inline = ShardedExecutor(dataset, num_shards=4, workers=0)
+        overrides = random_query_preferences(schema, 3)
+        with ShardedExecutor(dataset, num_shards=4, workers=2) as pooled:
+            assert pooled.query().skyline_ids == inline.query().skyline_ids
+            assert (
+                pooled.query(overrides).skyline_ids
+                == inline.query(overrides).skyline_ids
+            )
+            assert pooled.summary()["pool_running"]
+        assert not pooled.summary()["pool_running"]
+
+    def test_close_is_idempotent(self, small_workload):
+        _, dataset = small_workload
+        executor = ShardedExecutor(dataset, num_shards=2, workers=1)
+        executor.start()
+        executor.close()
+        executor.close()
+
+    def test_per_query_state_reused_across_queries(self, small_workload):
+        schema, dataset = small_workload
+        with ShardedExecutor(dataset, num_shards=2, workers=1) as executor:
+            first = executor.query(random_query_preferences(schema, 5))
+            second = executor.query(random_query_preferences(schema, 5))
+            assert first.skyline_ids == second.skyline_ids
+            assert executor.queries_answered == 2
+
+
+class TestValidationAndAccounting:
+    def test_unknown_override_attribute_rejected(self, small_workload):
+        _, dataset = small_workload
+        executor = ShardedExecutor(dataset, num_shards=2, workers=0)
+        with pytest.raises(QueryError):
+            executor.query({"nope": dataset.schema.partial_order_attributes[0].dag})
+
+    def test_domain_shrinking_override_rejected(self, small_workload):
+        from repro.order.dag import PartialOrderDAG
+
+        _, dataset = small_workload
+        attribute = dataset.schema.partial_order_attributes[0]
+        shrunk = PartialOrderDAG(list(attribute.domain)[:-1], [])
+        executor = ShardedExecutor(dataset, num_shards=2, workers=0)
+        with pytest.raises(QueryError):
+            executor.query({attribute.name: shrunk})
+
+    def test_bad_shard_count_rejected(self, small_workload):
+        _, dataset = small_workload
+        with pytest.raises(QueryError):
+            ShardedExecutor(dataset, num_shards=0, workers=0)
+
+    def test_result_accounting(self, small_workload):
+        _, dataset = small_workload
+        executor = ShardedExecutor(dataset, num_shards=3, workers=0)
+        result = executor.query()
+        assert result.seconds >= result.seconds_local >= 0
+        assert result.seconds >= result.seconds_merge >= 0
+        assert len(result.local_skyline_sizes) == 3
+        # With 3 non-empty local skylines, every ordered pair cross-examines
+        # (minus targets eliminated early) — at most n*(n-1) calls.
+        assert 0 < result.merge_pairs <= 6
+        assert result.merge_checks > 0
+
+    def test_summary_shape(self, small_workload):
+        _, dataset = small_workload
+        executor = ShardedExecutor(dataset, num_shards=2, workers=0, partitioner="po-group")
+        executor.query()
+        summary = executor.summary()
+        assert summary["num_shards"] == 2
+        assert summary["partitioner"] == "po-group"
+        assert summary["queries_answered"] == 1
+        assert sum(summary["shard_sizes"]) == len(dataset)
+
+
+class TestResolveWorkers:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(2) == 2
+        assert resolve_workers("3") == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers(None) == 4
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert resolve_workers(None) == 0
+
+    @pytest.mark.parametrize("bad", ["nope", "-1", -3])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ExperimentError):
+            resolve_workers(bad)

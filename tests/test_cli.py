@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    build_batch_query_parser,
+    build_parser,
+    build_query_parser,
+    build_serve_parser,
+    main,
+)
 
 
 class TestParser:
@@ -39,3 +45,69 @@ class TestMain:
 
     def test_module_entry_point_importable(self):
         import repro.__main__  # noqa: F401
+
+
+class TestBatchQueryCommand:
+    def test_parses_sharding_options(self):
+        args = build_batch_query_parser().parse_args(
+            ["--workers", "4", "--shards", "8", "--partitioner", "po-group", "--cache-size", "16"]
+        )
+        assert args.workers == "4"
+        assert args.shards == 8
+        assert args.partitioner == "po-group"
+        assert args.cache_size == 16
+
+    def test_batch_query_runs_sharded_in_process(self, capsys):
+        code = main(
+            [
+                "batch-query",
+                "--cardinality", "300",
+                "--queries", "2",
+                "--workers", "0",
+                "--shards", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "cached topologies" in out
+
+    def test_bad_workers_value_is_reported(self, capsys):
+        code = main(["batch-query", "--cardinality", "100", "--workers", "lots"])
+        assert code == 2
+        assert "worker count" in capsys.readouterr().err
+
+    def test_bad_cache_size_is_reported(self, capsys):
+        code = main(["batch-query", "--cardinality", "100", "--cache-size", "0"])
+        assert code == 2
+        assert "capacity" in capsys.readouterr().err
+
+    def test_bad_shard_count_is_reported(self, capsys):
+        code = main(["batch-query", "--cardinality", "100", "--workers", "1", "--shards", "0"])
+        assert code == 2
+        assert "num_shards" in capsys.readouterr().err
+
+
+class TestServeAndQueryParsers:
+    def test_serve_parser_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.host is None and args.port is None
+        assert args.workers is None and args.shards is None
+
+    def test_query_parser_modes_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_query_parser().parse_args(["--seed", "3", "--stats"])
+        args = build_query_parser().parse_args(["--seed", "3", "--repeat", "2"])
+        assert args.seed == 3 and args.repeat == 2
+
+    def test_query_against_no_server_fails_cleanly(self, capsys):
+        # Port 1 is never listening; the client must fail with exit code 2.
+        assert main(["query", "--port", "1", "--ping"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_overrides_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["query", "--overrides-json", str(tmp_path / "nope.json")]) == 2
+        assert "overrides file" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["query", "--overrides-json", str(bad)]) == 2
+        assert "overrides file" in capsys.readouterr().err
