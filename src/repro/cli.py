@@ -91,6 +91,13 @@ def _add_sharding_options(parser: argparse.ArgumentParser) -> None:
         default="round-robin",
         help="dataset sharding strategy",
     )
+    parser.add_argument(
+        "--merge-strategy",
+        choices=("sort-merge", "all-pairs"),
+        default=None,
+        help="cross-shard merge strategy (default: REPRO_MERGE env var, else "
+        "sort-merge; all-pairs is the legacy batched sweep kept for A/B runs)",
+    )
 
 
 def _add_workload_options(parser: argparse.ArgumentParser) -> None:
@@ -148,6 +155,7 @@ def _engine_options(args) -> dict:
         "workers": args.workers,
         "num_shards": args.shards,
         "partitioner": args.partitioner,
+        "merge_strategy": args.merge_strategy,
     }
     if args.cache_size is not None:
         options["cache_size"] = args.cache_size

@@ -25,17 +25,35 @@ back to the original dataset.  Both caches are bounded LRU maps
 (``cache_size``) so a long-running service cannot grow memory without limit,
 and with ``workers``/``num_shards`` the per-query work is delegated to a
 :class:`~repro.parallel.executor.ShardedExecutor` over the reduced dataset.
+
+The engine is a concurrency-safe façade: :meth:`BatchQueryEngine.run_query`
+may be called from many threads at once.  Queries synchronize on a
+per-``dag_signature`` lock — concurrent queries over *distinct* topologies
+interleave freely (their shard-local phases overlap), while concurrent
+queries over the *same* topology elect one computing thread and serve the
+rest from the shared result cache.  Counters and :meth:`summary` snapshots
+are kept consistent under a dedicated state lock.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Hashable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.parallel.executor import ShardedQueryResult
 
 from repro.core.stss import stss_skyline
 from repro.data.dataset import Dataset
-from repro.engine.encodings import DagKey, EncodingCache, dag_signature
+from repro.engine.encodings import (
+    DagKey,
+    EncodingCache,
+    dag_signature,
+    validate_override_domains,
+)
 from repro.engine.lru import LRUDict
 from repro.exceptions import QueryError
 from repro.kernels import resolve_kernel
@@ -76,7 +94,12 @@ class BatchQuery:
 
 @dataclass
 class BatchQueryResult:
-    """Outcome of one query of a batch."""
+    """Outcome of one query of a batch.
+
+    ``sharded`` carries the per-phase accounting (and local-phase wall-clock
+    window) of the underlying sharded run, when the engine has an executor
+    and the result was computed rather than served from the cache.
+    """
 
     name: str
     skyline_ids: list[int]
@@ -84,6 +107,7 @@ class BatchQueryResult:
     from_cache: bool
     seconds: float
     stats: SkylineStats | None = None
+    sharded: "ShardedQueryResult | None" = None
 
     @property
     def skyline_set(self) -> frozenset[int]:
@@ -92,6 +116,10 @@ class BatchQueryResult:
 
 #: Default bound of the per-topology result / encoding LRU caches.
 DEFAULT_CACHE_SIZE = 256
+
+#: Result-cache miss marker — distinct from any cached value, so a cached
+#: empty skyline (or ``None``) is never mistaken for a miss.
+_CACHE_MISS = object()
 
 
 class BatchQueryEngine:
@@ -116,6 +144,7 @@ class BatchQueryEngine:
         workers: int | str | None = None,
         num_shards: int | None = None,
         partitioner="round-robin",
+        merge_strategy: str | None = None,
     ) -> None:
         self.dataset = dataset
         self.schema = dataset.schema
@@ -126,15 +155,27 @@ class BatchQueryEngine:
         self._encoding_cache = EncodingCache(cache_size)
         self.queries_evaluated = 0
         self.cache_hits = 0
+        # Owns the counters and snapshot reads; never held while computing.
+        self._state_lock = threading.Lock()
+        # One lock per topology signature, so only same-topology queries
+        # serialize.  Evicting a lock someone still holds is harmless: a
+        # latecomer creates a fresh lock and at worst duplicates work the
+        # result cache then deduplicates.
+        self._query_locks: LRUDict[TopologyKey, threading.Lock] = LRUDict(
+            max(cache_size, 64)
+        )
         self._candidate_ids, self._reduced = self._prefilter() if prefilter else (
             [record.id for record in dataset.records],
             dataset,
         )
         # Mirrors the kernel registry: an explicit ``workers`` wins, ``None``
         # consults REPRO_WORKERS, and 0 means single-process evaluation.
-        from repro.parallel.executor import resolve_workers
+        # The merge strategy resolves the same way (REPRO_MERGE) and is
+        # validated even when no executor is built, so typos fail fast.
+        from repro.parallel.executor import resolve_merge_strategy, resolve_workers
 
         resolved_workers = resolve_workers(workers)
+        merge_strategy = resolve_merge_strategy(merge_strategy)
         self._executor = None
         if resolved_workers >= 1 or (num_shards is not None and num_shards > 1):
             from repro.parallel.executor import ShardedExecutor
@@ -146,6 +187,7 @@ class BatchQueryEngine:
                 partitioner=partitioner,
                 kernel=self.kernel,
                 max_entries=max_entries,
+                merge_strategy=merge_strategy,
                 encoding_cache_size=cache_size,
             )
 
@@ -229,47 +271,79 @@ class BatchQueryEngine:
             self.schema.partial_order_attributes, query.dag_overrides, keys=key
         )
 
+    def _cached_result(
+        self, query: BatchQuery, key: TopologyKey, started: float
+    ) -> BatchQueryResult | None:
+        """A cache-hit result (counting the hit), or ``None`` on a miss."""
+        cached = self._result_cache.get(key, _CACHE_MISS)
+        if cached is _CACHE_MISS:
+            return None
+        with self._state_lock:
+            self.cache_hits += 1
+        return BatchQueryResult(
+            name=query.name,
+            skyline_ids=list(cached),
+            topology_key=key,
+            from_cache=True,
+            seconds=time.perf_counter() - started,
+        )
+
     def run_query(self, query: BatchQuery) -> BatchQueryResult:
-        """Answer one query (possibly from the per-topology cache)."""
+        """Answer one query (possibly from the per-topology cache).
+
+        Thread-safe: concurrent callers over distinct topologies proceed in
+        parallel; concurrent callers over the same topology serialize on a
+        per-``dag_signature`` lock, where all but the first are then served
+        by the result cache the winner filled.
+        """
         started = time.perf_counter()
         key = self.topology_key(query)
-        cached = self._result_cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return BatchQueryResult(
-                name=query.name,
-                skyline_ids=list(cached),
-                topology_key=key,
-                from_cache=True,
-                seconds=time.perf_counter() - started,
-            )
+        hit = self._cached_result(query, key, started)
+        if hit is not None:
+            return hit
 
-        self.queries_evaluated += 1
-        stats = None
-        if self._executor is not None:
-            sharded = self._executor.query(query.dag_overrides, name=query.name)
-            reduced_ids = sharded.skyline_ids
-        else:
-            if query.dag_overrides:
-                schema = self.schema.replace_partial_order(dict(query.dag_overrides))
-                data = self._reduced.with_schema(schema)
+        query_lock = self._query_locks.setdefault(key, threading.Lock())
+        with query_lock:
+            # Re-check under the topology lock: while we waited, another
+            # thread may have computed and cached this very topology.
+            hit = self._cached_result(query, key, started)
+            if hit is not None:
+                return hit
+            stats = None
+            sharded = None
+            if self._executor is not None:
+                sharded = self._executor.query(query.dag_overrides, name=query.name)
+                reduced_ids = sharded.skyline_ids
             else:
-                data = self._reduced
-            if self.schema.num_partial_order:
-                result = stss_skyline(
-                    data,
-                    encodings=self._encodings_for(query, key),
-                    max_entries=self.max_entries,
-                    kernel=self.kernel,
-                )
-            else:
-                result = sfs_skyline(data, kernel=self.kernel)
-            reduced_ids = result.skyline_ids
-            stats = result.stats
-        skyline_ids = sorted(
-            self._candidate_ids[reduced_id] for reduced_id in reduced_ids
-        )
-        self._result_cache[key] = skyline_ids
+                if query.dag_overrides:
+                    # Domain coverage is checked up front (the shared cheap
+                    # equivalent of full row validation, same as the sharded
+                    # path) so the dataset swap can skip re-walking every
+                    # row on each topology miss.
+                    validate_override_domains(
+                        self.schema.partial_order_attributes, query.dag_overrides
+                    )
+                    schema = self.schema.replace_partial_order(dict(query.dag_overrides))
+                    data = self._reduced.with_schema(schema, validate=False)
+                else:
+                    data = self._reduced
+                if self.schema.num_partial_order:
+                    result = stss_skyline(
+                        data,
+                        encodings=self._encodings_for(query, key),
+                        max_entries=self.max_entries,
+                        kernel=self.kernel,
+                    )
+                else:
+                    result = sfs_skyline(data, kernel=self.kernel)
+                reduced_ids = result.skyline_ids
+                stats = result.stats
+            skyline_ids = sorted(
+                self._candidate_ids[reduced_id] for reduced_id in reduced_ids
+            )
+            with self._state_lock:
+                self.queries_evaluated += 1
+            self._result_cache[key] = skyline_ids
         return BatchQueryResult(
             name=query.name,
             skyline_ids=list(skyline_ids),
@@ -277,6 +351,7 @@ class BatchQueryEngine:
             from_cache=False,
             seconds=time.perf_counter() - started,
             stats=stats,
+            sharded=sharded,
         )
 
     def run(self, queries: Iterable[BatchQuery]) -> list[BatchQueryResult]:
@@ -284,11 +359,20 @@ class BatchQueryEngine:
         return [self.run_query(query) for query in queries]
 
     def summary(self) -> dict[str, object]:
+        """A consistent snapshot of counters, cache sizes and shard state.
+
+        The counters are read under the state lock, so a summary taken while
+        queries are in flight never shows e.g. a hit count from after a
+        query the evaluation count has not seen yet.
+        """
+        with self._state_lock:
+            queries_evaluated = self.queries_evaluated
+            cache_hits = self.cache_hits
         summary: dict[str, object] = {
             "dataset_size": len(self.dataset),
             "candidates_after_prefilter": self.candidate_count,
-            "queries_evaluated": self.queries_evaluated,
-            "cache_hits": self.cache_hits,
+            "queries_evaluated": queries_evaluated,
+            "cache_hits": cache_hits,
             # Live LRU entries — a lower bound on distinct topologies seen
             # once evictions start (cache_evictions tells the rest).
             "cached_topologies": len(self._result_cache),

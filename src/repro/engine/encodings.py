@@ -13,10 +13,35 @@ from __future__ import annotations
 from collections.abc import Hashable, Mapping, Sequence
 
 from repro.engine.lru import LRUDict
+from repro.exceptions import QueryError
 from repro.order.dag import PartialOrderDAG
 from repro.order.encoding import DomainEncoding, encode_domain
 
 Value = Hashable
+
+
+def validate_override_domains(
+    attributes: Sequence, overrides: Mapping[str, PartialOrderDAG]
+) -> None:
+    """Reject overrides of unknown attributes or with shrunk value domains.
+
+    The shared query-validation invariant of the batch engine and the
+    sharded executor: dynamic preferences re-rank a domain, they never
+    change it.  Checking domain coverage up front is the cheap equivalent
+    of full row re-validation, so both paths can swap schemas with
+    ``validate=False``.
+    """
+    known = {attribute.name: attribute for attribute in attributes}
+    unknown = set(overrides) - set(known)
+    if unknown:
+        raise QueryError(f"query overrides non-PO attributes: {sorted(unknown)}")
+    for name, dag in overrides.items():
+        missing = set(known[name].domain) - set(dag.values)
+        if missing:
+            raise QueryError(
+                f"override for {name!r} is missing domain values: "
+                f"{sorted(missing, key=repr)}"
+            )
 
 #: Semantic signature of one preference DAG (values + closure edges).
 DagKey = tuple[tuple[Value, ...], tuple[tuple[Value, Value], ...]]

@@ -6,10 +6,19 @@ must therefore be bounded.  :class:`LRUDict` is the shared primitive: a
 dict-shaped container that evicts the least recently *used* entry (reads
 refresh recency) once a fixed capacity is exceeded, counting evictions so
 cache pressure is observable in service statistics.
+
+The container is thread-safe: the concurrent query service reads and writes
+these caches from several executor threads at once, and an unguarded
+``move_to_end`` racing a ``popitem`` would corrupt the underlying
+``OrderedDict``.  Lookups use a private sentinel internally, so a *stored*
+``None`` (or any falsy value, e.g. a cached empty skyline) is distinguishable
+from a miss — callers that store such values pass their own sentinel as
+``default``.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Hashable, Iterator
 from typing import Generic, TypeVar
@@ -19,11 +28,14 @@ from repro.exceptions import QueryError
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
+#: Private miss marker: distinct from every storable value, including ``None``.
+_MISSING = object()
+
 
 class LRUDict(Generic[K, V]):
-    """A bounded mapping evicting the least recently used entry."""
+    """A bounded, thread-safe mapping evicting the least recently used entry."""
 
-    __slots__ = ("capacity", "evictions", "_entries")
+    __slots__ = ("capacity", "evictions", "_entries", "_lock")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -31,31 +43,74 @@ class LRUDict(Generic[K, V]):
         self.capacity = capacity
         self.evictions = 0
         self._entries: OrderedDict[K, V] = OrderedDict()
+        self._lock = threading.RLock()
 
-    def get(self, key: K, default: V | None = None) -> V | None:
-        """Look a key up, refreshing its recency on a hit."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            return default
-        self._entries.move_to_end(key)
-        return value
+    def get(self, key: K, default=None):
+        """Look a key up, refreshing its recency on a hit.
+
+        A stored value is returned even when it equals ``default`` — only a
+        genuinely absent key yields ``default``.  Callers that store ``None``
+        must pass a sentinel of their own to tell the two apart.
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                return default
+            self._entries.move_to_end(key)
+            return value
+
+    def __getitem__(self, key: K) -> V:
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                raise KeyError(key)
+            self._entries.move_to_end(key)
+            return value
 
     def __setitem__(self, key: K, value: V) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def pop(self, key: K, default=_MISSING):
+        """Remove and return a stored value; ``KeyError`` without a default."""
+        with self._lock:
+            value = self._entries.pop(key, _MISSING)
+            if value is _MISSING:
+                if default is _MISSING:
+                    raise KeyError(key)
+                return default
+            return value
+
+    def setdefault(self, key: K, value: V) -> V:
+        """Insert ``value`` unless the key is present; return the stored value.
+
+        The whole get-or-insert runs under one lock acquisition, so two
+        threads racing to create the same entry (e.g. a per-topology query
+        lock) always agree on a single winner.
+        """
+        with self._lock:
+            stored = self._entries.get(key, _MISSING)
+            if stored is not _MISSING:
+                self._entries.move_to_end(key)
+                return stored
+            self[key] = value
+            return value
 
     def __contains__(self, key: K) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[K]:
-        return iter(self._entries)
+        with self._lock:
+            return iter(list(self._entries))
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -78,6 +78,37 @@ def _pref_matrices(tables: RecordTables | TDominanceTables) -> list[np.ndarray]:
     return cached
 
 
+def _block_dominated(
+    prefs: list[np.ndarray],
+    dom_to: np.ndarray,
+    dom_codes: np.ndarray,
+    tgt_to: np.ndarray,
+    tgt_codes: np.ndarray,
+) -> np.ndarray:
+    """Per target: dominated by any dominator?  (dominators, targets) blocks.
+
+    Targets are processed in chunks so the (dominators, chunk, dims)
+    comparison temporaries stay around 32 MB regardless of block sizes.
+    """
+    num_to = dom_to.shape[1]
+    num_po = dom_codes.shape[1] if len(prefs) else 0
+    chunk = max(1, _BLOCK_MASK_ELEMENTS // max(1, len(dom_to) * max(1, num_to)))
+    out = np.zeros(len(tgt_to), dtype=bool)
+    for low in range(0, len(tgt_to), chunk):
+        high = min(low + chunk, len(tgt_to))
+        to_block = tgt_to[None, low:high, :]
+        weak = (dom_to[:, None, :] <= to_block).all(axis=2)
+        strict = (dom_to[:, None, :] < to_block).any(axis=2)
+        for po_index in range(num_po):
+            codes = dom_codes[:, po_index][:, None]
+            target_codes = tgt_codes[low:high, po_index][None, :]
+            preferred = prefs[po_index][codes, target_codes]
+            weak &= preferred
+            strict |= preferred & (codes != target_codes)
+        out[low:high] = (weak & strict).any(axis=0)
+    return out
+
+
 def _mbi_arrays(tables: TDominanceTables) -> tuple[list[np.ndarray], list[np.ndarray]]:
     cached = tables.scratch.get("numpy_mbi")
     if cached is None:
@@ -191,6 +222,29 @@ class NumpyRecordStore(RecordStore):
             return False, []
         forward, backward = self._masks_against(to_values, po_codes)
         return bool(forward.any()), backward.tolist()
+
+    def block_dominated_mask(
+        self,
+        targets: Sequence[tuple[Sequence[float], Sequence[int]]],
+        counter=None,
+    ) -> list[bool]:
+        charge(counter, len(self) * len(targets))
+        if not len(self) or not targets:
+            return [False] * len(targets)
+        tgt_to = np.array([t[0] for t in targets], dtype=np.float64).reshape(
+            len(targets), self.tables.num_total_order
+        )
+        tgt_codes = np.array(
+            [t[1] if self._num_po else (0,) for t in targets], dtype=np.int64
+        ).reshape(len(targets), max(1, self._num_po))
+        mask = _block_dominated(
+            self._pref[: self._num_po],
+            self._to.view,
+            self._codes.view,
+            tgt_to,
+            tgt_codes,
+        )
+        return mask.tolist()
 
 
 class NumpyTDominanceStore(TDominanceStore):
@@ -338,28 +392,13 @@ class NumpyKernel(DominanceKernel):
         tgt_to = np.array([t[0] for t in targets], dtype=np.float64).reshape(
             len(targets), num_to
         )
-        dom_codes = np.array([d[1] for d in dominators], dtype=np.int64).reshape(
-            len(dominators), num_po
-        )
-        tgt_codes = np.array([t[1] for t in targets], dtype=np.int64).reshape(
-            len(targets), num_po
-        )
-        # One dominators x targets matrix per chunk of targets; the chunk size
-        # caps the (dominators, chunk, dims) temporaries at ~32 MB.
-        chunk = max(1, _BLOCK_MASK_ELEMENTS // max(1, len(dominators) * max(1, num_to)))
-        out = np.zeros(len(targets), dtype=bool)
-        for low in range(0, len(targets), chunk):
-            high = min(low + chunk, len(targets))
-            to_block = tgt_to[None, low:high, :]
-            weak = (dom_to[:, None, :] <= to_block).all(axis=2)
-            strict = (dom_to[:, None, :] < to_block).any(axis=2)
-            for po_index in range(num_po):
-                codes = dom_codes[:, po_index][:, None]
-                target_codes = tgt_codes[low:high, po_index][None, :]
-                preferred = prefs[po_index][codes, target_codes]
-                weak &= preferred
-                strict |= preferred & (codes != target_codes)
-            out[low:high] = (weak & strict).any(axis=0)
+        dom_codes = np.array(
+            [d[1] if num_po else (0,) for d in dominators], dtype=np.int64
+        ).reshape(len(dominators), max(1, num_po))
+        tgt_codes = np.array(
+            [t[1] if num_po else (0,) for t in targets], dtype=np.int64
+        ).reshape(len(targets), max(1, num_po))
+        out = _block_dominated(prefs[:num_po], dom_to, dom_codes, tgt_to, tgt_codes)
         return out.tolist()
 
     def covers_many(

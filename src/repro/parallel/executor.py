@@ -1,11 +1,15 @@
-"""The sharded executor: local skylines per shard, batched cross-shard merge.
+"""The sharded executor: local skylines per shard, cross-shard merge.
 
 The classic divide-and-conquer skyline identity: for any partition of the
 data into shards, the global skyline is exactly the set of local skyline
 records not dominated by a local skyline record of another shard.  (A record
 dominated by anything is dominated by a skyline record of the dominator's
 shard; a local skyline record not dominated across shards is dominated by
-nothing.)  :class:`ShardedExecutor` exploits it in two phases:
+nothing.)  :class:`ShardedExecutor` exploits it in two phases, exposed
+separately as :meth:`~ShardedExecutor.local_phase` and
+:meth:`~ShardedExecutor.merge_phase` so callers (the concurrent query
+service) can overlap the independent local phases of several queries and
+synchronize only around the merge:
 
 * **Local phase** — each shard's skyline is computed with sTSS (or SFS for
   TO-only schemas).  With ``workers >= 1`` the phase runs on a persistent
@@ -13,18 +17,38 @@ nothing.)  :class:`ShardedExecutor` exploits it in two phases:
   state: shards are shipped once at pool startup, and per query only the
   preference-DAG overrides travel.  Each worker keeps a per-topology interval
   encoding cache, mirroring the batch engine's.
-* **Merge phase** — local skylines are cross-examined through one batched
-  :meth:`~repro.kernels.base.DominanceKernel.record_block_dominated_mask`
-  call per shard pair (targets already eliminated by an earlier pair are
-  dropped from later calls).
+* **Merge phase** — two strategies, selected per executor (or through the
+  ``REPRO_MERGE`` environment variable):
+
+  - ``"sort-merge"`` (default): a k-way heap merge of the local skylines
+    over the monotone SFS sort key.  Dominance implies a smaller (under
+    float rounding: never larger) key, so a record can only be killed by
+    stream predecessors or key-ties, and (with transitivity) it suffices to
+    test each record against the *surviving* prefix plus its own key-tie
+    run.  The stream is consumed in chunks, each resolved with one
+    batched window test (:meth:`~repro.kernels.base.RecordStore.
+    block_dominated_mask`) plus one intra-chunk block test — total work is
+    proportional to (stream length) x (global skyline), instead of the
+    all-pairs (sum of local skylines)^2.
+  - ``"all-pairs"``: the original batched kernel sweep, one
+    :meth:`~repro.kernels.base.DominanceKernel.record_block_dominated_mask`
+    call per shard pair, kept for A/B benchmarking.
 
 ``workers = 0`` runs both phases in-process — same partition and merge, no
 pool — which is the deterministic baseline the property tests compare
 against, and what a one-core host should use.
+
+Executors are safe to share between *querying* threads: phases run
+lock-free over immutable shard data, and the small shared caches/counters
+are guarded internally.  :meth:`~ShardedExecutor.close` is not safe to race
+against in-flight queries (terminating the pool mid-map would strand them)
+— callers must drain queries first, as the query service does with its
+in-flight counter before engine shutdown.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import os
 import threading
@@ -35,7 +59,12 @@ from dataclasses import dataclass, field
 from repro.core.stss import stss_skyline
 from repro.data.dataset import Dataset
 from repro.data.schema import Schema
-from repro.engine.encodings import DagKey, EncodingCache, dag_signature
+from repro.engine.encodings import (
+    DagKey,
+    EncodingCache,
+    dag_signature,
+    validate_override_domains,
+)
 from repro.engine.lru import LRUDict
 from repro.exceptions import ExperimentError, QueryError
 from repro.kernels import resolve_kernel
@@ -43,11 +72,20 @@ from repro.kernels.tables import RecordTables
 from repro.order.dag import PartialOrderDAG
 from repro.parallel.partition import Shard, resolve_partitioner
 from repro.skyline.dominance import RecordEncoder
-from repro.skyline.sfs import sfs_skyline
+from repro.skyline.sfs import monotone_sort_key, sfs_skyline
 
 #: Environment variable consulted when no explicit worker count is given
 #: (mirrors ``REPRO_KERNEL`` for the kernel backend).
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Environment variable selecting the cross-shard merge strategy.
+MERGE_ENV_VAR = "REPRO_MERGE"
+
+#: The recognized cross-shard merge strategies.
+MERGE_STRATEGIES = ("sort-merge", "all-pairs")
+
+#: Stream records resolved per batched window test of the sort-merge.
+MERGE_CHUNK = 256
 
 
 def resolve_workers(workers: int | str | None = None) -> int:
@@ -56,18 +94,45 @@ def resolve_workers(workers: int | str | None = None) -> int:
     ``0`` means in-process execution (no pool); ``None`` falls back to the
     ``REPRO_WORKERS`` environment variable, else ``0``.
     """
+    source = ""
     if workers is None:
         raw = os.environ.get(WORKERS_ENV_VAR)
         if raw is None or not raw.strip():
             return 0
         workers = raw
+        source = f" (from the {WORKERS_ENV_VAR} environment variable)"
     try:
         count = int(workers)
     except (TypeError, ValueError):
-        raise ExperimentError(f"worker count must be an integer, got {workers!r}") from None
+        raise ExperimentError(
+            f"worker count must be an integer, got {workers!r}{source}"
+        ) from None
     if count < 0:
-        raise ExperimentError(f"worker count must be >= 0, got {count}")
+        raise ExperimentError(f"worker count must be >= 0, got {count}{source}")
     return count
+
+
+def resolve_merge_strategy(strategy: str | None = None) -> str:
+    """Coerce a merge-strategy argument (``None`` falls back to the env).
+
+    Mirrors :func:`resolve_workers`: an explicit value wins, ``None``
+    consults the ``REPRO_MERGE`` environment variable, and the default is
+    ``"sort-merge"``.
+    """
+    source = ""
+    if strategy is None:
+        raw = os.environ.get(MERGE_ENV_VAR)
+        if raw is None or not raw.strip():
+            return MERGE_STRATEGIES[0]
+        strategy = raw
+        source = f" (from the {MERGE_ENV_VAR} environment variable)"
+    strategy = str(strategy).strip().lower()
+    if strategy not in MERGE_STRATEGIES:
+        raise ExperimentError(
+            f"merge strategy must be one of {', '.join(MERGE_STRATEGIES)}; "
+            f"got {strategy!r}{source}"
+        )
+    return strategy
 
 
 # ---------------------------------------------------------------------- #
@@ -148,7 +213,14 @@ def _worker_local_skyline(
 # ---------------------------------------------------------------------- #
 @dataclass
 class ShardedQueryResult:
-    """Outcome of one sharded skyline query, with per-phase accounting."""
+    """Outcome of one sharded skyline query, with per-phase accounting.
+
+    ``local_window`` is the ``(start, end)`` of the local phase on the
+    :func:`time.monotonic` clock — concurrency tests use it to prove that
+    two queries' local phases actually overlapped in wall-clock time.
+    ``merge_batches`` counts batched kernel calls: shard-pair sweeps under
+    ``all-pairs``, window/intra-chunk tests under ``sort-merge``.
+    """
 
     name: str
     skyline_ids: list[int]
@@ -156,8 +228,15 @@ class ShardedQueryResult:
     seconds_local: float
     seconds_merge: float
     local_skyline_sizes: list[int] = field(default_factory=list)
-    merge_pairs: int = 0
+    merge_batches: int = 0
     merge_checks: int = 0
+    merge_strategy: str = "sort-merge"
+    local_window: tuple[float, float] = (0.0, 0.0)
+
+    @property
+    def merge_pairs(self) -> int:
+        """Pre-sort-merge name of :attr:`merge_batches` (kept for callers)."""
+        return self.merge_batches
 
     @property
     def skyline_set(self) -> frozenset[int]:
@@ -171,6 +250,20 @@ class _MergeCounter:
 
     def __init__(self) -> None:
         self.dominance_checks = 0
+
+
+@dataclass(frozen=True)
+class _MergeArtifacts:
+    """Per-topology ground truth shared by both merge strategies.
+
+    ``sort_key`` is the monotone SFS preference function under the query's
+    effective schema: dominance implies a (mathematically) strictly smaller
+    key, which is the invariant the sort-merge strategy leans on.
+    """
+
+    tables: RecordTables
+    encoder: RecordEncoder
+    sort_key: object  # Callable[[Record], float]
 
 
 # ---------------------------------------------------------------------- #
@@ -196,6 +289,9 @@ class ShardedExecutor:
     kernel / max_entries:
         Dominance kernel backend and R-tree fanout, forwarded to the local
         sTSS runs and the merge phase.
+    merge_strategy:
+        ``"sort-merge"`` (default) or ``"all-pairs"``; ``None`` consults the
+        ``REPRO_MERGE`` environment variable (see the module docstring).
     encoding_cache_size:
         LRU bound of each worker's per-DAG interval-encoding cache (the
         batch engine forwards its ``cache_size`` here).
@@ -215,6 +311,7 @@ class ShardedExecutor:
         partitioner="round-robin",
         kernel=None,
         max_entries: int = 32,
+        merge_strategy: str | None = None,
         encoding_cache_size: int = 256,
         task_timeout: float | None = 600.0,
     ) -> None:
@@ -228,12 +325,17 @@ class ShardedExecutor:
         self.shards: list[Shard] = partition(dataset, self.num_shards)
         self.kernel = resolve_kernel(kernel)
         self.max_entries = max_entries
+        self.merge_strategy = resolve_merge_strategy(merge_strategy)
         self.encoding_cache_size = encoding_cache_size
         self.task_timeout = task_timeout
         self.queries_answered = 0
+        # Guards lifecycle transitions (pool start/close, lazy inline state)
+        # and the counters; the phases themselves run without it, so
+        # concurrent queries interleave freely.
+        self._lock = threading.Lock()
         self._pools: list[multiprocessing.pool.Pool] | None = None
         self._inline_state: _WorkerState | None = None
-        self._merge_tables: LRUDict[tuple[DagKey, ...], tuple[RecordTables, RecordEncoder]]
+        self._merge_tables: LRUDict[tuple[DagKey, ...], _MergeArtifacts]
         self._merge_tables = LRUDict(encoding_cache_size)
 
     # ------------------------------------------------------------------ #
@@ -255,43 +357,50 @@ class ShardedExecutor:
         service does both — should start the pool eagerly; a lazy start from
         a multithreaded process falls back to ``spawn``.
         """
-        if self.workers >= 1 and self._pools is None:
-            can_fork = (
-                "fork" in multiprocessing.get_all_start_methods()
-                and threading.active_count() == 1
-            )
-            context = multiprocessing.get_context("fork" if can_fork else "spawn")
-            pools = []
-            for worker in range(self.workers):
-                owned = {
-                    index: shard.dataset
-                    for index, shard in enumerate(self.shards)
-                    if self._owner_of(index) == worker
-                }
-                pools.append(
-                    context.Pool(
-                        processes=1,
-                        initializer=_init_worker,
-                        initargs=(
-                            self.schema,
-                            owned,
-                            self.kernel.name,
-                            self.max_entries,
-                            self.encoding_cache_size,
-                        ),
-                    )
+        with self._lock:
+            if self.workers >= 1 and self._pools is None:
+                can_fork = (
+                    "fork" in multiprocessing.get_all_start_methods()
+                    and threading.active_count() == 1
                 )
-            self._pools = pools
+                context = multiprocessing.get_context("fork" if can_fork else "spawn")
+                pools = []
+                for worker in range(self.workers):
+                    owned = {
+                        index: shard.dataset
+                        for index, shard in enumerate(self.shards)
+                        if self._owner_of(index) == worker
+                    }
+                    pools.append(
+                        context.Pool(
+                            processes=1,
+                            initializer=_init_worker,
+                            initargs=(
+                                self.schema,
+                                owned,
+                                self.kernel.name,
+                                self.max_entries,
+                                self.encoding_cache_size,
+                            ),
+                        )
+                    )
+                self._pools = pools
         return self
 
     def close(self) -> None:
-        """Shut the worker pools down (idempotent)."""
-        if self._pools is not None:
-            for pool in self._pools:
+        """Shut the worker pools down (idempotent).
+
+        Must not race in-flight queries: drain them first (see the module
+        docstring — the query service's in-flight counter does exactly
+        this).
+        """
+        with self._lock:
+            pools, self._pools = self._pools, None
+        if pools is not None:
+            for pool in pools:
                 pool.terminate()
-            for pool in self._pools:
+            for pool in pools:
                 pool.join()
-            self._pools = None
 
     def __enter__(self) -> "ShardedExecutor":
         return self.start()
@@ -309,33 +418,26 @@ class ShardedExecutor:
     # Query execution
     # ------------------------------------------------------------------ #
     def _validate_overrides(self, overrides: Mapping[str, PartialOrderDAG]) -> None:
-        attributes = {a.name: a for a in self.schema.partial_order_attributes}
-        unknown = set(overrides) - set(attributes)
-        if unknown:
-            raise QueryError(f"query overrides non-PO attributes: {sorted(unknown)}")
-        # Shard workers skip row re-validation (validate=False), so check up
-        # front that every override covers its attribute's whole domain —
-        # the cheap equivalent of the single-process path's row validation.
-        for name, dag in overrides.items():
-            missing = set(attributes[name].domain) - set(dag.values)
-            if missing:
-                raise QueryError(
-                    f"override for {name!r} is missing domain values: "
-                    f"{sorted(missing, key=repr)}"
-                )
+        # Shard workers skip row re-validation (validate=False); the shared
+        # up-front check is the cheap equivalent.
+        validate_override_domains(self.schema.partial_order_attributes, overrides)
 
-    def _local_phase(
-        self, overrides: dict[str, PartialOrderDAG]
-    ) -> list[list[int]]:
-        """Per shard: parent-dataset ids of the shard's local skyline."""
+    def local_phase(self, overrides: dict[str, PartialOrderDAG]) -> list[list[int]]:
+        """Per shard: parent-dataset ids of the shard's local skyline.
+
+        Thread-safe and lock-free over the immutable shards — the query
+        service runs several queries' local phases concurrently and only
+        synchronizes later, at the merge and cache boundaries.
+        """
         tasks = [
             (index, overrides) for index, shard in enumerate(self.shards) if len(shard)
         ]
         if self.workers >= 1:
             self.start()
-            assert self._pools is not None
+            pools = self._pools
+            assert pools is not None
             pending = [
-                self._pools[self._owner_of(index)].apply_async(
+                pools[self._owner_of(index)].apply_async(
                     _worker_local_skyline, ((index, overrides),)
                 )
                 for index, overrides in tasks
@@ -348,17 +450,21 @@ class ShardedExecutor:
                     f"{self.task_timeout:.0f}s (crashed or overloaded worker?)"
                 ) from None
         else:
-            if self._inline_state is None:
-                self._inline_state = _WorkerState(
-                    self.schema,
-                    {index: shard.dataset for index, shard in enumerate(self.shards)},
-                    self.kernel.name,
-                    self.max_entries,
-                    self.encoding_cache_size,
-                )
+            with self._lock:
+                if self._inline_state is None:
+                    self._inline_state = _WorkerState(
+                        self.schema,
+                        {
+                            index: shard.dataset
+                            for index, shard in enumerate(self.shards)
+                        },
+                        self.kernel.name,
+                        self.max_entries,
+                        self.encoding_cache_size,
+                    )
+                state = self._inline_state
             outcomes = [
-                (index, self._inline_state.local_skyline(index, overrides))
-                for index, _ in tasks
+                (index, state.local_skyline(index, overrides)) for index, _ in tasks
             ]
         local_ids: list[list[int]] = [[] for _ in self.shards]
         for shard_index, positions in outcomes:
@@ -368,8 +474,8 @@ class ShardedExecutor:
 
     def _merge_artifacts(
         self, overrides: dict[str, PartialOrderDAG]
-    ) -> tuple[RecordTables, RecordEncoder]:
-        """Per-topology ground-truth tables/encoder for the merge phase."""
+    ) -> _MergeArtifacts:
+        """Per-topology ground-truth tables/encoder/sort key for the merge."""
         key = tuple(
             dag_signature(overrides.get(attribute.name, attribute.dag))
             for attribute in self.schema.partial_order_attributes
@@ -380,18 +486,48 @@ class ShardedExecutor:
                 self.schema.replace_partial_order(overrides) if overrides else self.schema
             )
             tables = RecordTables.from_schema(schema)
-            cached = (tables, RecordEncoder(schema, tables))
+            cached = _MergeArtifacts(
+                tables, RecordEncoder(schema, tables), monotone_sort_key(schema)
+            )
             self._merge_tables[key] = cached
         return cached
 
-    def _merge_phase(
+    def merge_phase(
         self,
         local_ids: list[list[int]],
         overrides: dict[str, PartialOrderDAG],
-        counter: _MergeCounter,
+        counter=None,
+        *,
+        strategy: str | None = None,
     ) -> tuple[list[int], int]:
-        """Cross-examine local skylines; returns (survivor ids, pair count)."""
-        tables, encoder = self._merge_artifacts(overrides)
+        """Cross-examine local skylines; returns (survivor ids, batch count).
+
+        ``strategy`` overrides the executor's configured merge strategy for
+        this call (A/B benchmarking); the batch count is the number of
+        batched kernel calls issued.
+        """
+        strategy = (
+            self.merge_strategy if strategy is None else resolve_merge_strategy(strategy)
+        )
+        if counter is None:
+            counter = _MergeCounter()
+        # With at most one non-empty local skyline there is nothing to
+        # cross-examine: its members are the global skyline verbatim.
+        if sum(1 for ids in local_ids if ids) <= 1:
+            return sorted(record_id for ids in local_ids for record_id in ids), 0
+        if strategy == "all-pairs":
+            return self._merge_all_pairs(local_ids, overrides, counter)
+        return self._merge_sort_merge(local_ids, overrides, counter)
+
+    def _merge_all_pairs(
+        self,
+        local_ids: list[list[int]],
+        overrides: dict[str, PartialOrderDAG],
+        counter,
+    ) -> tuple[list[int], int]:
+        """The original batched sweep: one kernel call per shard pair."""
+        artifacts = self._merge_artifacts(overrides)
+        encoder = artifacts.encoder
         encoded = [
             [encoder.encode(self.dataset[record_id]) for record_id in ids]
             for ids in local_ids
@@ -408,17 +544,89 @@ class ShardedExecutor:
                 pairs += 1
                 targets = [encoded[i][index] for index in alive]
                 mask = self.kernel.record_block_dominated_mask(
-                    tables, dominators, targets, counter=counter
+                    artifacts.tables, dominators, targets, counter=counter
                 )
                 alive = [index for index, dead in zip(alive, mask) if not dead]
             survivors.extend(ids[index] for index in alive)
         return sorted(survivors), pairs
+
+    def _merge_sort_merge(
+        self,
+        local_ids: list[list[int]],
+        overrides: dict[str, PartialOrderDAG],
+        counter,
+    ) -> tuple[list[int], int]:
+        """K-way heap merge over the monotone SFS key with incremental windows.
+
+        Correctness: dominance implies a *mathematically* strictly smaller
+        sort key, which floating-point summation can weaken to equality
+        (``1e16 + 1.0 == 1e16``) — but never invert.  So every dominator of
+        a record precedes it in the merged stream or ties its key, and it
+        suffices to test against the *surviving* prefix plus the record's
+        own key-tie run: chunks are extended to the end of a tie run, so an
+        equal-key dominator is always resolved by the intra-chunk pass.  If
+        a record's dominator was itself eliminated, transitivity hands the
+        verdict to the eliminator.
+        """
+        artifacts = self._merge_artifacts(overrides)
+        encoder, sort_key = artifacts.encoder, artifacts.sort_key
+        # One (key, record_id, encoded) run per shard, sorted by key; local
+        # skylines come out of SFS/sTSS roughly in this order already, so the
+        # per-shard sorts are near-linear and the heap merge does the rest.
+        runs = []
+        for ids in local_ids:
+            if not ids:
+                continue
+            records = [self.dataset[record_id] for record_id in ids]
+            run = sorted(
+                (sort_key(record), record.id, encoder.encode(record))
+                for record in records
+            )
+            runs.append(run)
+        stream = list(heapq.merge(*runs)) if runs else []
+        window = self.kernel.record_store(artifacts.tables)
+        survivors: list[int] = []
+        batches = 0
+        start = 0
+        while start < len(stream):
+            end = min(start + MERGE_CHUNK, len(stream))
+            # Never split a key-tie run: a dominator whose float key ties its
+            # victim's must share the victim's chunk to be cross-examined.
+            while end < len(stream) and stream[end][0] == stream[end - 1][0]:
+                end += 1
+            chunk = stream[start:end]
+            start = end
+            if len(window):
+                batches += 1
+                mask = window.block_dominated_mask(
+                    [encoded for _, _, encoded in chunk], counter=counter
+                )
+                alive = [entry for entry, dead in zip(chunk, mask) if not dead]
+            else:
+                alive = chunk
+            if len(alive) > 1:
+                # Resolve the chunk against itself: only stream predecessors
+                # (smaller-or-equal keys) can dominate, and strictness makes
+                # the self-comparison harmless.
+                batches += 1
+                mask = self.kernel.record_block_dominated_mask(
+                    artifacts.tables,
+                    [encoded for _, _, encoded in alive],
+                    [encoded for _, _, encoded in alive],
+                    counter=counter,
+                )
+                alive = [entry for entry, dead in zip(alive, mask) if not dead]
+            for _, record_id, encoded in alive:
+                window.append(*encoded)
+                survivors.append(record_id)
+        return sorted(survivors), batches
 
     def query(
         self,
         dag_overrides: Mapping[str, PartialOrderDAG] | None = None,
         *,
         name: str = "query",
+        merge_strategy: str | None = None,
     ) -> ShardedQueryResult:
         """Compute the skyline under (possibly overridden) preferences.
 
@@ -428,12 +636,22 @@ class ShardedExecutor:
         overrides = dict(dag_overrides or {})
         self._validate_overrides(overrides)
         started = time.perf_counter()
-        local_ids = self._local_phase(overrides)
+        local_started = time.monotonic()
+        local_ids = self.local_phase(overrides)
         local_done = time.perf_counter()
+        local_window = (local_started, time.monotonic())
         counter = _MergeCounter()
-        skyline_ids, pairs = self._merge_phase(local_ids, overrides, counter)
+        strategy = (
+            self.merge_strategy
+            if merge_strategy is None
+            else resolve_merge_strategy(merge_strategy)
+        )
+        skyline_ids, batches = self.merge_phase(
+            local_ids, overrides, counter, strategy=strategy
+        )
         finished = time.perf_counter()
-        self.queries_answered += 1
+        with self._lock:
+            self.queries_answered += 1
         return ShardedQueryResult(
             name=name,
             skyline_ids=skyline_ids,
@@ -441,8 +659,10 @@ class ShardedExecutor:
             seconds_local=local_done - started,
             seconds_merge=finished - local_done,
             local_skyline_sizes=[len(ids) for ids in local_ids],
-            merge_pairs=pairs,
+            merge_batches=batches,
             merge_checks=counter.dominance_checks,
+            merge_strategy=strategy,
+            local_window=local_window,
         )
 
     # ------------------------------------------------------------------ #
@@ -456,6 +676,7 @@ class ShardedExecutor:
             "workers": self.workers,
             "partitioner": self.partitioner_name,
             "kernel": self.kernel.name,
+            "merge_strategy": self.merge_strategy,
             "queries_answered": self.queries_answered,
             "pool_running": self._pools is not None,
         }

@@ -8,11 +8,14 @@ which is the whole point of running the engine as a service instead of a
 per-query process.
 
 Queries are CPU-bound, so they run on the event loop's default thread-pool
-executor behind an :class:`asyncio.Lock` (the engine is not thread-safe):
-the loop stays responsive to new connections, pings and stats while a query
-computes, and queries from concurrent clients serialize.  A query stream
-that needs more parallelism scales *inside* a query via the sharded
-executor's workers, not by running engine calls concurrently.
+executor.  The engine itself is a concurrency-safe façade: concurrent
+clients querying *distinct* topologies interleave their shard-local skyline
+phases and synchronize only at the engine's merge and cache boundaries
+(per-``dag_signature`` locks), while clients querying the *same* topology
+elect one computing thread and share its cached result.  The service's
+global lock therefore guards only pool lifecycle and shutdown: an in-flight
+counter lets :meth:`QueryService.serve_until_shutdown` drain running
+queries before the engine (and its worker pool) is closed.
 """
 
 from __future__ import annotations
@@ -46,6 +49,7 @@ class QueryService:
         workers: int | str | None = None,
         num_shards: int | None = None,
         partitioner="round-robin",
+        merge_strategy: str | None = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_entries: int = 32,
         prefilter: bool = True,
@@ -56,6 +60,7 @@ class QueryService:
             workers=workers,
             num_shards=num_shards,
             partitioner=partitioner,
+            merge_strategy=merge_strategy,
             cache_size=cache_size,
             max_entries=max_entries,
             prefilter=prefilter,
@@ -71,7 +76,13 @@ class QueryService:
         self.requests_served = 0
         self.query_seconds_total = 0.0
         self.query_seconds_max = 0.0
-        self._engine_lock = asyncio.Lock()
+        # Lifecycle only: queries no longer serialize on a global lock (the
+        # engine synchronizes internally, per topology); this lock guards
+        # engine/pool shutdown against racing lifecycle calls, and the
+        # in-flight counter + condition let shutdown drain running queries.
+        self._lifecycle_lock = asyncio.Lock()
+        self._inflight = 0
+        self._drained = asyncio.Condition()
         self._shutdown = asyncio.Event()
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -101,10 +112,13 @@ class QueryService:
             for writer in list(self._connections):
                 writer.close()
         # On Python < 3.12 wait_closed() does NOT wait for handlers, so an
-        # in-flight query may still hold the worker pool; closing the engine
-        # under the query lock would otherwise terminate the pool mid-map and
-        # strand the executor thread forever.
-        async with self._engine_lock:
+        # in-flight query may still hold the worker pool; terminating the
+        # pool mid-map would strand its executor thread forever.  Drain the
+        # in-flight queries first, then close the engine under the lifecycle
+        # lock.
+        async with self._drained:
+            await self._drained.wait_for(lambda: self._inflight == 0)
+        async with self._lifecycle_lock:
             self.engine.close()
 
     def request_shutdown(self) -> None:
@@ -203,8 +217,21 @@ class QueryService:
     async def _run_query(self, request: dict[str, object]) -> dict[str, object]:
         query = self._build_query(request)
         loop = asyncio.get_running_loop()
-        async with self._engine_lock:
+        # No global lock here: the engine's per-topology locks let distinct
+        # topologies interleave their shard-local phases across executor
+        # threads; the in-flight counter only keeps shutdown honest.
+        async with self._drained:
+            # Checked under the condition's lock so shutdown's drain can
+            # never miss a query that slipped in after the flag was set.
+            if self._shutdown.is_set():
+                return protocol.error_response("service is shutting down")
+            self._inflight += 1
+        try:
             result = await loop.run_in_executor(None, self.engine.run_query, query)
+        finally:
+            async with self._drained:
+                self._inflight -= 1
+                self._drained.notify_all()
         self.query_seconds_total += result.seconds
         self.query_seconds_max = max(self.query_seconds_max, result.seconds)
         payload: dict[str, object] = {
@@ -220,7 +247,10 @@ class QueryService:
     def stats(self) -> dict[str, object]:
         """Cache, shard and latency statistics for the ``stats`` op."""
         engine_summary = self.engine.summary()
-        queries = self.engine.queries_evaluated + self.engine.cache_hits
+        # Read both counters from the same locked snapshot, not live.
+        queries = int(engine_summary["queries_evaluated"]) + int(
+            engine_summary["cache_hits"]
+        )
         return {
             "protocol": protocol.PROTOCOL_VERSION,
             "uptime_seconds": time.time() - self.started_at,

@@ -120,6 +120,21 @@ class TestValidation:
         with pytest.raises(QueryError):
             engine.run_query(BatchQuery("bad", {"nope": paper_example_dag()}))
 
+    def test_domain_shrinking_override_rejected_like_sharded_path(self, workload):
+        # The single-process path must agree with the sharded path: an
+        # override missing domain values is a QueryError either way.
+        from repro.order.dag import PartialOrderDAG
+
+        schema, dataset = workload
+        attribute = schema.partial_order_attributes[0]
+        shrunk = PartialOrderDAG(list(attribute.domain)[:-1], [])
+        for engine in (
+            BatchQueryEngine(dataset),
+            BatchQueryEngine(dataset, workers=0, num_shards=2),
+        ):
+            with pytest.raises(QueryError, match="missing domain values"):
+                engine.run_query(BatchQuery("bad", {attribute.name: shrunk}))
+
     def test_summary_counts(self, workload):
         schema, dataset = workload
         engine = BatchQueryEngine(dataset)
@@ -185,3 +200,95 @@ class TestShardedEngine:
         assert BatchQueryEngine(dataset).executor is None
         with BatchQueryEngine(dataset, workers=0, num_shards=2) as engine:
             assert engine.executor is not None and engine.executor.workers == 0
+
+    @pytest.mark.parametrize("merge_strategy", ["sort-merge", "all-pairs"])
+    def test_merge_strategy_plumbed_through(self, workload, merge_strategy):
+        schema, dataset = workload
+        plain = BatchQueryEngine(dataset)
+        engine = BatchQueryEngine(
+            dataset, workers=0, num_shards=3, merge_strategy=merge_strategy
+        )
+        assert engine.executor.merge_strategy == merge_strategy
+        assert engine.summary()["sharding"]["merge_strategy"] == merge_strategy
+        query = queries_from_seeds(schema, [21])[0]
+        assert engine.run_query(query).skyline_set == plain.run_query(query).skyline_set
+
+    def test_merge_env_var_validated_even_without_executor(self, workload, monkeypatch):
+        from repro.exceptions import ExperimentError
+
+        _, dataset = workload
+        monkeypatch.setenv("REPRO_MERGE", "bogus")
+        with pytest.raises(ExperimentError, match="REPRO_MERGE"):
+            BatchQueryEngine(dataset)
+
+
+class TestConcurrentFacade:
+    """The engine must tolerate many querying threads plus summary readers."""
+
+    def test_same_topology_elects_one_computing_thread(self, workload):
+        import threading
+
+        schema, dataset = workload
+        engine = BatchQueryEngine(dataset)
+        query = queries_from_seeds(schema, [31])[0]
+        barrier = threading.Barrier(6)
+        results: list = []
+
+        def one_client() -> None:
+            barrier.wait()
+            results.append(engine.run_query(query))
+
+        threads = [threading.Thread(target=one_client) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert engine.queries_evaluated == 1 and engine.cache_hits == 5
+        first = results[0].skyline_set
+        assert all(result.skyline_set == first for result in results)
+
+    def test_summary_hammered_during_concurrent_queries(self, workload):
+        """Regression: counters stay consistent once the global lock is split."""
+        import threading
+
+        schema, dataset = workload
+        engine = BatchQueryEngine(dataset, workers=0, num_shards=3)
+        queries = queries_from_seeds(schema, range(40, 52))
+        serial = {q.name: BatchQueryEngine(dataset).run_query(q).skyline_set for q in queries}
+        stop = threading.Event()
+        snapshots: list[dict] = []
+        errors: list[BaseException] = []
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    snapshots.append(engine.summary())
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def client(chunk) -> None:
+            try:
+                for query in chunk:
+                    assert engine.run_query(query).skyline_set == serial[query.name]
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        reader_thread = threading.Thread(target=reader)
+        clients = [
+            threading.Thread(target=client, args=(queries[index::4],))
+            for index in range(4)
+        ]
+        reader_thread.start()
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        stop.set()
+        reader_thread.join()
+        assert not errors
+        assert snapshots, "summary reader never ran"
+        for summary in snapshots:
+            assert 0 <= summary["queries_evaluated"] + summary["cache_hits"] <= len(queries)
+        final = engine.summary()
+        assert final["queries_evaluated"] + final["cache_hits"] == len(queries)
+        assert final["queries_evaluated"] == len(queries)  # all topologies distinct

@@ -1,0 +1,109 @@
+"""Unit and regression tests for the bounded LRU mapping.
+
+The regression that motivates the sentinel-based lookup: a cached *falsy*
+value (``None``, an empty skyline list) must be distinguishable from a miss,
+otherwise a long-running service recomputes an empty result on every request
+— or worse, double-counts evaluations — forever.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.batch import BatchQuery, BatchQueryEngine
+from repro.engine.lru import LRUDict
+from repro.exceptions import QueryError
+
+
+class TestLookupSemantics:
+    def test_stored_none_is_not_a_miss(self):
+        cache = LRUDict(4)
+        cache["k"] = None
+        miss = object()
+        assert cache.get("k", miss) is None
+        assert cache.get("absent", miss) is miss
+        assert "k" in cache
+
+    def test_stored_empty_list_is_not_a_miss(self):
+        cache = LRUDict(4)
+        cache["empty"] = []
+        miss = object()
+        assert cache.get("empty", miss) == []
+        assert cache.get("empty", miss) is not miss
+
+    def test_getitem_raises_on_miss_and_refreshes_on_hit(self):
+        cache = LRUDict(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        assert cache["a"] == 1  # refreshes 'a'
+        cache["c"] = 3  # evicts 'b', the least recently used
+        assert "a" in cache and "c" in cache and "b" not in cache
+        with pytest.raises(KeyError):
+            cache["b"]
+
+    def test_pop(self):
+        cache = LRUDict(4)
+        cache["a"] = None
+        assert cache.pop("a") is None
+        assert "a" not in cache
+        assert cache.pop("a", "fallback") == "fallback"
+        with pytest.raises(KeyError):
+            cache.pop("a")
+
+    def test_setdefault_keeps_the_first_value(self):
+        cache = LRUDict(4)
+        first = cache.setdefault("k", "one")
+        second = cache.setdefault("k", "two")
+        assert first == "one" and second == "one"
+
+    def test_eviction_counting_unchanged(self):
+        cache = LRUDict(2)
+        for index in range(5):
+            cache[index] = index
+        assert len(cache) == 2
+        assert cache.evictions == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(QueryError):
+            LRUDict(0)
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations_do_not_corrupt(self):
+        cache: LRUDict[int, int] = LRUDict(32)
+        errors: list[BaseException] = []
+
+        def hammer(seed: int) -> None:
+            try:
+                for step in range(2000):
+                    key = (seed * 31 + step) % 100
+                    cache[key] = step
+                    cache.get((key + 1) % 100)
+                    if step % 7 == 0:
+                        cache.pop(key, None)
+                    len(cache)
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(seed,)) for seed in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= cache.capacity
+
+
+class TestEmptySkylineCachingRegression:
+    def test_engine_serves_cached_empty_result(self, small_workload):
+        """An empty skyline (empty dataset) must hit the cache, not recompute."""
+        _, dataset = small_workload
+        engine = BatchQueryEngine(dataset.subset([]))
+        first = engine.run_query(BatchQuery("base"))
+        second = engine.run_query(BatchQuery("base"))
+        assert first.skyline_ids == [] and not first.from_cache
+        assert second.skyline_ids == [] and second.from_cache
+        assert engine.queries_evaluated == 1
+        assert engine.cache_hits == 1

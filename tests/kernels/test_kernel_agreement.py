@@ -104,6 +104,14 @@ class TestRecordStoreAgreement:
             for kernel in KERNELS
         ]
         assert cross[0] == cross[1]
+        # ... and so does the merge-window primitive, which must also match
+        # per-candidate any_dominates verdicts against the same members.
+        window_masks = [store.block_dominated_mask(encoded) for store in stores]
+        assert window_masks[0] == window_masks[1]
+        assert window_masks[0] == [
+            stores[0].any_dominates(to_values, po_codes)
+            for to_values, po_codes in encoded
+        ]
 
     @given(dataset=mixed_dataset_strategy(max_rows=24))
     @settings(max_examples=20, deadline=None)

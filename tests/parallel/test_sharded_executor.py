@@ -17,7 +17,12 @@ from repro.data.schema import Schema, TotalOrderAttribute
 from repro.engine.batch import random_query_preferences
 from repro.exceptions import ExperimentError, QueryError
 from repro.kernels import available_kernels
-from repro.parallel import ShardedExecutor, resolve_workers
+from repro.parallel import (
+    MERGE_STRATEGIES,
+    ShardedExecutor,
+    resolve_merge_strategy,
+    resolve_workers,
+)
 from repro.skyline.sfs import sfs_skyline
 from tests.conftest import mixed_dataset_strategy
 
@@ -29,12 +34,17 @@ class TestShardedMatchesSingleProcess:
         dataset=mixed_dataset_strategy(max_rows=40),
         num_shards=st.integers(min_value=1, max_value=8),
         partitioner=st.sampled_from(["round-robin", "po-group"]),
+        merge_strategy=st.sampled_from(MERGE_STRATEGIES),
     )
     @settings(max_examples=60, deadline=None)
-    def test_base_preferences(self, dataset, num_shards, partitioner):
+    def test_base_preferences(self, dataset, num_shards, partitioner, merge_strategy):
         reference = sorted(stss_skyline(dataset).skyline_ids)
         executor = ShardedExecutor(
-            dataset, num_shards=num_shards, workers=0, partitioner=partitioner
+            dataset,
+            num_shards=num_shards,
+            workers=0,
+            partitioner=partitioner,
+            merge_strategy=merge_strategy,
         )
         assert executor.query().skyline_ids == reference
 
@@ -43,10 +53,11 @@ class TestShardedMatchesSingleProcess:
         query_seed=st.integers(min_value=0, max_value=10_000),
         num_shards=st.integers(min_value=1, max_value=8),
         partitioner=st.sampled_from(["round-robin", "po-group"]),
+        merge_strategy=st.sampled_from(MERGE_STRATEGIES),
     )
     @settings(max_examples=40, deadline=None)
     def test_dynamic_preference_overrides(
-        self, dataset, query_seed, num_shards, partitioner
+        self, dataset, query_seed, num_shards, partitioner, merge_strategy
     ):
         schema = dataset.schema
         # Random preferences re-drawn over each attribute's own domain
@@ -58,7 +69,11 @@ class TestShardedMatchesSingleProcess:
             ).skyline_ids
         )
         executor = ShardedExecutor(
-            dataset, num_shards=num_shards, workers=0, partitioner=partitioner
+            dataset,
+            num_shards=num_shards,
+            workers=0,
+            partitioner=partitioner,
+            merge_strategy=merge_strategy,
         )
         assert executor.query(overrides).skyline_ids == reference
 
@@ -149,14 +164,29 @@ class TestValidationAndAccounting:
 
     def test_result_accounting(self, small_workload):
         _, dataset = small_workload
-        executor = ShardedExecutor(dataset, num_shards=3, workers=0)
+        executor = ShardedExecutor(
+            dataset, num_shards=3, workers=0, merge_strategy="all-pairs"
+        )
         result = executor.query()
         assert result.seconds >= result.seconds_local >= 0
         assert result.seconds >= result.seconds_merge >= 0
         assert len(result.local_skyline_sizes) == 3
         # With 3 non-empty local skylines, every ordered pair cross-examines
         # (minus targets eliminated early) — at most n*(n-1) calls.
-        assert 0 < result.merge_pairs <= 6
+        assert 0 < result.merge_batches <= 6
+        assert result.merge_pairs == result.merge_batches  # legacy alias
+        assert result.merge_checks > 0
+        assert result.merge_strategy == "all-pairs"
+        assert result.local_window[1] >= result.local_window[0]
+
+    def test_sort_merge_accounting(self, small_workload):
+        _, dataset = small_workload
+        executor = ShardedExecutor(
+            dataset, num_shards=3, workers=0, merge_strategy="sort-merge"
+        )
+        result = executor.query()
+        assert result.merge_strategy == "sort-merge"
+        assert result.merge_batches > 0
         assert result.merge_checks > 0
 
     def test_summary_shape(self, small_workload):
@@ -168,6 +198,131 @@ class TestValidationAndAccounting:
         assert summary["partitioner"] == "po-group"
         assert summary["queries_answered"] == 1
         assert sum(summary["shard_sizes"]) == len(dataset)
+
+
+class TestMergeStrategies:
+    def test_strategies_agree(self, small_anticorrelated_workload):
+        _, dataset = small_anticorrelated_workload
+        executor = ShardedExecutor(dataset, num_shards=5, workers=0)
+        sort_merge = executor.query(merge_strategy="sort-merge")
+        all_pairs = executor.query(merge_strategy="all-pairs")
+        assert sort_merge.skyline_ids == all_pairs.skyline_ids
+        assert sort_merge.merge_strategy == "sort-merge"
+        assert all_pairs.merge_strategy == "all-pairs"
+
+    def test_sort_merge_does_less_work_on_dominance_heavy_workloads(self):
+        # The asymptotic win (stream x skyline instead of all-pairs squared)
+        # needs local skylines well past one merge chunk; a 6k-tuple
+        # anticorrelated workload gets there while staying fast.
+        from repro.data.workloads import WorkloadSpec
+
+        _, dataset = WorkloadSpec(
+            name="merge-ab",
+            distribution="anticorrelated",
+            cardinality=6000,
+            num_total_order=3,
+            num_partial_order=1,
+            dag_height=5,
+            dag_density=0.8,
+            seed=3,
+        ).build()
+        executor = ShardedExecutor(dataset, num_shards=4, workers=0)
+        sort_merge = executor.query(merge_strategy="sort-merge")
+        all_pairs = executor.query(merge_strategy="all-pairs")
+        assert sort_merge.skyline_ids == all_pairs.skyline_ids
+        assert sort_merge.merge_checks < all_pairs.merge_checks
+
+    def test_phase_split_composes_to_query(self, small_workload):
+        """local_phase + merge_phase is exactly what query() computes."""
+        schema, dataset = small_workload
+        executor = ShardedExecutor(dataset, num_shards=4, workers=0)
+        overrides = random_query_preferences(schema, 13)
+        local_ids = executor.local_phase(overrides)
+        assert len(local_ids) == 4
+        for strategy in MERGE_STRATEGIES:
+            merged, batches = executor.merge_phase(
+                local_ids, overrides, strategy=strategy
+            )
+            assert merged == executor.query(overrides, merge_strategy=strategy).skyline_ids
+            assert batches >= 0
+
+    def test_sort_merge_survives_float_key_ties(self):
+        """Regression: float summation can tie a dominator's sort key with
+        its victim's (1e16 + 1.0 == 1e16), so the strictly-smaller-key
+        invariant degrades to smaller-or-equal.  A key-tie run must never be
+        split across merge chunks, or an equal-key dominator in the next
+        chunk silently lets its victim survive and the two merge strategies
+        diverge.  (Ground truth comes from brute force: SFS's precedence
+        property rests on the same strict-key assumption, so in this corner
+        the cross-examining merges are *more* correct than a single SFS
+        pass.)
+        """
+        from repro.skyline.bruteforce import brute_force_skyline
+
+        schema = Schema([TotalOrderAttribute("x"), TotalOrderAttribute("y")])
+        victim = (1e16, 1.0)  # id 0, shard 0 — key rounds to 1e16
+        # 255 pairwise-incomparable fillers (better x, worse y than the tie
+        # pair) whose keys sort strictly before 1e16, pushing the victim to
+        # the last slot of the first 256-record merge chunk.
+        fillers = [(1e16 - 4.0 * (index + 1), 2.0 + index) for index in range(255)]
+        dominator = (1e16, 0.0)  # id 256 -> shard 1 of 3, key ties the victim's
+        dataset = Dataset(schema, [victim, *fillers, dominator])
+        truth = sorted(brute_force_skyline(dataset).skyline_ids)
+        assert 0 not in truth  # the dominator kills the victim
+        executor = ShardedExecutor(dataset, num_shards=3, workers=0)
+        # The victim's shard does not hold its dominator, so the victim
+        # reaches the merge phase and must be killed there by both
+        # strategies.
+        local_ids = executor.local_phase({})
+        assert any(0 in ids for ids in local_ids)
+        for strategy in MERGE_STRATEGIES:
+            merged, _ = executor.merge_phase(local_ids, {}, strategy=strategy)
+            assert merged == truth, strategy
+
+    def test_concurrent_queries_agree_with_serial(self, small_workload):
+        import threading
+
+        schema, dataset = small_workload
+        executor = ShardedExecutor(dataset, num_shards=3, workers=0)
+        seeds = list(range(60, 68))
+        serial = {seed: executor.query(random_query_preferences(schema, seed)).skyline_ids for seed in seeds}
+        errors: list[BaseException] = []
+
+        def client(seed: int) -> None:
+            try:
+                result = executor.query(random_query_preferences(schema, seed))
+                assert result.skyline_ids == serial[seed]
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=client, args=(seed,)) for seed in seeds]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert executor.queries_answered == 2 * len(seeds)
+
+
+class TestResolveMergeStrategy:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MERGE", "all-pairs")
+        assert resolve_merge_strategy("sort-merge") == "sort-merge"
+
+    def test_env_fallback_and_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MERGE", "all-pairs")
+        assert resolve_merge_strategy(None) == "all-pairs"
+        monkeypatch.delenv("REPRO_MERGE")
+        assert resolve_merge_strategy(None) == "sort-merge"
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ExperimentError, match="merge strategy"):
+            resolve_merge_strategy("zipper")
+
+    def test_invalid_env_value_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MERGE", "zipper")
+        with pytest.raises(ExperimentError, match="REPRO_MERGE"):
+            resolve_merge_strategy(None)
 
 
 class TestResolveWorkers:
@@ -186,3 +341,9 @@ class TestResolveWorkers:
     def test_invalid_values_rejected(self, bad):
         with pytest.raises(ExperimentError):
             resolve_workers(bad)
+
+    @pytest.mark.parametrize("bad", ["nope", "-2", "1.5"])
+    def test_invalid_env_value_names_the_variable(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ExperimentError, match="REPRO_WORKERS"):
+            resolve_workers(None)

@@ -15,7 +15,7 @@ import pytest
 
 from repro.core.stss import stss_skyline
 from repro.data.workloads import WorkloadSpec
-from repro.engine.batch import random_query_preferences
+from repro.engine.batch import BatchQuery, BatchQueryEngine, random_query_preferences
 from repro.exceptions import ServiceError
 from repro.order.dag import PartialOrderDAG
 from repro.service import QueryService, ServiceClient, wait_for_service
@@ -151,11 +151,88 @@ class TestConcurrentClients:
 
         first = responses[0]["skyline_ids"]
         assert all(response["skyline_ids"] == first for response in responses)
-        # The engine lock serializes evaluation: exactly one client computes,
-        # the other five hit the shared per-topology cache.
+        # The per-topology lock elects exactly one computing client; the
+        # other five hit the shared per-topology cache.
         assert service.engine.queries_evaluated == evaluated_before + 1
         assert service.engine.cache_hits == hits_before + 5
         assert sum(1 for r in responses if r["from_cache"]) == 5
+
+    def test_distinct_topologies_interleave_local_phases(self, workload):
+        """Two concurrent queries must both be inside their local phase at
+        once — deterministic proof that the global engine lock is gone.
+
+        Each query's local phase blocks on a two-party barrier before
+        computing: if the service still serialized queries, the first one
+        would wait out the barrier's timeout alone and the test would fail.
+        The recorded monotonic windows double-check the overlap.
+        """
+        import time
+
+        _, dataset = workload
+        service = QueryService(dataset, num_shards=3, workers=0)
+        executor = service.engine.executor
+        rendezvous = threading.Barrier(2, timeout=30)
+        windows: list[tuple[float, float]] = []
+        original = executor.local_phase
+
+        def instrumented(overrides):
+            started = time.monotonic()
+            # Rendezvous *inside* the timed window: both windows then contain
+            # the barrier-release instant, so they provably overlap.
+            rendezvous.wait()
+            local_ids = original(overrides)
+            windows.append((started, time.monotonic()))
+            return local_ids
+
+        executor.local_phase = instrumented
+
+        loop = asyncio.new_event_loop()
+        address: dict[str, object] = {}
+        started_event = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(loop)
+
+            async def main() -> None:
+                host, port = await service.start("127.0.0.1", 0)
+                address["host"], address["port"] = host, port
+                started_event.set()
+                await service.serve_until_shutdown()
+
+            loop.run_until_complete(main())
+            loop.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert started_event.wait(timeout=10)
+
+        serial = BatchQueryEngine(dataset)
+        seeds = [411, 412]  # distinct topologies -> distinct per-topology locks
+        expected = {
+            seed: sorted(
+                serial.run_query(
+                    BatchQuery(f"q{seed}", random_query_preferences(dataset.schema, seed))
+                ).skyline_ids
+            )
+            for seed in seeds
+        }
+
+        def one_client(seed: int):
+            with ServiceClient(address["host"], address["port"]) as client:
+                return seed, client.query(seed=seed)
+
+        try:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                outcomes = list(pool.map(one_client, seeds))
+            for seed, response in outcomes:
+                assert response["skyline_ids"] == expected[seed]
+            assert len(windows) == 2
+            (a_start, a_end), (b_start, b_end) = windows
+            assert a_start < b_end and b_start < a_end, "local phases did not overlap"
+        finally:
+            loop.call_soon_threadsafe(service.request_shutdown)
+            thread.join(timeout=10)
+        assert not thread.is_alive()
 
     def test_latency_accounting(self, running_service):
         service, host, port = running_service

@@ -76,6 +76,43 @@ class TestBatchQueryCommand:
         assert code == 2
         assert "worker count" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("bad", ["lots", "-2", "1.5"])
+    def test_bad_workers_flag_never_tracebacks(self, capsys, bad):
+        code = main(["batch-query", "--cardinality", "100", "--workers", bad])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    @pytest.mark.parametrize("bad", ["lots", "-2", "1.5"])
+    def test_bad_workers_env_var_named_in_error(self, capsys, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        code = main(["batch-query", "--cardinality", "100"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "REPRO_WORKERS" in err
+        assert "Traceback" not in err
+
+    def test_merge_strategy_flag_parsed_and_run(self, capsys):
+        code = main(
+            [
+                "batch-query",
+                "--cardinality", "300",
+                "--queries", "1",
+                "--workers", "0",
+                "--shards", "2",
+                "--merge-strategy", "all-pairs",
+            ]
+        )
+        assert code == 0
+        assert "cached topologies" in capsys.readouterr().out
+
+    def test_bad_merge_env_var_named_in_error(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_MERGE", "zipper")
+        code = main(["batch-query", "--cardinality", "100"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "REPRO_MERGE" in err
+
     def test_bad_cache_size_is_reported(self, capsys):
         code = main(["batch-query", "--cardinality", "100", "--cache-size", "0"])
         assert code == 2
