@@ -98,6 +98,13 @@ def _add_sharding_options(parser: argparse.ArgumentParser) -> None:
         help="cross-shard merge strategy (default: REPRO_MERGE env var, else "
         "sort-merge; all-pairs is the legacy batched sweep kept for A/B runs)",
     )
+    parser.add_argument(
+        "--frame",
+        choices=("on", "off"),
+        default=None,
+        help="columnar frame data plane (default: REPRO_FRAME env var, else "
+        "on when NumPy is available; off falls back to record-at-a-time)",
+    )
 
 
 def _add_workload_options(parser: argparse.ArgumentParser) -> None:
@@ -156,6 +163,7 @@ def _engine_options(args) -> dict:
         "num_shards": args.shards,
         "partitioner": args.partitioner,
         "merge_strategy": args.merge_strategy,
+        "use_frame": None if args.frame is None else args.frame == "on",
     }
     if args.cache_size is not None:
         options["cache_size"] = args.cache_size
@@ -207,6 +215,11 @@ def build_batch_query_parser() -> argparse.ArgumentParser:
     _add_workload_options(parser)
     parser.add_argument("--queries", type=int, default=10, help="number of random queries")
     parser.add_argument("--repeat", type=int, default=1, help="repeat the query list this many times (exercises the cache)")
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase timings (encode / build / query / merge) with the summary",
+    )
     parser.add_argument("--json", default=None, help="write results as JSON to this file")
     _add_kernel_option(parser)
     _add_sharding_options(parser)
@@ -254,6 +267,14 @@ def batch_query_main(argv: Sequence[str] | None = None) -> int:
         f"({summary['cached_topologies']} cached topologies, kernel={summary['kernel']}"
         f"{sharded})"
     )
+    if args.profile:
+        phases = summary["phase_seconds"]
+        total = sum(phases.values())
+        rendered = " | ".join(
+            f"{name} {phases[name] * 1000:.1f} ms"
+            for name in ("encode", "build", "query", "merge")
+        )
+        print(f"phases: {rendered} | total {total * 1000:.1f} ms")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump({"summary": summary, "results": rows}, handle, indent=2)

@@ -12,6 +12,17 @@ single :class:`MappedPoint` carrying all their record ids.  Distinct mapped
 points can then never tie on every attribute, which makes "weakly better
 everywhere and not the same point" equivalent to strict dominance and keeps
 every pruning rule exact.
+
+Construction has two equivalent paths: the record path walks the dataset's
+``Record`` tuples (reference), and the columnar path consumes an
+:class:`~repro.data.columns.EncodedFrame` — grouping duplicates with one
+``np.unique`` over the mapped-coordinate matrix and remapping the frame's
+canonical PO codes into each encoding's topological positions with one
+gather.  Both paths yield identical points in identical (first-occurrence)
+order, so everything downstream — R-tree layout, BBS traversal, dominance
+check counts — is unchanged; a mapping can also be built from a frame alone
+(``dataset=None``), which is how sharded workers operate on shipped column
+blocks.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 from functools import cached_property
 
+from repro.data.columns import EncodedFrame, group_rows, resolve_frame_mode
 from repro.data.dataset import Dataset
 from repro.data.schema import Schema
 from repro.exceptions import SchemaError
@@ -70,13 +82,19 @@ class TSSMapping:
 
     def __init__(
         self,
-        dataset: Dataset,
+        dataset: Dataset | None = None,
         encodings: Sequence[DomainEncoding] | None = None,
         *,
+        schema: Schema | None = None,
+        frame: EncodedFrame | None = None,
+        use_frame: bool | None = None,
         toposort_strategy: str = "kahn",
         parent_choice: str = "first",
     ) -> None:
-        schema = dataset.schema
+        if dataset is None and frame is None:
+            raise SchemaError("TSSMapping needs a dataset or an encoded frame")
+        if schema is None:
+            schema = dataset.schema if dataset is not None else frame.schema
         if schema.num_partial_order == 0:
             raise SchemaError("TSSMapping requires at least one PO attribute; use plain BBS otherwise")
         self.dataset = dataset
@@ -89,7 +107,13 @@ class TSSMapping:
         if len(encodings) != schema.num_partial_order:
             raise SchemaError("one DomainEncoding per PO attribute is required")
         self.encodings: tuple[DomainEncoding, ...] = tuple(encodings)
-        self.points: list[MappedPoint] = self._build_points()
+        if frame is None and dataset is not None and resolve_frame_mode(use_frame):
+            frame = EncodedFrame.from_dataset(dataset)
+        self.frame = frame
+        if frame is not None:
+            self.points: list[MappedPoint] = self._build_points_from_frame(frame)
+        else:
+            self.points = self._build_points()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -111,6 +135,66 @@ class TSSMapping:
                     to_values=to_values,
                     po_values=po_values,
                     record_ids=record_ids,
+                )
+            )
+        return points
+
+    def _topo_code_maps(self) -> list[dict[Value, int]]:
+        """Per PO attribute: value -> position in the topological order."""
+        return [
+            {value: position for position, value in enumerate(encoding.order)}
+            for encoding in self.encodings
+        ]
+
+    def _build_points_from_frame(self, frame: EncodedFrame) -> list[MappedPoint]:
+        """Columnar twin of :meth:`_build_points` over an encoded frame.
+
+        The frame's canonical codes are gathered into topological positions
+        (``ordinal - 1``); duplicate grouping is one ``np.unique`` over the
+        mapped-coordinate matrix, reordered to first occurrence so the point
+        list is identical to the record path's.
+        """
+        topo_codes = frame.remap_codes(self._topo_code_maps())
+        orders = [encoding.order for encoding in self.encodings]
+        if not frame.uses_numpy:
+            points: list[MappedPoint] = []
+            groups: dict[tuple, list[int]] = {}
+            for row_index in range(len(frame)):
+                key = (tuple(frame.to[row_index]), tuple(topo_codes[row_index]))
+                groups.setdefault(key, []).append(row_index)
+            for (to_values, codes), row_ids in groups.items():
+                ordinals = tuple(float(code + 1) for code in codes)
+                points.append(
+                    MappedPoint(
+                        index=len(points),
+                        coords=tuple(to_values) + ordinals,
+                        to_values=tuple(to_values),
+                        po_values=tuple(order[code] for order, code in zip(orders, codes)),
+                        record_ids=tuple(row_ids),
+                    )
+                )
+            return points
+        import numpy as np
+
+        num_to = self.num_total_order
+        coords = np.empty((len(frame), self.dimensions), dtype=float)
+        coords[:, :num_to] = frame.to
+        coords[:, num_to:] = topo_codes
+        coords[:, num_to:] += 1.0
+        unique_coords, groups = group_rows(coords)
+        points = []
+        for index, (unique_row, row_ids) in enumerate(zip(unique_coords, groups)):
+            row = unique_row.tolist()
+            points.append(
+                MappedPoint(
+                    index=index,
+                    coords=tuple(row),
+                    to_values=tuple(row[:num_to]),
+                    po_values=tuple(
+                        order[int(ordinal) - 1]
+                        for order, ordinal in zip(orders, row[num_to:])
+                    ),
+                    record_ids=tuple(row_ids.tolist()),
                 )
             )
         return points
@@ -138,6 +222,18 @@ class TSSMapping:
     def to_offset(self) -> int:
         """Index of the first PO (ordinal) coordinate inside ``coords``."""
         return self.num_total_order
+
+    @cached_property
+    def point_codes(self) -> list[tuple[int, ...]]:
+        """Per point: the PO codes (topological position, 0-based).
+
+        Derived once from the mapped ordinals so skyline stores can feed
+        kernel calls without re-deriving codes per dominance check.
+        """
+        offset = self.to_offset
+        return [
+            tuple(int(c) - 1 for c in point.coords[offset:]) for point in self.points
+        ]
 
     def point(self, index: int) -> MappedPoint:
         return self.points[index]

@@ -34,11 +34,14 @@ from repro.skyline.bbs import run_bbs
 
 
 def stss_skyline(
-    dataset: Dataset,
+    dataset: Dataset | None = None,
     *,
     encodings: Sequence[DomainEncoding] | None = None,
     mapping: TSSMapping | None = None,
     tree: RTree | None = None,
+    frame=None,
+    schema=None,
+    use_frame: bool | None = None,
     use_virtual_rtree: bool = False,
     use_dyadic_cache: bool = True,
     max_entries: int = 32,
@@ -51,11 +54,19 @@ def stss_skyline(
     ----------
     dataset:
         Input relation; its schema must contain at least one PO attribute
-        (plain BBS covers the TO-only case).
+        (plain BBS covers the TO-only case).  May be ``None`` when ``frame``
+        (or a pre-built ``mapping``) is supplied — sharded workers run sTSS
+        over shipped column blocks without ever materializing records.
     encodings / mapping / tree:
         Pre-built artefacts may be supplied to amortize their construction
         across runs (the benchmark harness does this); by default everything
         is derived from the dataset.
+    frame / schema / use_frame:
+        Columnar inputs: an :class:`~repro.data.columns.EncodedFrame` to map
+        (``schema`` supplies the effective preference DAGs when it differs
+        from the frame's own), and the frame-path toggle forwarded to
+        :class:`~repro.core.mapping.TSSMapping` (``None`` consults
+        ``REPRO_FRAME``).
     use_virtual_rtree:
         Enable the main-memory R-tree of virtual points for t-dominance
         checks (Section IV-B, second optimization).  It cuts the number of
@@ -83,7 +94,9 @@ def stss_skyline(
         groups), work counters and the progressiveness log.
     """
     if mapping is None:
-        mapping = TSSMapping(dataset, encodings)
+        mapping = TSSMapping(
+            dataset, encodings, schema=schema, frame=frame, use_frame=use_frame
+        )
     if tree is None:
         tree = mapping.build_rtree(max_entries=max_entries, disk=disk)
 

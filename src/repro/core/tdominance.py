@@ -254,19 +254,21 @@ class TDominanceSkylineStore:
     MBB phase needs each survivor's interval set.
     """
 
-    __slots__ = ("checker", "tables", "kernel_store", "codes", "_offset")
+    __slots__ = ("checker", "tables", "kernel_store", "codes")
 
     def __init__(self, checker: TDominanceChecker) -> None:
         self.checker = checker
         self.tables = tdominance_tables(checker.mapping)
         self.kernel_store = checker.kernel.tdominance_store(self.tables)
         self.codes: list[tuple[int, ...]] = []
-        self._offset = checker.mapping.to_offset
 
     def codes_of(self, point: MappedPoint) -> tuple[int, ...]:
-        """PO codes (topological position, 0-based) from the mapped ordinals."""
-        offset = self._offset
-        return tuple(int(c) - 1 for c in point.coords[offset:])
+        """PO codes (topological position, 0-based) of one mapped point.
+
+        Served from the mapping's precomputed code table, so candidates
+        stream through the kernel with no per-check conversion.
+        """
+        return self.checker.mapping.point_codes[point.index]
 
     def append(self, point: MappedPoint) -> None:
         codes = self.codes_of(point)

@@ -9,10 +9,14 @@
   Independent / Correlated / Anti-correlated distributions of the skyline
   literature (the paper uses the first and last).
 * :mod:`~repro.data.io` — CSV loading/saving for datasets and preference DAGs.
+* :mod:`~repro.data.columns` — the columnar data plane: datasets encoded once
+  as contiguous per-attribute columns (:class:`EncodedFrame`) that stream
+  through the vectorized kernels, mapping construction and shard shipping.
 * :mod:`~repro.data.workloads` — the paper's experimental parameter grid
   expressed as named, reproducible workload specifications.
 """
 
+from repro.data.columns import EncodedFrame, resolve_frame_mode
 from repro.data.dataset import Dataset, Record
 from repro.data.generator import generate_dataset
 from repro.data.io import (
@@ -26,7 +30,9 @@ from repro.data.workloads import WorkloadSpec, paper_defaults
 
 __all__ = [
     "Dataset",
+    "EncodedFrame",
     "Record",
+    "resolve_frame_mode",
     "Schema",
     "TotalOrderAttribute",
     "PartialOrderAttribute",

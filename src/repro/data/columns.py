@@ -1,0 +1,336 @@
+"""Columnar encoded frames: the zero-copy data plane of the hot paths.
+
+A :class:`EncodedFrame` holds a dataset *encoded once* as one contiguous
+column per attribute — a float64 matrix of canonical TO values (shared with
+:meth:`Dataset.to_numeric_matrix <repro.data.dataset.Dataset.to_numeric_matrix>`)
+and one int32 code column per PO attribute — instead of a tuple-of-``Record``
+objects walked one at a time.  Every consumer of the hot path (the batch
+engine's prefilter, :class:`~repro.core.mapping.TSSMapping` construction,
+SFS/LESS presorting, the sharded executor's worker shipping and cross-shard
+merges) can then stream row blocks straight through the vectorized kernels
+with zero per-record conversion.
+
+Codes live in the *canonical* space of the frame's schema — position in each
+PO attribute's ``dag.values`` tuple, exactly the space
+:meth:`RecordTables.from_schema <repro.kernels.tables.RecordTables.from_schema>`
+uses — so ground-truth dominance needs no translation.  Other code spaces
+(a query's override DAGs, a topological-sort encoding) are reached through
+:meth:`EncodedFrame.remap_codes`, an O(domain) permutation build plus one
+vectorized gather, rather than re-encoding every record.
+
+The frame path is selected like the kernel backend: an explicit argument
+wins, then the ``REPRO_FRAME`` environment variable (mirroring
+``REPRO_KERNEL``), then the default — on when NumPy is importable, off
+otherwise.  Without NumPy the frame falls back to tuple-backed columns so a
+forced ``REPRO_FRAME=1`` still works everywhere (the reference
+representation the vectorized one must agree with).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Hashable, Mapping, Sequence
+from typing import TYPE_CHECKING
+
+from repro.data.schema import Schema
+from repro.exceptions import DatasetError, ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.data.dataset import Dataset
+
+Value = Hashable
+
+#: Environment variable selecting the columnar frame path (mirrors
+#: ``REPRO_KERNEL`` / ``REPRO_WORKERS``).
+FRAME_ENV_VAR = "REPRO_FRAME"
+
+_TRUE_WORDS = frozenset({"1", "true", "on", "yes"})
+_FALSE_WORDS = frozenset({"0", "false", "off", "no"})
+
+
+def _numpy_or_none():
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+def resolve_frame_mode(mode: bool | str | None = None) -> bool:
+    """Coerce a frame-mode argument (``None`` falls back to the env).
+
+    An explicit boolean wins; ``None`` consults the ``REPRO_FRAME``
+    environment variable (``1/true/on/yes`` or ``0/false/off/no``); unset,
+    the columnar path is on exactly when NumPy is importable (forcing it on
+    without NumPy uses the tuple-backed fallback columns).
+    """
+    source = ""
+    if mode is None:
+        raw = os.environ.get(FRAME_ENV_VAR)
+        if raw is None or not raw.strip():
+            return _numpy_or_none() is not None
+        mode = raw
+        source = f" (from the {FRAME_ENV_VAR} environment variable)"
+    if isinstance(mode, bool):
+        return mode
+    word = str(mode).strip().lower()
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
+        return False
+    raise ExperimentError(
+        f"frame mode must be one of {sorted(_TRUE_WORDS | _FALSE_WORDS)}; "
+        f"got {mode!r}{source}"
+    )
+
+
+def group_rows(matrix) -> tuple[object, list]:
+    """Group equal rows of a 2-D array, preserving first-occurrence order.
+
+    Returns ``(unique_rows, groups)`` where ``unique_rows[g]`` is the value of
+    the ``g``-th distinct row *in order of first appearance* and ``groups[g]``
+    the ascending indices of its occurrences — the exact contract of dict-based
+    ``setdefault`` grouping over row tuples, shared by the engine's prefilter
+    and the columnar :class:`~repro.core.mapping.TSSMapping` build.  A matrix
+    with zero columns groups every row together.
+    """
+    np = _numpy_or_none()
+    if np is None:  # pragma: no cover - callers hold ndarray-backed frames
+        raise DatasetError("group_rows requires NumPy")
+    matrix = np.asarray(matrix)
+    if not len(matrix):
+        return matrix[:0], []
+    unique, first_seen, inverse = np.unique(
+        matrix, axis=0, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)  # NumPy 2.x keeps the input's shape
+    by_first = np.argsort(first_seen, kind="stable")
+    position_of = np.empty(len(by_first), dtype=np.intp)
+    position_of[by_first] = np.arange(len(by_first))
+    group_of_row = position_of[inverse]
+    rows_by_group = np.argsort(group_of_row, kind="stable")
+    boundaries = np.cumsum(np.bincount(group_of_row))[:-1]
+    return unique[by_first], np.split(rows_by_group, boundaries)
+
+
+class ColumnCodec:
+    """The value<->code tables of one schema's PO attributes.
+
+    Codes are positions in each attribute's ``dag.values`` tuple — the same
+    canonical space :meth:`RecordTables.from_schema
+    <repro.kernels.tables.RecordTables.from_schema>` derives, so frames and
+    ground-truth record tables of one schema always agree without remapping.
+    """
+
+    __slots__ = ("names", "domains", "code_of")
+
+    def __init__(self, names: Sequence[str], domains: Sequence[tuple[Value, ...]]) -> None:
+        self.names = tuple(names)
+        self.domains = tuple(tuple(domain) for domain in domains)
+        self.code_of = tuple(
+            {value: code for code, value in enumerate(domain)} for domain in self.domains
+        )
+
+    @classmethod
+    def from_schema(cls, schema: Schema) -> "ColumnCodec":
+        attributes = schema.partial_order_attributes
+        return cls(
+            names=[attribute.name for attribute in attributes],
+            domains=[attribute.dag.values for attribute in attributes],
+        )
+
+    def encode_column(self, attr_index: int, values: Sequence[Value]) -> list[int]:
+        """Codes of one PO value column (clean error naming the attribute)."""
+        code_of = self.code_of[attr_index]
+        try:
+            return [code_of[value] for value in values]
+        except KeyError as exc:
+            raise DatasetError(
+                f"cannot encode PO attribute {self.names[attr_index]!r}: value "
+                f"{exc.args[0]!r} is absent from the encoding domain"
+            ) from None
+
+    def permutation_to(
+        self, attr_index: int, target_code_of: Mapping[Value, int]
+    ) -> list[int]:
+        """``perm[canonical code] -> target code`` for one attribute.
+
+        Raises a clean :class:`~repro.exceptions.DatasetError` naming the
+        attribute when the target space is missing one of the frame's domain
+        values (e.g. a frame requested for an encoding over a shrunk domain).
+        """
+        perm: list[int] = []
+        for value in self.domains[attr_index]:
+            try:
+                perm.append(target_code_of[value])
+            except KeyError:
+                raise DatasetError(
+                    f"cannot remap PO attribute {self.names[attr_index]!r}: value "
+                    f"{value!r} is absent from the encoding domain"
+                ) from None
+        return perm
+
+
+class EncodedFrame:
+    """One dataset encoded once as contiguous per-attribute columns.
+
+    Attributes
+    ----------
+    schema:
+        The schema the frame was encoded under.
+    to:
+        Canonical TO values, shape ``(n, num_total_order)`` — a read-only
+        float64 array (NumPy backend, shared with the dataset's memoized
+        numeric matrix) or a tuple of row tuples (fallback backend).
+    codes:
+        PO codes in the codec's canonical space, shape
+        ``(n, num_partial_order)`` — an int32 array or a tuple of row tuples.
+    codec:
+        The :class:`ColumnCodec` defining the code space.
+    """
+
+    __slots__ = ("schema", "codec", "to", "codes", "_length")
+
+    def __init__(self, schema: Schema, codec: ColumnCodec, to, codes, length: int) -> None:
+        self.schema = schema
+        self.codec = codec
+        self.to = to
+        self.codes = codes
+        self._length = length
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dataset(cls, dataset: "Dataset") -> "EncodedFrame":
+        """Encode a dataset column-wise (vectorized when NumPy is available)."""
+        schema = dataset.schema
+        codec = ColumnCodec.from_schema(schema)
+        np = _numpy_or_none()
+        length = len(dataset)
+        if np is not None:
+            to = (
+                dataset.to_numeric_matrix()
+                if schema.num_total_order
+                else np.empty((length, 0), dtype=float)
+            )
+            codes = np.empty((length, schema.num_partial_order), dtype=np.int32)
+            for attr_index, name in enumerate(codec.names):
+                codes[:, attr_index] = codec.encode_column(
+                    attr_index, dataset.column(name)
+                )
+            codes.flags.writeable = False
+            return cls(schema, codec, to, codes, length)
+        to_rows = tuple(
+            schema.canonical_to_values(record.values) for record in dataset.records
+        )
+        code_columns = [
+            codec.encode_column(attr_index, dataset.column(name))
+            for attr_index, name in enumerate(codec.names)
+        ]
+        codes = tuple(zip(*code_columns)) if code_columns else tuple(() for _ in range(length))
+        return cls(schema, codec, to_rows, codes, length)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_total_order(self) -> int:
+        return self.schema.num_total_order
+
+    @property
+    def num_partial_order(self) -> int:
+        return len(self.codec.names)
+
+    @property
+    def uses_numpy(self) -> bool:
+        return not isinstance(self.to, tuple)
+
+    def row(self, index: int):
+        """``(to_values, po_codes)`` of one row (views, no conversion)."""
+        return self.to[index], self.codes[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backend = "numpy" if self.uses_numpy else "tuple"
+        return f"EncodedFrame(n={self._length}, backend={backend}, schema={self.schema!r})"
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def take(self, indices: Sequence[int]) -> "EncodedFrame":
+        """A row-subset frame (shard slicing; rows are re-numbered 0..n-1)."""
+        if self.uses_numpy:
+            np = _numpy_or_none()
+            index_array = np.asarray(indices, dtype=np.intp)
+            return EncodedFrame(
+                self.schema,
+                self.codec,
+                self.to[index_array],
+                self.codes[index_array],
+                int(len(index_array)),
+            )
+        to = tuple(self.to[i] for i in indices)
+        codes = tuple(self.codes[i] for i in indices)
+        return EncodedFrame(self.schema, self.codec, to, codes, len(to))
+
+    def remap_codes(self, code_maps: Sequence[Mapping[Value, int]]):
+        """The code matrix translated into another per-attribute code space.
+
+        ``code_maps`` holds one value-to-code mapping per PO attribute (e.g.
+        ``table.code_of`` of a query's :class:`~repro.kernels.tables.
+        RecordTables`, or an encoding's topological positions).  Identity
+        remaps return the frame's own columns unchanged (zero-copy); anything
+        else is one O(domain) permutation build plus a vectorized gather.
+        """
+        if len(code_maps) != self.num_partial_order:
+            raise DatasetError(
+                f"remap_codes needs one code map per PO attribute "
+                f"({self.num_partial_order}), got {len(code_maps)}"
+            )
+        perms = [
+            self.codec.permutation_to(attr_index, code_map)
+            for attr_index, code_map in enumerate(code_maps)
+        ]
+        if all(perm == list(range(len(perm))) for perm in perms):
+            return self.codes
+        if self.uses_numpy:
+            np = _numpy_or_none()
+            remapped = np.empty_like(self.codes)
+            remapped.flags.writeable = True
+            for attr_index, perm in enumerate(perms):
+                table = np.asarray(perm, dtype=np.int32)
+                remapped[:, attr_index] = table[self.codes[:, attr_index]]
+            return remapped
+        return tuple(
+            tuple(perm[code] for perm, code in zip(perms, row)) for row in self.codes
+        )
+
+    def monotone_keys(self, depth_columns: Sequence[Sequence[float]]):
+        """The SFS monotone sort key of every row, bitwise identical to the
+        record path's :func:`~repro.skyline.sfs.monotone_sort_key`.
+
+        ``depth_columns`` holds, per PO attribute, the DAG depth of every
+        *canonical-code* value.  Accumulation order matches the scalar key —
+        TO columns left to right, then PO depths in attribute order — so the
+        float results (and thus any sort built on them) are identical.
+        """
+        if self.uses_numpy:
+            np = _numpy_or_none()
+            keys = np.zeros(self._length, dtype=float)
+            for column in range(self.num_total_order):
+                keys += self.to[:, column]
+            for attr_index, depths in enumerate(depth_columns):
+                keys += np.asarray(depths, dtype=float)[self.codes[:, attr_index]]
+            return keys
+        keys = []
+        for to_row, code_row in zip(self.to, self.codes):
+            score = 0.0
+            for value in to_row:
+                score += value
+            for depths, code in zip(depth_columns, code_row):
+                score += depths[code]
+            keys.append(score)
+        return keys

@@ -39,7 +39,7 @@ class Record:
 class Dataset:
     """An immutable, schema-validated collection of records."""
 
-    __slots__ = ("_schema", "_records")
+    __slots__ = ("_schema", "_records", "_numeric_matrix")
 
     def __init__(self, schema: Schema, rows: Iterable[Sequence[Value]], *, validate: bool = True) -> None:
         self._schema = schema
@@ -50,6 +50,7 @@ class Dataset:
                 schema.validate_row(row_tuple)
             records.append(Record(id=len(records), values=row_tuple))
         self._records: tuple[Record, ...] = tuple(records)
+        self._numeric_matrix: "np.ndarray | None" = None
 
     # ------------------------------------------------------------------ #
     # Collection protocol
@@ -90,17 +91,31 @@ class Dataset:
         """The totally ordered attributes as a float matrix (canonical, min-is-best).
 
         Requires the optional NumPy dependency (``pip install repro[numpy]``).
+        The matrix is assembled column-wise (no intermediate per-record row
+        list), memoized on the instance (the dataset is immutable), and
+        returned read-only so no caller can corrupt the shared copy.
         """
+        if self._numeric_matrix is not None:
+            return self._numeric_matrix
         try:
             import numpy as np
         except ImportError as exc:  # pragma: no cover - exercised in the no-numpy CI job
             raise DatasetError(
                 "Dataset.to_numeric_matrix requires NumPy; install the [numpy] extra"
             ) from exc
-        return np.array(
-            [self._schema.canonical_to_values(record.values) for record in self._records],
-            dtype=float,
-        ).reshape(len(self._records), self._schema.num_total_order)
+        records = self._records
+        matrix = np.empty((len(records), self._schema.num_total_order), dtype=float)
+        for column, position in enumerate(self._schema.total_order_positions):
+            matrix[:, column] = np.fromiter(
+                (record.values[position] for record in records),
+                dtype=float,
+                count=len(records),
+            )
+            if self._schema.attributes[position].best == "max":  # type: ignore[union-attr]
+                np.negative(matrix[:, column], out=matrix[:, column])
+        matrix.flags.writeable = False
+        self._numeric_matrix = matrix
+        return matrix
 
     def partial_value_tuples(self) -> list[tuple[Value, ...]]:
         """The PO value combination of every record, in record order."""

@@ -46,7 +46,9 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from repro.parallel.executor import ShardedQueryResult
 
+from repro.core.mapping import TSSMapping
 from repro.core.stss import stss_skyline
+from repro.data.columns import EncodedFrame, group_rows, resolve_frame_mode
 from repro.data.dataset import Dataset
 from repro.engine.encodings import (
     DagKey,
@@ -145,6 +147,7 @@ class BatchQueryEngine:
         num_shards: int | None = None,
         partitioner="round-robin",
         merge_strategy: str | None = None,
+        use_frame: bool | None = None,
     ) -> None:
         self.dataset = dataset
         self.schema = dataset.schema
@@ -164,10 +167,16 @@ class BatchQueryEngine:
         self._query_locks: LRUDict[TopologyKey, threading.Lock] = LRUDict(
             max(cache_size, 64)
         )
-        self._candidate_ids, self._reduced = self._prefilter() if prefilter else (
-            [record.id for record in dataset.records],
-            dataset,
-        )
+        # Cumulative wall clock per pipeline phase (encode the frame, build
+        # per-query mapping/R-tree structures + the shared prefilter, run the
+        # skyline scans, merge across shards); read via :meth:`summary`.
+        self._phase_seconds = {"encode": 0.0, "build": 0.0, "query": 0.0, "merge": 0.0}
+        # The columnar data plane: the dataset encoded once, sliced once more
+        # for the prefilter survivors; ``None`` keeps the record path.
+        self._use_frame = resolve_frame_mode(use_frame)
+        started = time.perf_counter()
+        self._frame = EncodedFrame.from_dataset(dataset) if self._use_frame else None
+        self._phase_seconds["encode"] += time.perf_counter() - started
         # Mirrors the kernel registry: an explicit ``workers`` wins, ``None``
         # consults REPRO_WORKERS, and 0 means single-process evaluation.
         # The merge strategy resolves the same way (REPRO_MERGE) and is
@@ -176,10 +185,39 @@ class BatchQueryEngine:
 
         resolved_workers = resolve_workers(workers)
         merge_strategy = resolve_merge_strategy(merge_strategy)
+        sharded = resolved_workers >= 1 or (num_shards is not None and num_shards > 1)
+        started = time.perf_counter()
+        self._candidate_ids = (
+            self._prefilter_survivors()
+            if prefilter
+            else [record.id for record in dataset.records]
+        )
+        # The reduced record view backs the record fallback and the sharded
+        # partitioners; the pure frame path reads only the reduced frame, so
+        # the per-record subset is skipped entirely there.
+        if len(self._candidate_ids) == len(dataset):
+            self._reduced = dataset
+        elif self._frame is not None and not sharded:
+            self._reduced = None
+        else:
+            self._reduced = dataset.subset(self._candidate_ids)
+        self._phase_seconds["build"] += time.perf_counter() - started
+        started = time.perf_counter()
+        self._reduced_frame = (
+            self._frame
+            if self._frame is not None and len(self._candidate_ids) == len(dataset)
+            else (
+                self._frame.take(self._candidate_ids)
+                if self._frame is not None
+                else None
+            )
+        )
+        self._phase_seconds["encode"] += time.perf_counter() - started
         self._executor = None
-        if resolved_workers >= 1 or (num_shards is not None and num_shards > 1):
+        if sharded:
             from repro.parallel.executor import ShardedExecutor
 
+            started = time.perf_counter()
             self._executor = ShardedExecutor(
                 self._reduced,
                 workers=resolved_workers,
@@ -189,7 +227,10 @@ class BatchQueryEngine:
                 max_entries=max_entries,
                 merge_strategy=merge_strategy,
                 encoding_cache_size=cache_size,
+                frame=self._reduced_frame,
+                use_frame=self._use_frame,
             )
+            self._phase_seconds["build"] += time.perf_counter() - started
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -213,17 +254,20 @@ class BatchQueryEngine:
     # ------------------------------------------------------------------ #
     # Shared dominance work
     # ------------------------------------------------------------------ #
-    def _prefilter(self) -> tuple[list[int], Dataset]:
+    def _prefilter_survivors(self) -> list[int]:
         """Keep only each PO-combination group's TO-Pareto front.
 
         Query-independent: within a group the PO attributes tie under every
         preference DAG, so a record strictly TO-dominated by a group sibling
-        is dominated under every query.
+        is dominated under every query.  With the frame built, grouping and
+        the per-group Pareto rows are column operations; the record path
+        below is the reference the columnar one must match.
         """
         schema = self.schema
         if not schema.num_total_order or not len(self.dataset):
-            ids = [record.id for record in self.dataset.records]
-            return ids, self.dataset
+            return [record.id for record in self.dataset.records]
+        if self._frame is not None:
+            return self._prefilter_frame_survivors()
         groups: dict[tuple[Value, ...], list[int]] = {}
         for record in self.dataset.records:
             groups.setdefault(schema.partial_values(record.values), []).append(record.id)
@@ -241,7 +285,36 @@ class BatchQueryEngine:
                 record_id for record_id, keep in zip(member_ids, mask) if keep
             )
         survivors.sort()
-        return survivors, self.dataset.subset(survivors)
+        return survivors
+
+    def _prefilter_frame_survivors(self) -> list[int]:
+        """Columnar prefilter: group rows by PO-code combination, then run
+        one :meth:`pareto_mask <repro.kernels.base.DominanceKernel.
+        pareto_mask>` per group over frame slices (no per-record encoding)."""
+        frame = self._frame
+        survivors: list[int] = []
+        if frame.uses_numpy:
+            _, code_groups = group_rows(frame.codes)
+            for member_rows in code_groups:
+                if len(member_rows) == 1:
+                    survivors.append(int(member_rows[0]))
+                    continue
+                mask = self.kernel.pareto_mask(frame.to[member_rows])
+                survivors.extend(
+                    int(row) for row, keep in zip(member_rows, mask) if keep
+                )
+        else:
+            groups: dict[tuple, list[int]] = {}
+            for row, code_row in enumerate(frame.codes):
+                groups.setdefault(tuple(code_row), []).append(row)
+            for member_rows in groups.values():
+                if len(member_rows) == 1:
+                    survivors.append(member_rows[0])
+                    continue
+                mask = self.kernel.pareto_mask([frame.to[row] for row in member_rows])
+                survivors.extend(row for row, keep in zip(member_rows, mask) if keep)
+        survivors.sort()
+        return survivors
 
     @property
     def candidate_count(self) -> int:
@@ -311,9 +384,12 @@ class BatchQueryEngine:
                 return hit
             stats = None
             sharded = None
+            build_seconds = query_seconds = merge_seconds = 0.0
             if self._executor is not None:
                 sharded = self._executor.query(query.dag_overrides, name=query.name)
                 reduced_ids = sharded.skyline_ids
+                query_seconds = sharded.seconds_local
+                merge_seconds = sharded.seconds_merge
             else:
                 if query.dag_overrides:
                     # Domain coverage is checked up front (the shared cheap
@@ -323,19 +399,49 @@ class BatchQueryEngine:
                     validate_override_domains(
                         self.schema.partial_order_attributes, query.dag_overrides
                     )
-                    schema = self.schema.replace_partial_order(dict(query.dag_overrides))
-                    data = self._reduced.with_schema(schema, validate=False)
-                else:
-                    data = self._reduced
                 if self.schema.num_partial_order:
-                    result = stss_skyline(
-                        data,
-                        encodings=self._encodings_for(query, key),
-                        max_entries=self.max_entries,
-                        kernel=self.kernel,
-                    )
+                    phase_started = time.perf_counter()
+                    if self._reduced_frame is not None:
+                        # Columnar path: map the shared frame directly under
+                        # the effective schema — no per-record re-walk.
+                        schema = (
+                            self.schema.replace_partial_order(dict(query.dag_overrides))
+                            if query.dag_overrides
+                            else self.schema
+                        )
+                        mapping = TSSMapping(
+                            None,
+                            self._encodings_for(query, key),
+                            schema=schema,
+                            frame=self._reduced_frame,
+                        )
+                    else:
+                        if query.dag_overrides:
+                            schema = self.schema.replace_partial_order(
+                                dict(query.dag_overrides)
+                            )
+                            data = self._reduced.with_schema(schema, validate=False)
+                        else:
+                            data = self._reduced
+                        mapping = TSSMapping(
+                            data, self._encodings_for(query, key), use_frame=False
+                        )
+                    tree = mapping.build_rtree(max_entries=self.max_entries)
+                    query_started = time.perf_counter()
+                    build_seconds = query_started - phase_started
+                    result = stss_skyline(mapping=mapping, tree=tree, kernel=self.kernel)
+                    query_seconds = time.perf_counter() - query_started
                 else:
-                    result = sfs_skyline(data, kernel=self.kernel)
+                    query_started = time.perf_counter()
+                    if self._reduced_frame is not None:
+                        result = sfs_skyline(
+                            None, frame=self._reduced_frame, kernel=self.kernel
+                        )
+                    else:
+                        result = sfs_skyline(
+                            self._reduced, kernel=self.kernel, use_frame=False
+                        )
+                    query_seconds = time.perf_counter() - query_started
                 reduced_ids = result.skyline_ids
                 stats = result.stats
             skyline_ids = sorted(
@@ -343,6 +449,9 @@ class BatchQueryEngine:
             )
             with self._state_lock:
                 self.queries_evaluated += 1
+                self._phase_seconds["build"] += build_seconds
+                self._phase_seconds["query"] += query_seconds
+                self._phase_seconds["merge"] += merge_seconds
             self._result_cache[key] = skyline_ids
         return BatchQueryResult(
             name=query.name,
@@ -368,9 +477,12 @@ class BatchQueryEngine:
         with self._state_lock:
             queries_evaluated = self.queries_evaluated
             cache_hits = self.cache_hits
+            phase_seconds = dict(self._phase_seconds)
         summary: dict[str, object] = {
             "dataset_size": len(self.dataset),
             "candidates_after_prefilter": self.candidate_count,
+            "frame": self._frame is not None,
+            "phase_seconds": phase_seconds,
             "queries_evaluated": queries_evaluated,
             "cache_hits": cache_hits,
             # Live LRU entries — a lower bound on distinct topologies seen

@@ -49,6 +49,19 @@ class VectorStore(ABC):
     @abstractmethod
     def append(self, vector: Sequence[float]) -> None: ...
 
+    def extend(self, rows) -> None:
+        """Bulk-append a block of vectors (rows of a matrix or row tuples).
+
+        The reference implementation loops :meth:`append`; vectorized
+        backends override it with one block copy.
+        """
+        for row in rows:
+            self.append(row)
+
+    def block_dominated_mask(self, targets, counter=None) -> list[bool]:
+        """Per target row: is it strictly dominated by any member?"""
+        return [self.any_dominates(row, counter=counter) for row in targets]
+
     @abstractmethod
     def __len__(self) -> int: ...
 
@@ -79,6 +92,15 @@ class RecordStore(ABC):
 
     @abstractmethod
     def append(self, to_values: Sequence[float], po_codes: Sequence[int]) -> None: ...
+
+    def extend(self, to_rows, code_rows) -> None:
+        """Bulk-append pre-encoded rows (column blocks or row sequences).
+
+        The reference implementation loops :meth:`append`; vectorized
+        backends override it with one block copy per column group.
+        """
+        for to_values, po_codes in zip(to_rows, code_rows):
+            self.append(to_values, po_codes)
 
     @abstractmethod
     def __len__(self) -> int: ...
@@ -122,12 +144,37 @@ class RecordStore(ABC):
             for to_values, po_codes in targets
         ]
 
+    def block_dominated_columns(self, to_rows, code_rows, counter=None) -> list[bool]:
+        """Columnar twin of :meth:`block_dominated_mask`.
+
+        Takes the targets as parallel column blocks (one TO row block, one
+        code row block — e.g. slices of an
+        :class:`~repro.data.columns.EncodedFrame`) so vectorized backends can
+        skip the per-row pairing entirely.
+        """
+        return [
+            self.any_dominates(to_values, po_codes, counter=counter)
+            for to_values, po_codes in zip(to_rows, code_rows)
+        ]
+
 
 class TDominanceStore(ABC):
     """A growing skyline of TSS mapped points under exact t-dominance."""
 
     @abstractmethod
     def append(self, to_values: Sequence[float], po_codes: Sequence[int]) -> None: ...
+
+    def extend(self, to_rows, code_rows) -> None:
+        """Bulk-append pre-encoded mapped points (see :meth:`RecordStore.extend`)."""
+        for to_values, po_codes in zip(to_rows, code_rows):
+            self.append(to_values, po_codes)
+
+    def block_weakly_dominated(self, to_rows, code_rows, counter=None) -> list[bool]:
+        """Per row: is it weakly t-dominated by any member (columnar blocks)?"""
+        return [
+            self.any_weakly_dominates(to_values, po_codes, counter=counter)
+            for to_values, po_codes in zip(to_rows, code_rows)
+        ]
 
     @abstractmethod
     def __len__(self) -> int: ...
@@ -184,6 +231,29 @@ class DominanceKernel(ABC):
     def tdominance_store(self, tables: TDominanceTables) -> TDominanceStore: ...
 
     # ------------------------------------------------------------------ #
+    # Bulk-load constructors (columnar ingest)
+    # ------------------------------------------------------------------ #
+    def load_vector_store(self, dimensions: int, rows) -> VectorStore:
+        """A vector store pre-loaded with a whole block of rows."""
+        store = self.vector_store(dimensions)
+        store.extend(rows)
+        return store
+
+    def load_record_store(self, tables: RecordTables, to_rows, code_rows) -> RecordStore:
+        """A record store pre-loaded with parallel TO/code row blocks."""
+        store = self.record_store(tables)
+        store.extend(to_rows, code_rows)
+        return store
+
+    def load_tdominance_store(
+        self, tables: TDominanceTables, to_rows, code_rows
+    ) -> TDominanceStore:
+        """A t-dominance store pre-loaded with parallel TO/code row blocks."""
+        store = self.tdominance_store(tables)
+        store.extend(to_rows, code_rows)
+        return store
+
+    # ------------------------------------------------------------------ #
     # Stateless batch operations
     # ------------------------------------------------------------------ #
     @abstractmethod
@@ -208,6 +278,29 @@ class DominanceKernel(ABC):
         ``targets`` may be the same block (strictness makes self-comparison
         harmless for distinct value combinations).
         """
+
+    def record_block_dominated_columns(
+        self,
+        tables: RecordTables,
+        dominator_to,
+        dominator_codes,
+        target_to,
+        target_codes,
+        counter=None,
+    ) -> list[bool]:
+        """Columnar twin of :meth:`record_block_dominated_mask`.
+
+        Both blocks arrive as parallel TO/code column blocks (e.g.
+        :class:`~repro.data.columns.EncodedFrame` slices); the reference
+        implementation pairs the rows up, vectorized backends consume the
+        blocks directly.
+        """
+        return self.record_block_dominated_mask(
+            tables,
+            list(zip(dominator_to, dominator_codes)),
+            list(zip(target_to, target_codes)),
+            counter=counter,
+        )
 
     @abstractmethod
     def covers_many(

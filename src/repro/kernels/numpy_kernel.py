@@ -53,13 +53,25 @@ class _GrowableMatrix:
 
     def append(self, row: Sequence[float]) -> None:
         if self._size == len(self._buffer):
-            grown = np.empty(
-                (2 * len(self._buffer), self._buffer.shape[1]), dtype=self._buffer.dtype
-            )
-            grown[: self._size] = self._buffer
-            self._buffer = grown
+            self._grow(self._size + 1)
         self._buffer[self._size] = row
         self._size += 1
+
+    def extend(self, block: np.ndarray) -> None:
+        """Bulk-append a whole (rows, columns) block in one copy."""
+        needed = self._size + len(block)
+        if needed > len(self._buffer):
+            self._grow(needed)
+        self._buffer[self._size : needed] = block
+        self._size = needed
+
+    def _grow(self, needed: int) -> None:
+        capacity = len(self._buffer)
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty((capacity, self._buffer.shape[1]), dtype=self._buffer.dtype)
+        grown[: self._size] = self.view
+        self._buffer = grown
 
     def compress(self, keep: np.ndarray) -> None:
         kept = self.view[keep]
@@ -120,6 +132,26 @@ def _mbi_arrays(tables: TDominanceTables) -> tuple[list[np.ndarray], list[np.nda
     return cached
 
 
+def _as_to_block(rows, num_to: int) -> np.ndarray:
+    # The explicit row count matters when num_to == 0 (PO-only schemas):
+    # reshape(-1, 0) cannot infer it from a size-0 array.
+    return np.asarray(rows, dtype=np.float64).reshape(len(rows), num_to)
+
+
+def _target_chunks(members: int, dims: int, targets: int):
+    """``(low, high)`` target slices keeping (members, chunk, dims)
+    broadcast temporaries within the :data:`_BLOCK_MASK_ELEMENTS` budget."""
+    chunk = max(1, _BLOCK_MASK_ELEMENTS // max(1, members * max(1, dims)))
+    for low in range(0, targets, chunk):
+        yield low, min(low + chunk, targets)
+
+
+def _as_code_block(rows, num_po: int, length: int) -> np.ndarray:
+    if num_po:
+        return np.asarray(rows, dtype=np.int64).reshape(-1, num_po)
+    return np.zeros((length, 1), dtype=np.int64)
+
+
 class NumpyVectorStore(VectorStore):
     def __init__(self, dimensions: int) -> None:
         self.dimensions = dimensions
@@ -128,11 +160,28 @@ class NumpyVectorStore(VectorStore):
     def append(self, vector: Sequence[float]) -> None:
         self._rows.append(vector)
 
+    def extend(self, rows) -> None:
+        self._rows.extend(_as_to_block(rows, self.dimensions))
+
     def __len__(self) -> int:
         return len(self._rows)
 
     def compress(self, keep: Sequence[bool]) -> None:
         self._rows.compress(np.asarray(keep, dtype=bool))
+
+    def block_dominated_mask(self, targets, counter=None) -> list[bool]:
+        block = self._rows.view
+        targets = _as_to_block(targets, self.dimensions)
+        charge(counter, len(block) * len(targets))
+        if not len(block) or not len(targets):
+            return [False] * len(targets)
+        out = np.zeros(len(targets), dtype=bool)
+        for low, high in _target_chunks(len(block), self.dimensions, len(targets)):
+            sub = targets[None, low:high, :]
+            le = (block[:, None, :] <= sub).all(axis=2)
+            lt = (block[:, None, :] < sub).any(axis=2)
+            out[low:high] = (le & lt).any(axis=0)
+        return out.tolist()
 
     def any_dominates(self, candidate: Sequence[float], counter=None) -> bool:
         block = self._rows.view
@@ -168,6 +217,11 @@ class NumpyRecordStore(RecordStore):
     def append(self, to_values: Sequence[float], po_codes: Sequence[int]) -> None:
         self._to.append(to_values)
         self._codes.append(po_codes if self._num_po else (0,))
+
+    def extend(self, to_rows, code_rows) -> None:
+        to_block = _as_to_block(to_rows, self.tables.num_total_order)
+        self._to.extend(to_block)
+        self._codes.extend(_as_code_block(code_rows, self._num_po, len(to_block)))
 
     def __len__(self) -> int:
         return len(self._to)
@@ -246,6 +300,20 @@ class NumpyRecordStore(RecordStore):
         )
         return mask.tolist()
 
+    def block_dominated_columns(self, to_rows, code_rows, counter=None) -> list[bool]:
+        tgt_to = _as_to_block(to_rows, self.tables.num_total_order)
+        charge(counter, len(self) * len(tgt_to))
+        if not len(self) or not len(tgt_to):
+            return [False] * len(tgt_to)
+        mask = _block_dominated(
+            self._pref[: self._num_po],
+            self._to.view,
+            self._codes.view,
+            tgt_to,
+            _as_code_block(code_rows, self._num_po, len(tgt_to)),
+        )
+        return mask.tolist()
+
 
 class NumpyTDominanceStore(TDominanceStore):
     def __init__(self, tables: TDominanceTables) -> None:
@@ -260,8 +328,33 @@ class NumpyTDominanceStore(TDominanceStore):
         self._to.append(to_values)
         self._codes.append(po_codes if self._num_po else (0,))
 
+    def extend(self, to_rows, code_rows) -> None:
+        to_block = _as_to_block(to_rows, self.tables.num_total_order)
+        self._to.extend(to_block)
+        self._codes.extend(_as_code_block(code_rows, self._num_po, len(to_block)))
+
     def __len__(self) -> int:
         return len(self._to)
+
+    def block_weakly_dominated(self, to_rows, code_rows, counter=None) -> list[bool]:
+        tgt_to = _as_to_block(to_rows, self.tables.num_total_order)
+        charge(counter, len(self) * len(tgt_to))
+        if not len(self) or not len(tgt_to):
+            return [False] * len(tgt_to)
+        block_to = self._to.view
+        block_codes = self._codes.view
+        tgt_codes = _as_code_block(code_rows, self._num_po, len(tgt_to))
+        out = np.zeros(len(tgt_to), dtype=bool)
+        dims = self.tables.num_total_order
+        for low, high in _target_chunks(len(block_to), dims, len(tgt_to)):
+            weak = (block_to[:, None, :] <= tgt_to[None, low:high, :]).all(axis=2)
+            for po_index in range(self._num_po):
+                weak &= self._pref[po_index][
+                    block_codes[:, po_index][:, None],
+                    tgt_codes[low:high, po_index][None, :],
+                ]
+            out[low:high] = weak.any(axis=0)
+        return out.tolist()
 
     def any_weakly_dominates(
         self, to_values: Sequence[float], po_codes: Sequence[int], counter=None
@@ -326,6 +419,11 @@ class NumpyKernel(DominanceKernel):
         matrix = np.asarray(rows, dtype=np.float64)
         if matrix.ndim != 2 or not len(matrix):
             return [True] * len(matrix)
+        if matrix.shape[1] == 1:
+            # One dimension: exactly the minima survive (duplicates included).
+            return (matrix[:, 0] == matrix[:, 0].min()).tolist()
+        if matrix.shape[1] == 2:
+            return self._pareto_mask_2d(matrix)
         # Sweep in monotone (sum) order: strict dominance implies a strictly
         # smaller coordinate sum, so a point can only be dominated by an
         # earlier one.  Chunks are resolved with two broadcast tests — chunk
@@ -373,6 +471,34 @@ class NumpyKernel(DominanceKernel):
         result[order] = mask
         return result.tolist()
 
+    @staticmethod
+    def _pareto_mask_2d(matrix: np.ndarray) -> list[bool]:
+        """Two dimensions: one lexicographic sort, no pairwise comparisons.
+
+        After sorting by ``(x, y)``, a point is dominated iff some earlier
+        ``x``-run reaches a ``y`` no larger than its own (x strictly better),
+        or its own ``x``-run starts at a strictly smaller ``y`` (y strictly
+        better).  Exact duplicates survive together, matching the reference
+        semantics.
+        """
+        order = np.lexsort((matrix[:, 1], matrix[:, 0]))
+        x = matrix[order, 0]
+        y = matrix[order, 1]
+        run_starts = np.empty(len(x), dtype=bool)
+        run_starts[0] = True
+        np.not_equal(x[1:], x[:-1], out=run_starts[1:])
+        run_ids = np.cumsum(run_starts) - 1
+        # y is ascending within an x-run, so each run's minimum is its first y.
+        run_min_y = y[run_starts]
+        best_y_upto = np.minimum.accumulate(run_min_y)
+        best_y_before = np.empty_like(best_y_upto)
+        best_y_before[0] = np.inf
+        best_y_before[1:] = best_y_upto[:-1]
+        dominated = (best_y_before[run_ids] <= y) | (run_min_y[run_ids] < y)
+        result = np.empty(len(x), dtype=bool)
+        result[order] = ~dominated
+        return result.tolist()
+
     def record_block_dominated_mask(
         self,
         tables: RecordTables,
@@ -399,6 +525,30 @@ class NumpyKernel(DominanceKernel):
             [t[1] if num_po else (0,) for t in targets], dtype=np.int64
         ).reshape(len(targets), max(1, num_po))
         out = _block_dominated(prefs[:num_po], dom_to, dom_codes, tgt_to, tgt_codes)
+        return out.tolist()
+
+    def record_block_dominated_columns(
+        self,
+        tables: RecordTables,
+        dominator_to,
+        dominator_codes,
+        target_to,
+        target_codes,
+        counter=None,
+    ) -> list[bool]:
+        num_po = tables.num_partial_order
+        dom_to = _as_to_block(dominator_to, tables.num_total_order)
+        tgt_to = _as_to_block(target_to, tables.num_total_order)
+        charge(counter, len(dom_to) * len(tgt_to))
+        if not len(dom_to) or not len(tgt_to):
+            return [False] * len(tgt_to)
+        out = _block_dominated(
+            _pref_matrices(tables)[:num_po],
+            dom_to,
+            _as_code_block(dominator_codes, num_po, len(dom_to)),
+            tgt_to,
+            _as_code_block(target_codes, num_po, len(tgt_to)),
+        )
         return out.tolist()
 
     def covers_many(

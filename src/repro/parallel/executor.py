@@ -57,6 +57,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro.core.stss import stss_skyline
+from repro.data.columns import EncodedFrame, resolve_frame_mode
 from repro.data.dataset import Dataset
 from repro.data.schema import Schema
 from repro.engine.encodings import (
@@ -72,7 +73,7 @@ from repro.kernels.tables import RecordTables
 from repro.order.dag import PartialOrderDAG
 from repro.parallel.partition import Shard, resolve_partitioner
 from repro.skyline.dominance import RecordEncoder
-from repro.skyline.sfs import monotone_sort_key, sfs_skyline
+from repro.skyline.sfs import depth_columns, monotone_sort_key, sfs_skyline
 
 #: Environment variable consulted when no explicit worker count is given
 #: (mirrors ``REPRO_KERNEL`` for the kernel backend).
@@ -143,30 +144,56 @@ class _WorkerState:
 
     Holds only the shards *owned* by this worker (shipped once at pool
     startup, keyed by shard index) plus a per-DAG interval encoding cache,
-    so repeated queries against the same topology re-derive nothing.
+    so repeated queries against the same topology re-derive nothing.  With
+    the frame path on, each shard arrives as an
+    :class:`~repro.data.columns.EncodedFrame` of column blocks — no
+    ``Record`` objects ever cross the process boundary.
     """
 
     def __init__(
         self,
         schema: Schema,
-        shard_datasets: dict[int, Dataset],
+        shard_data: dict[int, "Dataset | EncodedFrame"],
         kernel_name: str | None,
         max_entries: int,
         encoding_cache_size: int,
+        use_frame: bool = False,
     ) -> None:
         self.schema = schema
-        self.shard_datasets = shard_datasets
+        self.shard_data = shard_data
         self.kernel = resolve_kernel(kernel_name)
         self.max_entries = max_entries
+        self.use_frame = use_frame
         self._encoding_cache = EncodingCache(encoding_cache_size)
 
     def local_skyline(
         self, shard_index: int, overrides: Mapping[str, PartialOrderDAG]
     ) -> list[int]:
         """Local skyline ids (shard-local positions) of one shard."""
-        dataset = self.shard_datasets[shard_index]
-        if not len(dataset):
+        data = self.shard_data[shard_index]
+        if not len(data):
             return []
+        if isinstance(data, EncodedFrame):
+            if self.schema.num_partial_order:
+                schema = (
+                    self.schema.replace_partial_order(dict(overrides))
+                    if overrides
+                    else self.schema
+                )
+                result = stss_skyline(
+                    None,
+                    encodings=self._encoding_cache.encodings_for(
+                        self.schema.partial_order_attributes, overrides
+                    ),
+                    schema=schema,
+                    frame=data,
+                    max_entries=self.max_entries,
+                    kernel=self.kernel,
+                )
+            else:
+                result = sfs_skyline(None, frame=data, kernel=self.kernel)
+            return result.skyline_ids
+        dataset = data
         if overrides:
             schema = self.schema.replace_partial_order(dict(overrides))
             dataset = dataset.with_schema(schema, validate=False)
@@ -178,9 +205,10 @@ class _WorkerState:
                 ),
                 max_entries=self.max_entries,
                 kernel=self.kernel,
+                use_frame=self.use_frame,
             )
         else:
-            result = sfs_skyline(dataset, kernel=self.kernel)
+            result = sfs_skyline(dataset, kernel=self.kernel, use_frame=self.use_frame)
         return result.skyline_ids
 
 
@@ -189,14 +217,15 @@ _WORKER_STATE: _WorkerState | None = None
 
 def _init_worker(
     schema: Schema,
-    shard_datasets: dict[int, Dataset],
+    shard_data: dict[int, "Dataset | EncodedFrame"],
     kernel_name: str | None,
     max_entries: int,
     encoding_cache_size: int,
+    use_frame: bool = False,
 ) -> None:
     global _WORKER_STATE
     _WORKER_STATE = _WorkerState(
-        schema, shard_datasets, kernel_name, max_entries, encoding_cache_size
+        schema, shard_data, kernel_name, max_entries, encoding_cache_size, use_frame
     )
 
 
@@ -258,12 +287,17 @@ class _MergeArtifacts:
 
     ``sort_key`` is the monotone SFS preference function under the query's
     effective schema: dominance implies a (mathematically) strictly smaller
-    key, which is the invariant the sort-merge strategy leans on.
+    key, which is the invariant the sort-merge strategy leans on.  With the
+    frame path on, ``code_maps``/``depths`` carry the columnar equivalents:
+    the per-attribute target code spaces of ``tables`` and the DAG depths of
+    every frame-canonical code (the key vector's gather tables).
     """
 
     tables: RecordTables
     encoder: RecordEncoder
     sort_key: object  # Callable[[Record], float]
+    code_maps: tuple[dict, ...] | None = None
+    depths: tuple[tuple[int, ...], ...] | None = None
 
 
 # ---------------------------------------------------------------------- #
@@ -314,6 +348,8 @@ class ShardedExecutor:
         merge_strategy: str | None = None,
         encoding_cache_size: int = 256,
         task_timeout: float | None = 600.0,
+        frame: EncodedFrame | None = None,
+        use_frame: bool | None = None,
     ) -> None:
         self.dataset = dataset
         self.schema = dataset.schema
@@ -328,6 +364,21 @@ class ShardedExecutor:
         self.merge_strategy = resolve_merge_strategy(merge_strategy)
         self.encoding_cache_size = encoding_cache_size
         self.task_timeout = task_timeout
+        # The columnar data plane: one encoded frame over the whole dataset,
+        # sliced per shard — what travels to workers and feeds the merges.
+        if frame is not None and len(frame) != len(dataset):
+            raise QueryError(
+                f"encoded frame has {len(frame)} rows but the dataset has "
+                f"{len(dataset)}"
+            )
+        if frame is None and resolve_frame_mode(use_frame):
+            frame = EncodedFrame.from_dataset(dataset)
+        self._frame = frame
+        self._shard_frames: tuple[EncodedFrame, ...] | None = (
+            tuple(frame.take(shard.record_ids) for shard in self.shards)
+            if frame is not None
+            else None
+        )
         self.queries_answered = 0
         # Guards lifecycle transitions (pool start/close, lazy inline state)
         # and the counters; the phases themselves run without it, so
@@ -344,6 +395,24 @@ class ShardedExecutor:
     def _owner_of(self, shard_index: int) -> int:
         """The worker owning a shard (fixed round-robin assignment)."""
         return shard_index % self.workers
+
+    def _shard_payload(self, shard_index: int) -> "Dataset | EncodedFrame":
+        """What ships to workers for one shard: column blocks, or records
+        only when the frame path is disabled."""
+        if self._shard_frames is not None:
+            return self._shard_frames[shard_index]
+        return self.shards[shard_index].dataset
+
+    def _worker_initargs(self, shard_indices) -> tuple:
+        """The pool-initializer payload holding the given shards."""
+        return (
+            self.schema,
+            {index: self._shard_payload(index) for index in shard_indices},
+            self.kernel.name,
+            self.max_entries,
+            self.encoding_cache_size,
+            self._frame is not None,
+        )
 
     def start(self) -> "ShardedExecutor":
         """Start the worker pool (no-op when ``workers == 0`` or already up).
@@ -366,22 +435,16 @@ class ShardedExecutor:
                 context = multiprocessing.get_context("fork" if can_fork else "spawn")
                 pools = []
                 for worker in range(self.workers):
-                    owned = {
-                        index: shard.dataset
-                        for index, shard in enumerate(self.shards)
+                    owned = [
+                        index
+                        for index in range(len(self.shards))
                         if self._owner_of(index) == worker
-                    }
+                    ]
                     pools.append(
                         context.Pool(
                             processes=1,
                             initializer=_init_worker,
-                            initargs=(
-                                self.schema,
-                                owned,
-                                self.kernel.name,
-                                self.max_entries,
-                                self.encoding_cache_size,
-                            ),
+                            initargs=self._worker_initargs(owned),
                         )
                     )
                 self._pools = pools
@@ -453,14 +516,7 @@ class ShardedExecutor:
             with self._lock:
                 if self._inline_state is None:
                     self._inline_state = _WorkerState(
-                        self.schema,
-                        {
-                            index: shard.dataset
-                            for index, shard in enumerate(self.shards)
-                        },
-                        self.kernel.name,
-                        self.max_entries,
-                        self.encoding_cache_size,
+                        *self._worker_initargs(range(len(self.shards)))
                     )
                 state = self._inline_state
             outcomes = [
@@ -486,8 +542,19 @@ class ShardedExecutor:
                 self.schema.replace_partial_order(overrides) if overrides else self.schema
             )
             tables = RecordTables.from_schema(schema)
+            code_maps = None
+            depths = None
+            if self._frame is not None:
+                code_maps = tuple(table.code_of for table in tables.attributes)
+                depths = tuple(
+                    tuple(column) for column in depth_columns(schema, self._frame)
+                )
             cached = _MergeArtifacts(
-                tables, RecordEncoder(schema, tables), monotone_sort_key(schema)
+                tables,
+                RecordEncoder(schema, tables),
+                monotone_sort_key(schema),
+                code_maps,
+                depths,
             )
             self._merge_tables[key] = cached
         return cached
@@ -526,6 +593,8 @@ class ShardedExecutor:
         counter,
     ) -> tuple[list[int], int]:
         """The original batched sweep: one kernel call per shard pair."""
+        if self._frame is not None:
+            return self._merge_all_pairs_frame(local_ids, overrides, counter)
         artifacts = self._merge_artifacts(overrides)
         encoder = artifacts.encoder
         encoded = [
@@ -550,6 +619,46 @@ class ShardedExecutor:
             survivors.extend(ids[index] for index in alive)
         return sorted(survivors), pairs
 
+    @staticmethod
+    def _gather(block, indices):
+        """Rows of a column block by position (fancy index or list gather)."""
+        if isinstance(block, tuple):
+            return [block[index] for index in indices]
+        return block[indices]
+
+    def _merge_all_pairs_frame(
+        self,
+        local_ids: list[list[int]],
+        overrides: dict[str, PartialOrderDAG],
+        counter,
+    ) -> tuple[list[int], int]:
+        """Columnar all-pairs sweep: shard blocks gathered from the frame."""
+        artifacts = self._merge_artifacts(overrides)
+        blocks = []
+        for ids in local_ids:
+            sub = self._frame.take(ids)
+            blocks.append((sub.to, sub.remap_codes(artifacts.code_maps)))
+        survivors: list[int] = []
+        pairs = 0
+        for i, ids in enumerate(local_ids):
+            alive = list(range(len(ids)))
+            to_block, code_block = blocks[i]
+            for j, (dom_to, dom_codes) in enumerate(blocks):
+                if i == j or not alive or not len(dom_to):
+                    continue
+                pairs += 1
+                mask = self.kernel.record_block_dominated_columns(
+                    artifacts.tables,
+                    dom_to,
+                    dom_codes,
+                    self._gather(to_block, alive),
+                    self._gather(code_block, alive),
+                    counter=counter,
+                )
+                alive = [index for index, dead in zip(alive, mask) if not dead]
+            survivors.extend(ids[index] for index in alive)
+        return sorted(survivors), pairs
+
     def _merge_sort_merge(
         self,
         local_ids: list[list[int]],
@@ -568,6 +677,8 @@ class ShardedExecutor:
         a record's dominator was itself eliminated, transitivity hands the
         verdict to the eliminator.
         """
+        if self._frame is not None:
+            return self._merge_sort_merge_frame(local_ids, overrides, counter)
         artifacts = self._merge_artifacts(overrides)
         encoder, sort_key = artifacts.encoder, artifacts.sort_key
         # One (key, record_id, encoded) run per shard, sorted by key; local
@@ -619,6 +730,73 @@ class ShardedExecutor:
             for _, record_id, encoded in alive:
                 window.append(*encoded)
                 survivors.append(record_id)
+        return sorted(survivors), batches
+
+    def _merge_sort_merge_frame(
+        self,
+        local_ids: list[list[int]],
+        overrides: dict[str, PartialOrderDAG],
+        counter,
+    ) -> tuple[list[int], int]:
+        """Columnar sort-merge: one key vector, one stable sort, block tests.
+
+        Equivalent to the heap-merge record path — the stream is ordered by
+        ``(key, record id)`` with bitwise-identical keys, so chunk
+        boundaries, tie runs, kernel calls and check counts all match; the
+        rows just stream out of the executor's frame instead of being
+        encoded record by record.
+        """
+        artifacts = self._merge_artifacts(overrides)
+        frame = self._frame
+        stream_ids = [record_id for ids in local_ids for record_id in ids]
+        sub = frame.take(stream_ids)
+        codes = sub.remap_codes(artifacts.code_maps)
+        keys = sub.monotone_keys(artifacts.depths)
+        if sub.uses_numpy:
+            import numpy as np
+
+            order = np.lexsort((np.asarray(stream_ids), keys)).tolist()
+        else:
+            order = sorted(
+                range(len(stream_ids)), key=lambda i: (keys[i], stream_ids[i])
+            )
+        window = self.kernel.record_store(artifacts.tables)
+        survivors: list[int] = []
+        batches = 0
+        start = 0
+        total = len(order)
+        while start < total:
+            end = min(start + MERGE_CHUNK, total)
+            # Never split a key-tie run (see the record path above).
+            while end < total and keys[order[end]] == keys[order[end - 1]]:
+                end += 1
+            chunk = order[start:end]
+            start = end
+            alive = chunk
+            if len(window):
+                batches += 1
+                mask = window.block_dominated_columns(
+                    self._gather(sub.to, chunk),
+                    self._gather(codes, chunk),
+                    counter=counter,
+                )
+                alive = [row for row, dead in zip(chunk, mask) if not dead]
+            if len(alive) > 1:
+                batches += 1
+                alive_to = self._gather(sub.to, alive)
+                alive_codes = self._gather(codes, alive)
+                mask = self.kernel.record_block_dominated_columns(
+                    artifacts.tables,
+                    alive_to,
+                    alive_codes,
+                    alive_to,
+                    alive_codes,
+                    counter=counter,
+                )
+                alive = [row for row, dead in zip(alive, mask) if not dead]
+            if alive:
+                window.extend(self._gather(sub.to, alive), self._gather(codes, alive))
+                survivors.extend(stream_ids[row] for row in alive)
         return sorted(survivors), batches
 
     def query(
@@ -677,6 +855,7 @@ class ShardedExecutor:
             "partitioner": self.partitioner_name,
             "kernel": self.kernel.name,
             "merge_strategy": self.merge_strategy,
+            "frame": self._frame is not None,
             "queries_answered": self.queries_answered,
             "pool_running": self._pools is not None,
         }

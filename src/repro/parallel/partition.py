@@ -19,7 +19,8 @@ any partition works — but the strategy shapes the constants:
 from __future__ import annotations
 
 from collections.abc import Callable, Hashable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.data.dataset import Dataset
 from repro.exceptions import QueryError
@@ -36,15 +37,22 @@ class Shard:
 
     ``record_ids[i]`` is the parent-dataset id of the shard record with local
     id ``i`` (subsets re-assign ids positionally), so local skyline ids map
-    back to parent ids by indexing.
+    back to parent ids by indexing.  The record view is materialized lazily:
+    the columnar executor ships :class:`~repro.data.columns.EncodedFrame`
+    slices instead and never pays for per-shard ``Record`` copies.
     """
 
     shard_id: int
     record_ids: tuple[int, ...]
-    dataset: Dataset
+    parent: Dataset = field(repr=False)
 
     def __len__(self) -> int:
         return len(self.record_ids)
+
+    @cached_property
+    def dataset(self) -> Dataset:
+        """The shard as a record Dataset (built on first access, then cached)."""
+        return self.parent.subset(self.record_ids)
 
 
 def _check_num_shards(num_shards: int) -> None:
@@ -57,7 +65,7 @@ def _build_shards(dataset: Dataset, assignments: list[list[int]]) -> list[Shard]
         Shard(
             shard_id=shard_id,
             record_ids=tuple(ids),
-            dataset=dataset.subset(ids),
+            parent=dataset,
         )
         for shard_id, ids in enumerate(assignments)
     ]

@@ -53,6 +53,7 @@ class QueryService:
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_entries: int = 32,
         prefilter: bool = True,
+        use_frame: bool | None = None,
     ) -> None:
         self.engine = BatchQueryEngine(
             dataset,
@@ -64,6 +65,7 @@ class QueryService:
             cache_size=cache_size,
             max_entries=max_entries,
             prefilter=prefilter,
+            use_frame=use_frame,
         )
         # Start the worker pool (if any) now, while the process is still
         # single-threaded — the event loop and executor threads come later,

@@ -23,22 +23,28 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro.data.columns import EncodedFrame, resolve_frame_mode
 from repro.data.dataset import Dataset, Record
+from repro.exceptions import DatasetError
+from repro.kernels import resolve_kernel
+from repro.kernels.tables import RecordTables
 from repro.skyline.base import RunClock, SkylineResult, SkylineStats
 from repro.skyline.dominance import RecordEncoder, record_store_for
-from repro.skyline.sfs import monotone_sort_key
+from repro.skyline.sfs import depth_columns, monotone_sort_key
 
 #: Default size of the elimination-filter window (records).
 DEFAULT_FILTER_WINDOW = 16
 
 
 def less_skyline(
-    dataset: Dataset,
+    dataset: Dataset | None = None,
     *,
     filter_window: int = DEFAULT_FILTER_WINDOW,
     dominates: Callable[[Record, Record], bool] | None = None,
     key: Callable[[Record], float] | None = None,
     kernel=None,
+    frame: EncodedFrame | None = None,
+    use_frame: bool | None = None,
 ) -> SkylineResult:
     """Compute the skyline of ``dataset`` with LESS.
 
@@ -58,12 +64,81 @@ def less_skyline(
     kernel:
         Dominance kernel backend (instance, name or ``None`` for the process
         default) used for both the elimination filter and the SFS filter.
+    frame / use_frame:
+        Columnar inputs: an :class:`~repro.data.columns.EncodedFrame` to scan
+        instead of the record tuples, and the frame-path toggle (``None``
+        consults ``REPRO_FRAME``).  ``dataset`` may be ``None`` when a frame
+        is supplied.
     """
-    schema = dataset.schema
+    if dataset is None and frame is None:
+        raise DatasetError("less_skyline needs a dataset or an encoded frame")
+    schema = dataset.schema if dataset is not None else frame.schema
+    if dominates is None and key is None:
+        if frame is None and resolve_frame_mode(use_frame):
+            frame = EncodedFrame.from_dataset(dataset)
+        if frame is not None:
+            return _less_skyline_frame(schema, frame, filter_window, kernel)
+    if dataset is None:
+        raise DatasetError(
+            "less_skyline needs a dataset when a custom key or dominance "
+            "predicate bypasses the columnar path"
+        )
     key = key or monotone_sort_key(schema)
     if dominates is None:
         return _less_skyline_kernel(dataset, filter_window, key, kernel)
     return _less_skyline_predicate(dataset, filter_window, dominates, key)
+
+
+def _less_skyline_frame(schema, frame, filter_window, kernel) -> SkylineResult:
+    """Columnar LESS: both passes stream pre-encoded frame rows.
+
+    Same verdict sequence as the record kernel path (identical ids and
+    dominance-check counts) — the elimination filter and the SFS filter just
+    read rows out of the frame instead of encoding records one at a time.
+    """
+    stats = SkylineStats()
+    clock = RunClock(stats)
+    tables = RecordTables.from_schema(schema)
+    codes = frame.remap_codes([table.code_of for table in tables.attributes])
+    keys = frame.monotone_keys(depth_columns(schema, frame))
+    kern = resolve_kernel(kernel)
+    to = frame.to
+
+    # Pass 1: elimination filter while "reading the input for sorting".
+    elite_store = kern.record_store(tables)
+    elite_scores: list[float] = []
+    survivors: list[int] = []
+    for row in range(len(frame)):
+        stats.points_examined += 1
+        if elite_store.any_dominates(to[row], codes[row], counter=stats):
+            continue
+        survivors.append(row)
+        if filter_window <= 0:
+            continue
+        score = keys[row]
+        if len(elite_scores) < filter_window:
+            elite_store.append(to[row], codes[row])
+            elite_scores.append(score)
+        else:
+            worst = max(range(len(elite_scores)), key=elite_scores.__getitem__)
+            if score < elite_scores[worst]:
+                elite_store.compress([i != worst for i in range(len(elite_scores))])
+                del elite_scores[worst]
+                elite_store.append(to[row], codes[row])
+                elite_scores.append(score)
+
+    # Pass 2: sort the survivors and filter like SFS.
+    survivors.sort(key=keys.__getitem__)
+    skyline_store = kern.record_store(tables)
+    skyline_ids: list[int] = []
+    for row in survivors:
+        if not skyline_store.any_dominates(to[row], codes[row], counter=stats):
+            skyline_store.append(to[row], codes[row])
+            skyline_ids.append(row)
+            clock.record_result()
+
+    clock.finish()
+    return SkylineResult(skyline_ids=skyline_ids, stats=stats, progress=clock.progress)
 
 
 def _less_skyline_kernel(dataset, filter_window, key, kernel) -> SkylineResult:

@@ -17,8 +17,12 @@ from __future__ import annotations
 
 from collections.abc import Callable, Hashable
 
+from repro.data.columns import EncodedFrame, resolve_frame_mode
 from repro.data.dataset import Dataset, Record
 from repro.data.schema import Schema
+from repro.exceptions import DatasetError
+from repro.kernels import resolve_kernel
+from repro.kernels.tables import RecordTables
 from repro.order.dag import PartialOrderDAG
 from repro.order.toposort import topological_sort
 from repro.skyline.base import RunClock, SkylineResult, SkylineStats
@@ -57,20 +61,85 @@ def _depth_map(dag: PartialOrderDAG) -> dict[Value, int]:
     return depth
 
 
+def depth_columns(schema: Schema, frame: EncodedFrame) -> list[list[int]]:
+    """Per PO attribute: DAG depth of every frame-canonical code.
+
+    The columnar form of the :func:`monotone_sort_key` depth maps, indexed by
+    the frame's code space so :meth:`EncodedFrame.monotone_keys
+    <repro.data.columns.EncodedFrame.monotone_keys>` can gather them.
+    """
+    return [
+        [
+            _depth_map(attribute.dag)[value]
+            for value in frame.codec.domains[attr_index]
+        ]
+        for attr_index, attribute in enumerate(schema.partial_order_attributes)
+    ]
+
+
+def _sfs_frame(schema: Schema, frame: EncodedFrame, kernel) -> SkylineResult:
+    """Columnar SFS: presort via ``argsort`` on the monotone key vector.
+
+    The candidate scan is the same sequence of store queries as the record
+    path — identical verdicts, discovery order and dominance-check counts —
+    but the per-record encode step is gone: rows stream out of the frame.
+    """
+    stats = SkylineStats()
+    clock = RunClock(stats)
+    tables = RecordTables.from_schema(schema)
+    codes = frame.remap_codes([table.code_of for table in tables.attributes])
+    keys = frame.monotone_keys(depth_columns(schema, frame))
+    if frame.uses_numpy:
+        import numpy as np
+
+        order = np.argsort(keys, kind="stable").tolist()
+    else:
+        order = sorted(range(len(frame)), key=keys.__getitem__)
+    store = resolve_kernel(kernel).record_store(tables)
+    to = frame.to
+    skyline_ids: list[int] = []
+    for row in order:
+        stats.points_examined += 1
+        if not store.any_dominates(to[row], codes[row], counter=stats):
+            store.append(to[row], codes[row])
+            skyline_ids.append(row)
+            clock.record_result()
+    clock.finish()
+    return SkylineResult(skyline_ids=skyline_ids, stats=stats, progress=clock.progress)
+
+
 def sfs_skyline(
-    dataset: Dataset,
+    dataset: Dataset | None = None,
     *,
     dominates: Callable[[Record, Record], bool] | None = None,
     key: Callable[[Record], float] | None = None,
     kernel=None,
+    frame: EncodedFrame | None = None,
+    use_frame: bool | None = None,
 ) -> SkylineResult:
     """Compute the skyline of ``dataset`` with Sort-Filter-Skyline.
 
     The skyline-list scan runs through the block-dominance kernel (see
     :mod:`repro.kernels`); passing an explicit ``dominates`` predicate
-    falls back to the record-at-a-time reference path.
+    falls back to the record-at-a-time reference path.  With the frame path
+    enabled (``frame`` given, or ``use_frame``/``REPRO_FRAME``, on by
+    default when NumPy is available) the presort and scan run columnar over
+    an :class:`~repro.data.columns.EncodedFrame`; ``dataset`` may then be
+    ``None``.
     """
-    schema = dataset.schema
+    if dataset is None and frame is None:
+        raise DatasetError("sfs_skyline needs a dataset or an encoded frame")
+    schema = dataset.schema if dataset is not None else frame.schema
+    if dominates is None and key is None:
+        if frame is None and resolve_frame_mode(use_frame):
+            frame = EncodedFrame.from_dataset(dataset)
+        if frame is not None:
+            return _sfs_frame(schema, frame, kernel)
+    if dataset is None:
+        raise DatasetError(
+            "sfs_skyline needs a dataset when a custom key or dominance "
+            "predicate bypasses the columnar path"
+        )
     key = key or monotone_sort_key(schema)
 
     stats = SkylineStats()

@@ -128,13 +128,21 @@ def random_dag_strategy(max_values: int = 10) -> st.SearchStrategy[PartialOrderD
 
 
 def mixed_dataset_strategy(
-    max_rows: int = 40, max_to: int = 3, max_po: int = 2, max_dag_values: int = 6
+    max_rows: int = 40,
+    max_to: int = 3,
+    max_po: int = 2,
+    max_dag_values: int = 6,
+    min_to: int = 1,
 ) -> st.SearchStrategy[Dataset]:
-    """Small random datasets over random mixed TO/PO schemas."""
+    """Small random datasets over random mixed TO/PO schemas.
+
+    ``min_to=0`` additionally generates PO-only schemas (zero TO columns),
+    a supported configuration the columnar block helpers must handle.
+    """
 
     @st.composite
     def build(draw):
-        num_to = draw(st.integers(min_value=1, max_value=max_to))
+        num_to = draw(st.integers(min_value=min_to, max_value=max_to))
         num_po = draw(st.integers(min_value=1, max_value=max_po))
         dags = [draw(random_dag_strategy(max_dag_values)) for _ in range(num_po)]
         attributes = [TotalOrderAttribute(f"to{i}") for i in range(num_to)]

@@ -44,6 +44,24 @@ class TestDataset:
         assert matrix.shape == (2, 2)
         assert matrix[0].tolist() == [10.0, -5.0]
 
+    def test_to_numeric_matrix_is_memoized_and_read_only(self, flight_dataset):
+        numpy = pytest.importorskip("numpy")
+        first = flight_dataset.to_numeric_matrix()
+        assert flight_dataset.to_numeric_matrix() is first
+        with pytest.raises(ValueError):
+            first[0, 0] = -1.0
+        # The failed mutation cannot have corrupted the cached copy.
+        again = flight_dataset.to_numeric_matrix()
+        assert again[0].tolist() == [1800.0, 0.0]
+        assert numpy.shares_memory(first, again)
+
+    def test_to_numeric_matrix_matches_canonical_rows(self, flight_dataset):
+        pytest.importorskip("numpy")
+        matrix = flight_dataset.to_numeric_matrix()
+        schema = flight_dataset.schema
+        for record in flight_dataset.records:
+            assert tuple(matrix[record.id]) == schema.canonical_to_values(record.values)
+
     def test_partial_value_tuples(self, flight_dataset):
         po_values = flight_dataset.partial_value_tuples()
         assert po_values[0] == ("a",) and po_values[8] == ("d",)

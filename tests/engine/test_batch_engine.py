@@ -292,3 +292,53 @@ class TestConcurrentFacade:
         final = engine.summary()
         assert final["queries_evaluated"] + final["cache_hits"] == len(queries)
         assert final["queries_evaluated"] == len(queries)  # all topologies distinct
+
+
+class TestColumnarEngine:
+    """The frame data plane: identical results, phases accounted."""
+
+    def test_frame_and_record_engines_agree(self, workload):
+        schema, dataset = workload
+        queries = [BatchQuery("base")] + queries_from_seeds(schema, range(4))
+        record = BatchQueryEngine(dataset, use_frame=False).run(queries)
+        columnar = BatchQueryEngine(dataset, use_frame=True).run(queries)
+        for record_result, frame_result in zip(record, columnar):
+            assert frame_result.skyline_set == record_result.skyline_set
+
+    def test_frame_flag_reported_in_summary(self, workload):
+        _, dataset = workload
+        assert BatchQueryEngine(dataset, use_frame=True).summary()["frame"] is True
+        assert BatchQueryEngine(dataset, use_frame=False).summary()["frame"] is False
+
+    def test_phase_seconds_track_evaluated_queries(self, workload):
+        schema, dataset = workload
+        engine = BatchQueryEngine(dataset)
+        phases = engine.summary()["phase_seconds"]
+        assert set(phases) == {"encode", "build", "query", "merge"}
+        assert all(value >= 0.0 for value in phases.values())
+        baseline_query = phases["query"]
+        engine.run([BatchQuery("base")] + queries_from_seeds(schema, [1]))
+        after = engine.summary()["phase_seconds"]
+        assert after["query"] > baseline_query
+        # Cache hits add no phase time.
+        settled = engine.summary()["phase_seconds"]
+        engine.run_query(BatchQuery("base-again"))
+        assert engine.summary()["phase_seconds"] == settled
+
+    def test_sharded_engine_accounts_merge_phase(self, workload):
+        schema, dataset = workload
+        with BatchQueryEngine(dataset, workers=0, num_shards=3) as engine:
+            engine.run([BatchQuery("base")] + queries_from_seeds(schema, [2]))
+            phases = engine.summary()["phase_seconds"]
+        assert phases["query"] > 0.0
+        assert phases["merge"] >= 0.0
+
+    def test_frame_engine_sharded_matches_record_engine(self, workload):
+        schema, dataset = workload
+        queries = [BatchQuery("base")] + queries_from_seeds(schema, range(3))
+        with BatchQueryEngine(dataset, num_shards=3, use_frame=True) as columnar:
+            with BatchQueryEngine(dataset, num_shards=3, use_frame=False) as record:
+                for frame_result, record_result in zip(
+                    columnar.run(queries), record.run(queries)
+                ):
+                    assert frame_result.skyline_set == record_result.skyline_set

@@ -226,6 +226,109 @@ class TestTDominanceAgreement:
         assert results[0] == reference
 
 
+class TestBulkOpsAgreement:
+    """The columnar extend / bulk-load / block-query surface agrees too."""
+
+    @given(dataset=mixed_dataset_strategy(max_rows=30))
+    @settings(max_examples=25, deadline=None)
+    def test_extend_equals_append_loop(self, dataset):
+        schema = dataset.schema
+        tables = RecordTables.from_schema(schema)
+        to_rows = [schema.canonical_to_values(r.values) for r in dataset.records]
+        code_rows = [
+            tables.encode_po(schema.partial_values(r.values)) for r in dataset.records
+        ]
+        for kernel in KERNELS:
+            looped = kernel.record_store(tables)
+            for to_values, po_codes in zip(to_rows, code_rows):
+                looped.append(to_values, po_codes)
+            bulk = kernel.load_record_store(tables, to_rows, code_rows)
+            assert len(bulk) == len(looped) == len(dataset)
+            for to_values, po_codes in zip(to_rows, code_rows):
+                assert bulk.any_dominates(to_values, po_codes) == looped.any_dominates(
+                    to_values, po_codes
+                )
+
+    @given(dataset=mixed_dataset_strategy(max_rows=30))
+    @settings(max_examples=25, deadline=None)
+    def test_columnar_block_queries_match_row_queries(self, dataset):
+        schema = dataset.schema
+        tables = RecordTables.from_schema(schema)
+        encoded = [
+            (
+                schema.canonical_to_values(r.values),
+                tables.encode_po(schema.partial_values(r.values)),
+            )
+            for r in dataset.records
+        ]
+        to_rows = [row[0] for row in encoded]
+        code_rows = [row[1] for row in encoded]
+        split = max(1, len(encoded) // 2)
+        results = []
+        for kernel in KERNELS:
+            store = kernel.load_record_store(tables, to_rows[:split], code_rows[:split])
+            results.append(
+                (
+                    store.block_dominated_columns(to_rows, code_rows),
+                    kernel.record_block_dominated_columns(
+                        tables, to_rows[:split], code_rows[:split], to_rows, code_rows
+                    ),
+                )
+            )
+        assert results[0] == results[1]
+        # The columnar forms agree with the row-pair forms they shadow.
+        store = KERNELS[0].load_record_store(tables, to_rows[:split], code_rows[:split])
+        assert results[0][0] == store.block_dominated_mask(encoded)
+        assert results[0][1] == KERNELS[0].record_block_dominated_mask(
+            tables, encoded[:split], encoded
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        dims=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_vector_store_bulk_ops_match(self, seed, dims):
+        rng = random.Random(seed)
+        members = [tuple(rng.randint(0, 4) for _ in range(dims)) for _ in range(12)]
+        targets = [tuple(rng.randint(0, 4) for _ in range(dims)) for _ in range(9)]
+        masks = []
+        for kernel in KERNELS:
+            store = kernel.load_vector_store(dims, members)
+            assert len(store) == len(members)
+            masks.append(store.block_dominated_mask(targets))
+        assert masks[0] == masks[1]
+        assert masks[0] == [
+            KERNELS[0].load_vector_store(dims, members).any_dominates(t) for t in targets
+        ]
+
+    @given(
+        dag=random_dag_strategy(max_values=7),
+        seed=st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_tdominance_bulk_ops_match(self, dag, seed):
+        rng = random.Random(seed)
+        encoding = encode_domain(dag)
+        tables = TDominanceTables.from_encodings(1, [encoding])
+        cardinality = len(dag.values)
+        members_to = [(float(rng.randint(0, 4)),) for _ in range(10)]
+        members_codes = [(rng.randrange(cardinality),) for _ in range(10)]
+        targets_to = [(float(rng.randint(0, 4)),) for _ in range(8)]
+        targets_codes = [(rng.randrange(cardinality),) for _ in range(8)]
+        masks = []
+        for kernel in KERNELS:
+            store = kernel.load_tdominance_store(tables, members_to, members_codes)
+            assert len(store) == len(members_to)
+            masks.append(store.block_weakly_dominated(targets_to, targets_codes))
+        assert masks[0] == masks[1]
+        store = KERNELS[0].load_tdominance_store(tables, members_to, members_codes)
+        assert masks[0] == [
+            store.any_weakly_dominates(to_values, po_codes)
+            for to_values, po_codes in zip(targets_to, targets_codes)
+        ]
+
+
 class TestStatelessOpsAgreement:
     @given(
         seed=st.integers(min_value=0, max_value=10_000),
@@ -237,6 +340,22 @@ class TestStatelessOpsAgreement:
         rng = random.Random(seed)
         block = [tuple(rng.randint(0, 4) for _ in range(dims)) for _ in range(rows)]
         assert PURE.pareto_mask(block) == NUMPY.pareto_mask(block)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        rows=st.integers(min_value=1, max_value=120),
+        spread=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pareto_mask_low_dimensional_fast_paths(self, seed, rows, spread):
+        """The 1-D/2-D sorted fast paths agree with the reference, including
+        heavy duplicate/tie blocks."""
+        rng = random.Random(seed)
+        for dims in (1, 2):
+            block = [
+                tuple(rng.randint(0, spread) for _ in range(dims)) for _ in range(rows)
+            ]
+            assert PURE.pareto_mask(block) == NUMPY.pareto_mask(block), dims
 
     @given(
         cover_sets=st.lists(_interval_set_strategy(), min_size=0, max_size=8),

@@ -347,3 +347,63 @@ class TestResolveWorkers:
         monkeypatch.setenv("REPRO_WORKERS", bad)
         with pytest.raises(ExperimentError, match="REPRO_WORKERS"):
             resolve_workers(None)
+
+
+class TestColumnarShardShipping:
+    """The frame path ships column blocks — never ``Record`` objects."""
+
+    @staticmethod
+    def _assert_no_records(payload) -> bytes:
+        """Pickle ``payload`` while asserting no Record/Dataset is reached."""
+        import io
+        import pickle
+
+        from repro.data.dataset import Record
+
+        class GuardPickler(pickle.Pickler):
+            def persistent_id(self, obj):
+                assert not isinstance(obj, Record), "a Record reached the wire"
+                assert not isinstance(obj, Dataset), "a Dataset reached the wire"
+                return None
+
+        buffer = io.BytesIO()
+        GuardPickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(payload)
+        return buffer.getvalue()
+
+    def test_worker_payload_contains_no_record_objects(self, small_workload):
+        _, dataset = small_workload
+        executor = ShardedExecutor(
+            dataset, num_shards=4, workers=2, use_frame=True
+        )
+        for worker in range(executor.workers):
+            owned = [
+                index
+                for index in range(executor.num_shards)
+                if index % executor.workers == worker
+            ]
+            self._assert_no_records(executor._worker_initargs(owned))
+
+    def test_record_path_still_ships_datasets(self, small_workload):
+        _, dataset = small_workload
+        executor = ShardedExecutor(dataset, num_shards=2, workers=1, use_frame=False)
+        payload = executor._worker_initargs([0, 1])
+        with pytest.raises(AssertionError):
+            self._assert_no_records(payload)
+
+    def test_frame_pool_matches_record_pool(self, small_workload):
+        schema, dataset = small_workload
+        overrides = random_query_preferences(schema, 3)
+        with ShardedExecutor(
+            dataset, num_shards=2, workers=2, use_frame=True
+        ) as pooled:
+            frame_result = pooled.query(overrides)
+        inline = ShardedExecutor(dataset, num_shards=2, workers=0, use_frame=False)
+        assert frame_result.skyline_ids == inline.query(overrides).skyline_ids
+
+    def test_mismatched_frame_rejected(self, small_workload):
+        from repro.data.columns import EncodedFrame
+
+        _, dataset = small_workload
+        frame = EncodedFrame.from_dataset(dataset).take([0, 1, 2])
+        with pytest.raises(QueryError, match="rows"):
+            ShardedExecutor(dataset, num_shards=2, frame=frame)

@@ -71,6 +71,36 @@ class TestBatchQueryCommand:
         out = capsys.readouterr().out
         assert "base" in out and "cached topologies" in out
 
+    def test_profile_prints_sane_phase_timings(self, capsys):
+        import re
+
+        code = main(
+            ["batch-query", "--cardinality", "300", "--queries", "2", "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        match = re.search(
+            r"phases: encode (\S+) ms \| build (\S+) ms \| query (\S+) ms "
+            r"\| merge (\S+) ms \| total (\S+) ms",
+            out,
+        )
+        assert match, out
+        encode, build, query, merge, total = (float(g) for g in match.groups())
+        assert all(value >= 0.0 for value in (encode, build, query, merge))
+        # The phases sum to the printed total (each of the five numbers
+        # carries up to 0.05 ms of :.1f print rounding).
+        assert abs((encode + build + query + merge) - total) <= 0.3
+
+    def test_frame_flag_parses_and_runs(self, capsys):
+        args = build_batch_query_parser().parse_args(["--frame", "off"])
+        assert args.frame == "off"
+        for mode in ("on", "off"):
+            code = main(
+                ["batch-query", "--cardinality", "200", "--queries", "1", "--frame", mode]
+            )
+            assert code == 0
+        assert "cached topologies" in capsys.readouterr().out
+
     def test_bad_workers_value_is_reported(self, capsys):
         code = main(["batch-query", "--cardinality", "100", "--workers", "lots"])
         assert code == 2
