@@ -1,0 +1,250 @@
+"""Spatial index plane benchmark: flat (array-backed) vs pointer R-tree.
+
+Measures the two halves the flat index accelerates — STR bulk loading and
+the BBS best-first traversal — separately, at 50k-200k points on the
+anticorrelated 3-d workload (hundreds of skyline points, so both the build
+and the traversal do real work).  Each configuration runs in a fresh
+subprocess so peak RSS is attributable to it alone; results land in
+``benchmarks/results/BENCH_index.json``.
+
+Run under pytest (``pytest benchmarks/bench_index.py``) or standalone::
+
+    python benchmarks/bench_index.py [--quick]
+
+The acceptance target — >=3x combined build + query speedup for the flat
+tree at the 100k-point sweep — is asserted only when NumPy is available (the
+flat backend does not exist without it).  Correctness — bitwise-identical
+skyline ids *in discovery order* between the two backends — is always
+asserted for every sweep that ran both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+#: Acceptance target: >=3x combined (STR build + BBS query) speedup for the
+#: flat index at the target cardinality under the NumPy kernel.
+SPEEDUP_TARGET = 3.0
+TARGET_CARDINALITY = 100_000
+
+FULL_CARDINALITIES = (50_000, 100_000, 200_000)
+QUICK_CARDINALITIES = (20_000,)
+BACKENDS = ("pointer", "flat")
+#: Child runs per configuration; the best (min total) one is scored, which
+#: keeps the speedup ratio stable on noisy shared/1-CPU hosts.
+REPEATS = 3
+
+WORKLOAD = {
+    "distribution": "anticorrelated",
+    "num_total_order": 3,
+    "num_partial_order": 0,
+    "dag_height": 4,
+    "dag_density": 0.5,
+    "seed": 7,
+}
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _child_measure(cardinality: int, backend: str) -> dict[str, object]:
+    """One configuration, measured inside this (fresh) process."""
+    import resource
+
+    from repro.data.workloads import WorkloadSpec
+    from repro.skyline.bbs import bbs_skyline
+
+    spec = WorkloadSpec(name="bench-index", cardinality=cardinality, **WORKLOAD)
+    schema, dataset = spec.build()
+
+    started = time.perf_counter()
+    if backend == "flat":
+        from repro.index.flat import FlatRTree
+
+        tree = FlatRTree.bulk_load(
+            schema.num_total_order, dataset.to_numeric_matrix(), max_entries=32
+        )
+    else:
+        from repro.index.rtree import RTree
+
+        entries = [
+            (schema.canonical_to_values(record.values), record.id)
+            for record in dataset.records
+        ]
+        tree = RTree.bulk_load(schema.num_total_order, entries, max_entries=32)
+    build_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    result = bbs_skyline(dataset, tree=tree, index=backend)
+    query_seconds = time.perf_counter() - started
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_rss_bytes = rss if sys.platform == "darwin" else rss * 1024
+    return {
+        "cardinality": cardinality,
+        "backend": backend,
+        "build_seconds": build_seconds,
+        "query_seconds": query_seconds,
+        "total_seconds": build_seconds + query_seconds,
+        "peak_rss_bytes": peak_rss_bytes,
+        "skyline_size": len(result.skyline_ids),
+        "dominance_checks": result.stats.dominance_checks,
+        "nodes_expanded": result.stats.nodes_expanded,
+        # Ordered digest: the discovery order must match too, not just the set.
+        "skyline_digest": hashlib.sha256(
+            repr(result.skyline_ids).encode()
+        ).hexdigest(),
+    }
+
+
+def _run_child(cardinality: int, backend: str) -> dict[str, object]:
+    """Run one configuration in fresh interpreters; keep the best run."""
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parent.parent / "src"
+    if src.is_dir():
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else str(src)
+    runs = []
+    for _ in range(REPEATS):
+        process = subprocess.run(
+            [sys.executable, __file__, "--child", str(cardinality), backend],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=False,
+        )
+        if process.returncode != 0:
+            raise RuntimeError(
+                f"child run (N={cardinality}, backend={backend}) failed:\n"
+                f"{process.stderr}"
+            )
+        runs.append(json.loads(process.stdout.splitlines()[-1]))
+    best = min(runs, key=lambda run: run["total_seconds"])
+    best["runs"] = len(runs)
+    return best
+
+
+def _sweep_cardinality(cardinality: int, backends) -> dict[str, object]:
+    by_backend = {backend: _run_child(cardinality, backend) for backend in backends}
+    for backend in backends:
+        timings = by_backend[backend]
+        print(
+            f"  N={cardinality} {backend:>7}: build {timings['build_seconds']:6.2f}s "
+            f"+ query {timings['query_seconds']:5.2f}s = "
+            f"{timings['total_seconds']:6.2f}s, peak RSS "
+            f"{timings['peak_rss_bytes'] / 1e6:7.1f} MB",
+            flush=True,
+        )
+    sweep: dict[str, object] = {"cardinality": cardinality, "backends": by_backend}
+    if set(backends) == set(BACKENDS):
+        pointer, flat = by_backend["pointer"], by_backend["flat"]
+        sweep["flat_speedup"] = (
+            pointer["total_seconds"] / flat["total_seconds"]
+            if flat["total_seconds"]
+            else 0.0
+        )
+        sweep["flat_build_speedup"] = (
+            pointer["build_seconds"] / flat["build_seconds"]
+            if flat["build_seconds"]
+            else 0.0
+        )
+        sweep["skylines_match"] = pointer["skyline_digest"] == flat["skyline_digest"]
+        sweep["flat_rss_ratio"] = (
+            flat["peak_rss_bytes"] / pointer["peak_rss_bytes"]
+            if pointer["peak_rss_bytes"]
+            else 0.0
+        )
+        print(
+            f"  N={cardinality} flat speedup: {sweep['flat_speedup']:.2f}x "
+            f"(build {sweep['flat_build_speedup']:.2f}x)",
+            flush=True,
+        )
+    return sweep
+
+
+def run_benchmark(cardinalities) -> dict[str, object]:
+    backends = BACKENDS if _numpy_available() else ("pointer",)
+    sweeps = [_sweep_cardinality(cardinality, backends) for cardinality in cardinalities]
+    return {
+        "workload": {**WORKLOAD, "numpy_available": _numpy_available()},
+        "target": {"speedup": SPEEDUP_TARGET, "cardinality": TARGET_CARDINALITY},
+        "sweeps": sweeps,
+    }
+
+
+def _save(payload: dict[str, object]) -> None:
+    from conftest import save_bench_json
+
+    path = save_bench_json("index", payload)
+    print(f"wrote {path}")
+
+
+def _assert_targets(payload: dict[str, object]) -> None:
+    if not _numpy_available():
+        print("NumPy unavailable: flat index target not checked")
+        return
+    for sweep in payload["sweeps"]:
+        assert sweep["skylines_match"], (
+            f"flat and pointer skylines disagree at N={sweep['cardinality']}"
+        )
+    target_sweep = next(
+        (s for s in payload["sweeps"] if s["cardinality"] == TARGET_CARDINALITY), None
+    )
+    if target_sweep is None:
+        print("quick profile: flat index speedup target not checked")
+        return
+    achieved = target_sweep["flat_speedup"]
+    assert achieved >= SPEEDUP_TARGET, (
+        f"only {achieved:.2f}x combined build+query flat speedup at "
+        f"{TARGET_CARDINALITY} points (target {SPEEDUP_TARGET}x)"
+    )
+
+
+def _report(payload: dict[str, object]) -> None:
+    for sweep in payload["sweeps"]:
+        if "flat_speedup" not in sweep:
+            continue
+        print(
+            f"N={sweep['cardinality']}: flat {sweep['flat_speedup']:.2f}x faster "
+            f"(build {sweep['flat_build_speedup']:.2f}x), RSS ratio "
+            f"{sweep['flat_rss_ratio']:.2f}, skylines match: "
+            f"{sweep['skylines_match']}"
+        )
+
+
+def test_index_speedup():
+    """Pytest entry point (quick cardinality, correctness always asserted)."""
+    payload = run_benchmark(QUICK_CARDINALITIES)
+    _save(payload)
+    _report(payload)
+    _assert_targets(payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "--child":
+        print(json.dumps(_child_measure(int(arguments[1]), arguments[2])))
+        return 0
+    cardinalities = QUICK_CARDINALITIES if "--quick" in arguments else FULL_CARDINALITIES
+    payload = run_benchmark(cardinalities)
+    _save(payload)
+    _report(payload)
+    _assert_targets(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

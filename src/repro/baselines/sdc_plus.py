@@ -42,12 +42,17 @@ def sdc_plus_skyline(
     max_entries: int = 32,
     disk: DiskSimulator | None = None,
     kernel=None,
+    index=None,
 ) -> SkylineResult:
     """Compute the skyline with SDC+ (strata by uncovered level).
 
     ``stratum_trees`` may supply pre-built per-stratum R-trees (keyed by
     uncovered level); otherwise they are bulk-loaded here, charged to
-    ``disk`` if one is given.
+    ``disk`` if one is given.  The per-item dominance tests run against
+    *two* windows (local and global lists), one of which is evicted
+    mid-traversal, so the flat tree is traversed with the plain pop-time
+    predicates (no cached block verdicts — those require append-only
+    windows).
     """
     if mapping is None:
         mapping = BaselineMapping(dataset, encodings)
@@ -55,7 +60,7 @@ def sdc_plus_skyline(
     if stratum_trees is None:
         stratum_trees = {
             level: mapping.build_rtree(
-                [p.index for p in points], max_entries=max_entries, disk=disk
+                [p.index for p in points], max_entries=max_entries, disk=disk, index=index
             )
             for level, points in strata.items()
         }

@@ -46,6 +46,7 @@ from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import render_tables
 from repro.bench.runner import BenchProfile
 from repro.exceptions import ExperimentError, ReproError
+from repro.index.registry import available_indexes, resolve_index, set_default_index
 from repro.kernels import available_kernels, get_kernel, set_default_kernel
 
 
@@ -62,12 +63,33 @@ def _select_kernel(name: str | None) -> int:
     return 0
 
 
+def _select_index(name: str | None) -> int:
+    """Install the CLI spatial-index override; returns an exit code (0 = ok)."""
+    if not name:
+        return 0
+    try:
+        set_default_index(name)
+        resolve_index(None)  # fail fast on e.g. 'flat' without NumPy
+    except ExperimentError as error:
+        set_default_index(None)
+        print(f"error: {error}", file=sys.stderr)
+        print(f"available indexes: {', '.join(available_indexes())}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--kernel",
         default=None,
         help="dominance kernel backend (purepython/numpy; default: REPRO_KERNEL "
         "env var, else numpy when available)",
+    )
+    parser.add_argument(
+        "--index",
+        default=None,
+        help="spatial index backend (flat/pointer; default: REPRO_INDEX env "
+        "var, else flat when NumPy is available)",
     )
 
 
@@ -218,7 +240,8 @@ def build_batch_query_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--profile",
         action="store_true",
-        help="print per-phase timings (encode / build / query / merge) with the summary",
+        help="print per-phase timings (encode / build / index_build / query / "
+        "merge) with the summary",
     )
     parser.add_argument("--json", default=None, help="write results as JSON to this file")
     _add_kernel_option(parser)
@@ -232,6 +255,8 @@ def batch_query_main(argv: Sequence[str] | None = None) -> int:
 
     args = build_batch_query_parser().parse_args(argv)
     if (code := _select_kernel(args.kernel)) != 0:
+        return code
+    if (code := _select_index(args.index)) != 0:
         return code
 
     schema, dataset = _build_workload(args, "batch-query")
@@ -272,7 +297,7 @@ def batch_query_main(argv: Sequence[str] | None = None) -> int:
         total = sum(phases.values())
         rendered = " | ".join(
             f"{name} {phases[name] * 1000:.1f} ms"
-            for name in ("encode", "build", "query", "merge")
+            for name in ("encode", "build", "index_build", "query", "merge")
         )
         print(f"phases: {rendered} | total {total * 1000:.1f} ms")
     if args.json:
@@ -310,6 +335,8 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
 
     args = build_serve_parser().parse_args(argv)
     if (code := _select_kernel(args.kernel)) != 0:
+        return code
+    if (code := _select_index(args.index)) != 0:
         return code
 
     schema, dataset = _build_workload(args, "serve")
@@ -484,6 +511,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     args = build_parser().parse_args(arguments)
     if (code := _select_kernel(args.kernel)) != 0:
+        return code
+    if (code := _select_index(args.index)) != 0:
         return code
     if args.profile is None:
         profile = BenchProfile.from_env()

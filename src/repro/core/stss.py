@@ -47,6 +47,7 @@ def stss_skyline(
     max_entries: int = 32,
     disk: DiskSimulator | None = None,
     kernel=None,
+    index=None,
 ) -> SkylineResult:
     """Compute the static skyline of a mixed TO/PO dataset with sTSS.
 
@@ -86,6 +87,10 @@ def stss_skyline(
         Dominance kernel backend for the skyline-list t-dominance checks
         (instance, name or ``None`` for the process default); see
         :mod:`repro.kernels`.
+    index:
+        Spatial index backend for the data R-tree and the virtual-point
+        index (``"flat"``/``"pointer"`` or ``None`` for the process
+        default); see :mod:`repro.index.registry`.
 
     Returns
     -------
@@ -98,7 +103,7 @@ def stss_skyline(
             dataset, encodings, schema=schema, frame=frame, use_frame=use_frame
         )
     if tree is None:
-        tree = mapping.build_rtree(max_entries=max_entries, disk=disk)
+        tree = mapping.build_rtree(max_entries=max_entries, disk=disk, index=index)
 
     stats = SkylineStats()
     clock = RunClock(stats, disk)
@@ -107,7 +112,9 @@ def stss_skyline(
 
     virtual_index: VirtualPointIndex | None = None
     if use_virtual_rtree:
-        virtual_index = VirtualPointIndex(mapping.num_total_order, mapping.encodings)
+        virtual_index = VirtualPointIndex(
+            mapping.num_total_order, mapping.encodings, index=index
+        )
 
     offset = mapping.to_offset
 

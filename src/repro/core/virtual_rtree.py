@@ -1,4 +1,4 @@
-"""Main-memory R-tree of virtual skyline points for fast t-dominance checks.
+"""Main-memory index of virtual skyline points for fast t-dominance checks.
 
 Second optimization of Section IV-B: every skyline point is represented by
 *virtual points* in the space ``TO-dims x (I1, I2) per PO attribute`` — one
@@ -15,6 +15,18 @@ whole skyline list:
   point covers the combination while being at least as good on the TO
   dimensions.  Every potential point inside the MBB is then dominated by one
   of the skyline points answering these queries.
+
+Two storage backends implement the Boolean queries, selected like every
+other spatial index through :mod:`repro.index.registry`:
+
+* ``pointer`` — the original incrementally grown
+  :class:`~repro.index.rtree.RTree`, one Boolean range query per interval
+  combination;
+* ``flat`` — virtual points in one contiguous, append-only coordinate
+  matrix; an MBB check materializes *all* of its combination query boxes at
+  once and answers them with a single vectorized containment test over the
+  whole virtual-point block (the sTSS MBI prefilter runs first, exactly as
+  before).
 """
 
 from __future__ import annotations
@@ -24,6 +36,7 @@ from collections.abc import Sequence
 
 from repro.core.mapping import MappedPoint
 from repro.index.geometry import Rect
+from repro.index.registry import resolve_index
 from repro.index.rtree import RTree
 from repro.order.encoding import DomainEncoding
 from repro.order.intervals import IntervalSet
@@ -37,8 +50,69 @@ _INFINITY = 1e18
 DEFAULT_MAX_COMBINATIONS = 128
 
 
+class _PointerStore:
+    """Virtual points in an incrementally grown pointer R-tree."""
+
+    __slots__ = ("_tree",)
+
+    def __init__(self, dimensions: int, max_entries: int) -> None:
+        self._tree = RTree(dimensions, max_entries=max_entries)
+
+    def append(self, coords: tuple[float, ...], payload: object) -> None:
+        self._tree.insert(coords, payload)
+
+    def any_in_box(self, low: Sequence[float], high: Sequence[float]) -> bool:
+        return self._tree.boolean_range_query(Rect(tuple(low), tuple(high)))
+
+    def all_boxes_hit(self, lows, highs) -> bool:
+        return all(self.any_in_box(low, high) for low, high in zip(lows, highs))
+
+
+class _ArrayStore:
+    """Virtual points in one contiguous, append-only coordinate matrix.
+
+    Boolean range queries are vectorized containment tests over the whole
+    block; a batch of query boxes (the interval combinations of one MBB
+    check) is answered in a single broadcast instead of one tree descent per
+    combination.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, dimensions: int) -> None:
+        from repro.index.flat import GrowableRowMatrix
+
+        self._rows = GrowableRowMatrix(dimensions)
+
+    def append(self, coords: tuple[float, ...], payload: object) -> None:
+        self._rows.append(coords)
+
+    def any_in_box(self, low: Sequence[float], high: Sequence[float]) -> bool:
+        import numpy as np
+
+        block = self._rows.view
+        if not len(block):
+            return False
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        return bool(((block >= low) & (block <= high)).all(axis=1).any())
+
+    def all_boxes_hit(self, lows, highs) -> bool:
+        import numpy as np
+
+        block = self._rows.view
+        if not len(block):
+            return False
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        inside = (block[:, None, :] >= lows[None, :, :]) & (
+            block[:, None, :] <= highs[None, :, :]
+        )
+        return bool(inside.all(axis=2).any(axis=0).all())
+
+
 class VirtualPointIndex:
-    """The global main-memory R-tree ``Tm`` of virtual skyline points."""
+    """The global main-memory index ``Tm`` of virtual skyline points."""
 
     def __init__(
         self,
@@ -47,12 +121,17 @@ class VirtualPointIndex:
         *,
         max_entries: int = 16,
         max_combinations: int = DEFAULT_MAX_COMBINATIONS,
+        index=None,
     ) -> None:
         self.num_total_order = num_total_order
         self.encodings = tuple(encodings)
         self.max_combinations = max_combinations
         self.dimensions = num_total_order + 2 * len(self.encodings)
-        self._tree = RTree(self.dimensions, max_entries=max_entries)
+        self.backend = resolve_index(index)
+        if self.backend == "flat":
+            self._store: _ArrayStore | _PointerStore = _ArrayStore(self.dimensions)
+        else:
+            self._store = _PointerStore(self.dimensions, max_entries)
         self._num_skyline_points = 0
         self._num_virtual_points = 0
 
@@ -84,7 +163,7 @@ class VirtualPointIndex:
             for interval in combination:
                 coords.append(float(interval.low))
                 coords.append(float(interval.high))
-            self._tree.insert(tuple(coords), payload)
+            self._store.append(tuple(coords), payload)
             inserted += 1
         self._num_skyline_points += 1
         self._num_virtual_points += inserted
@@ -109,8 +188,8 @@ class VirtualPointIndex:
         posts = [
             encoding.tree.post[value] for encoding, value in zip(self.encodings, po_values)
         ]
-        rect = self._query_rect(to_values, [(post, post) for post in posts])
-        return self._tree.boolean_range_query(rect)
+        low, high = self._query_box(to_values, [(post, post) for post in posts])
+        return self._store.any_in_box(low, high)
 
     def dominates_candidate_mbb(
         self,
@@ -134,32 +213,38 @@ class VirtualPointIndex:
             combination_count *= len(range_set)
             if combination_count > self.max_combinations:
                 return False
+        to_bounds = low[: self.num_total_order]
         # Fast path: one query with each range set's minimum bounding
         # interval.  A virtual point covering the MBI combination covers every
         # interval combination at once, so a hit proves dominance without
         # enumerating the product.
         if combination_count > 1:
-            mbi_rect = self._query_rect(
-                low[: self.num_total_order],
+            mbi_low, mbi_high = self._query_box(
+                to_bounds,
                 [
                     (mbi.low, mbi.high)
                     for mbi in (s.bounding_interval() for s in range_sets)
                 ],
             )
-            if self._tree.boolean_range_query(mbi_rect):
+            if self._store.any_in_box(mbi_low, mbi_high):
                 return True
+        # Every interval combination must be covered by some virtual point;
+        # the array backend answers the whole batch of query boxes in one
+        # vectorized containment test.
+        lows = []
+        highs = []
         for combination in itertools.product(*(s.intervals for s in range_sets)):
-            rect = self._query_rect(
-                low[: self.num_total_order],
+            box_low, box_high = self._query_box(
+                to_bounds,
                 [(interval.low, interval.high) for interval in combination],
             )
-            if not self._tree.boolean_range_query(rect):
-                return False
-        return True
+            lows.append(box_low)
+            highs.append(box_high)
+        return self._store.all_boxes_hit(lows, highs)
 
-    def _query_rect(
+    def _query_box(
         self, to_upper_bounds: Sequence[float], interval_bounds: Sequence[tuple[float, float]]
-    ) -> Rect:
+    ) -> tuple[list[float], list[float]]:
         """Query box: TO dims in (-inf, bound]; per PO attr I1 <= low, I2 >= high."""
         low = [-_INFINITY] * self.num_total_order
         high = [float(bound) for bound in to_upper_bounds]
@@ -168,4 +253,4 @@ class VirtualPointIndex:
             high.append(float(interval_low))
             low.append(float(interval_high))
             high.append(_INFINITY)
-        return Rect(tuple(low), tuple(high))
+        return low, high

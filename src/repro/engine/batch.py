@@ -148,10 +148,16 @@ class BatchQueryEngine:
         partitioner="round-robin",
         merge_strategy: str | None = None,
         use_frame: bool | None = None,
+        index=None,
     ) -> None:
         self.dataset = dataset
         self.schema = dataset.schema
         self.kernel = resolve_kernel(kernel)
+        # Spatial index backend for the per-query data R-trees (resolved once
+        # so typos fail fast and sharded workers receive the same choice).
+        from repro.index.registry import resolve_index
+
+        self.index = resolve_index(index)
         self.max_entries = max_entries
         self.cache_size = cache_size
         self._result_cache: LRUDict[TopologyKey, list[int]] = LRUDict(cache_size)
@@ -168,9 +174,17 @@ class BatchQueryEngine:
             max(cache_size, 64)
         )
         # Cumulative wall clock per pipeline phase (encode the frame, build
-        # per-query mapping/R-tree structures + the shared prefilter, run the
-        # skyline scans, merge across shards); read via :meth:`summary`.
-        self._phase_seconds = {"encode": 0.0, "build": 0.0, "query": 0.0, "merge": 0.0}
+        # per-query mappings + the shared prefilter, bulk-load the per-query
+        # data R-trees, run the skyline scans, merge across shards); read via
+        # :meth:`summary`.  Sharded runs fold tree construction into their
+        # workers' local phase, so ``index_build`` tracks the in-process path.
+        self._phase_seconds = {
+            "encode": 0.0,
+            "build": 0.0,
+            "index_build": 0.0,
+            "query": 0.0,
+            "merge": 0.0,
+        }
         # The columnar data plane: the dataset encoded once, sliced once more
         # for the prefilter survivors; ``None`` keeps the record path.
         self._use_frame = resolve_frame_mode(use_frame)
@@ -229,6 +243,7 @@ class BatchQueryEngine:
                 encoding_cache_size=cache_size,
                 frame=self._reduced_frame,
                 use_frame=self._use_frame,
+                index=self.index,
             )
             self._phase_seconds["build"] += time.perf_counter() - started
 
@@ -384,7 +399,7 @@ class BatchQueryEngine:
                 return hit
             stats = None
             sharded = None
-            build_seconds = query_seconds = merge_seconds = 0.0
+            build_seconds = index_build_seconds = query_seconds = merge_seconds = 0.0
             if self._executor is not None:
                 sharded = self._executor.query(query.dag_overrides, name=query.name)
                 reduced_ids = sharded.skyline_ids
@@ -426,10 +441,16 @@ class BatchQueryEngine:
                         mapping = TSSMapping(
                             data, self._encodings_for(query, key), use_frame=False
                         )
-                    tree = mapping.build_rtree(max_entries=self.max_entries)
+                    index_started = time.perf_counter()
+                    build_seconds = index_started - phase_started
+                    tree = mapping.build_rtree(
+                        max_entries=self.max_entries, index=self.index
+                    )
                     query_started = time.perf_counter()
-                    build_seconds = query_started - phase_started
-                    result = stss_skyline(mapping=mapping, tree=tree, kernel=self.kernel)
+                    index_build_seconds = query_started - index_started
+                    result = stss_skyline(
+                        mapping=mapping, tree=tree, kernel=self.kernel, index=self.index
+                    )
                     query_seconds = time.perf_counter() - query_started
                 else:
                     query_started = time.perf_counter()
@@ -450,6 +471,7 @@ class BatchQueryEngine:
             with self._state_lock:
                 self.queries_evaluated += 1
                 self._phase_seconds["build"] += build_seconds
+                self._phase_seconds["index_build"] += index_build_seconds
                 self._phase_seconds["query"] += query_seconds
                 self._phase_seconds["merge"] += merge_seconds
             self._result_cache[key] = skyline_ids
@@ -493,6 +515,7 @@ class BatchQueryEngine:
             "encoding_cache_entries": len(self._encoding_cache),
             "encoding_cache_evictions": self._encoding_cache.evictions,
             "kernel": self.kernel.name,
+            "index": self.index,
             "workers": self._executor.workers if self._executor is not None else 0,
         }
         if self._executor is not None:

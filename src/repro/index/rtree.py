@@ -148,8 +148,7 @@ class RTree:
         tree._root, tree._height = tree._build_upper_levels(leaves)
         if disk is not None:
             # Bulk loading writes every node (page) of the finished tree once.
-            for _ in range(tree.node_count()):
-                disk.write(0)
+            disk.write_many(tree.node_count())
         return tree
 
     def _build_upper_levels(self, nodes: list[_Node]) -> tuple[_Node, int]:

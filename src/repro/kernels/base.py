@@ -62,6 +62,22 @@ class VectorStore(ABC):
         """Per target row: is it strictly dominated by any member?"""
         return [self.any_dominates(row, counter=counter) for row in targets]
 
+    def mbr_block_dominated(
+        self, corners, counter=None, *, exclude_equal: bool = False
+    ) -> list[bool]:
+        """Per MBR low corner: is it weakly dominated by any member?
+
+        The columnar BBS primitive: a popped node's children are tested
+        against the dominance window in one call (a weakly dominated best
+        corner prunes the whole subtree).  The reference implementation
+        loops :meth:`any_weakly_dominates` (keeping its early exits);
+        vectorized backends override it with one block comparison.
+        """
+        return [
+            self.any_weakly_dominates(corner, counter, exclude_equal=exclude_equal)
+            for corner in corners
+        ]
+
     @abstractmethod
     def __len__(self) -> int: ...
 
@@ -70,16 +86,30 @@ class VectorStore(ABC):
         """Drop members whose ``keep`` flag is false (window eviction)."""
 
     @abstractmethod
-    def any_dominates(self, candidate: Sequence[float], counter=None) -> bool:
-        """Does any member strictly dominate ``candidate``?"""
+    def any_dominates(
+        self, candidate: Sequence[float], counter=None, *, start: int = 0
+    ) -> bool:
+        """Does any member at index >= ``start`` strictly dominate ``candidate``?
+
+        ``start`` lets the columnar BBS loop re-examine only the members
+        appended after a cached block verdict (the store must be append-only
+        between the two tests — true for every skyline window, whose members
+        are final).  The default of 0 is the plain whole-store test.
+        """
 
     @abstractmethod
     def any_weakly_dominates(
-        self, corner: Sequence[float], counter=None, *, exclude_equal: bool = False
+        self,
+        corner: Sequence[float],
+        counter=None,
+        *,
+        exclude_equal: bool = False,
+        start: int = 0,
     ) -> bool:
-        """Does any member weakly dominate ``corner`` (used to prune MBBs)?
+        """Does any member at index >= ``start`` weakly dominate ``corner``?
 
-        With ``exclude_equal`` a member equal to ``corner`` does not count.
+        Used to prune MBBs; with ``exclude_equal`` a member equal to
+        ``corner`` does not count.  See :meth:`any_dominates` for ``start``.
         """
 
 

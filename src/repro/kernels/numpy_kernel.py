@@ -169,7 +169,10 @@ class NumpyVectorStore(VectorStore):
     def compress(self, keep: Sequence[bool]) -> None:
         self._rows.compress(np.asarray(keep, dtype=bool))
 
-    def block_dominated_mask(self, targets, counter=None) -> list[bool]:
+    def _any_member_mask(self, targets, counter, compare) -> list[bool]:
+        """Chunked per-target "any member matches" mask shared by the block
+        queries; ``compare(members, chunk)`` returns the (members, chunk)
+        match matrix for one broadcast pair."""
         block = self._rows.view
         targets = _as_to_block(targets, self.dimensions)
         charge(counter, len(block) * len(targets))
@@ -178,13 +181,19 @@ class NumpyVectorStore(VectorStore):
         out = np.zeros(len(targets), dtype=bool)
         for low, high in _target_chunks(len(block), self.dimensions, len(targets)):
             sub = targets[None, low:high, :]
-            le = (block[:, None, :] <= sub).all(axis=2)
-            lt = (block[:, None, :] < sub).any(axis=2)
-            out[low:high] = (le & lt).any(axis=0)
+            out[low:high] = compare(block[:, None, :], sub).any(axis=0)
         return out.tolist()
 
-    def any_dominates(self, candidate: Sequence[float], counter=None) -> bool:
-        block = self._rows.view
+    def block_dominated_mask(self, targets, counter=None) -> list[bool]:
+        def strictly_dominated(members, sub):
+            return (members <= sub).all(axis=2) & (members < sub).any(axis=2)
+
+        return self._any_member_mask(targets, counter, strictly_dominated)
+
+    def any_dominates(
+        self, candidate: Sequence[float], counter=None, *, start: int = 0
+    ) -> bool:
+        block = self._rows.view[start:] if start else self._rows.view
         charge(counter, len(block))
         if not len(block):
             return False
@@ -193,9 +202,14 @@ class NumpyVectorStore(VectorStore):
         return bool(np.any(le.all(axis=1) & (block < q).any(axis=1)))
 
     def any_weakly_dominates(
-        self, corner: Sequence[float], counter=None, *, exclude_equal: bool = False
+        self,
+        corner: Sequence[float],
+        counter=None,
+        *,
+        exclude_equal: bool = False,
+        start: int = 0,
     ) -> bool:
-        block = self._rows.view
+        block = self._rows.view[start:] if start else self._rows.view
         charge(counter, len(block))
         if not len(block):
             return False
@@ -204,6 +218,17 @@ class NumpyVectorStore(VectorStore):
         if exclude_equal:
             weak &= (block != q).any(axis=1)
         return bool(weak.any())
+
+    def mbr_block_dominated(
+        self, corners, counter=None, *, exclude_equal: bool = False
+    ) -> list[bool]:
+        def weakly_dominated(members, sub):
+            weak = (members <= sub).all(axis=2)
+            if exclude_equal:
+                weak &= (members != sub).any(axis=2)
+            return weak
+
+        return self._any_member_mask(corners, counter, weakly_dominated)
 
 
 class NumpyRecordStore(RecordStore):

@@ -68,10 +68,12 @@ class PureVectorStore(VectorStore):
     def compress(self, keep: Sequence[bool]) -> None:
         self._rows = [row for row, flag in zip(self._rows, keep) if flag]
 
-    def any_dominates(self, candidate: Sequence[float], counter=None) -> bool:
+    def any_dominates(
+        self, candidate: Sequence[float], counter=None, *, start: int = 0
+    ) -> bool:
         checks = 0
         try:
-            for row in self._rows:
+            for row in self._rows[start:] if start else self._rows:
                 checks += 1
                 if _dominates(row, candidate):
                     return True
@@ -80,12 +82,17 @@ class PureVectorStore(VectorStore):
             charge(counter, checks)
 
     def any_weakly_dominates(
-        self, corner: Sequence[float], counter=None, *, exclude_equal: bool = False
+        self,
+        corner: Sequence[float],
+        counter=None,
+        *,
+        exclude_equal: bool = False,
+        start: int = 0,
     ) -> bool:
         corner = tuple(corner)
         checks = 0
         try:
-            for row in self._rows:
+            for row in self._rows[start:] if start else self._rows:
                 checks += 1
                 if all(a <= b for a, b in zip(row, corner)):
                     if not exclude_equal or row != corner:

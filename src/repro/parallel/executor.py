@@ -68,6 +68,7 @@ from repro.engine.encodings import (
 )
 from repro.engine.lru import LRUDict
 from repro.exceptions import ExperimentError, QueryError
+from repro.index.registry import resolve_index
 from repro.kernels import resolve_kernel
 from repro.kernels.tables import RecordTables
 from repro.order.dag import PartialOrderDAG
@@ -158,12 +159,14 @@ class _WorkerState:
         max_entries: int,
         encoding_cache_size: int,
         use_frame: bool = False,
+        index_name: str | None = None,
     ) -> None:
         self.schema = schema
         self.shard_data = shard_data
         self.kernel = resolve_kernel(kernel_name)
         self.max_entries = max_entries
         self.use_frame = use_frame
+        self.index = resolve_index(index_name)
         self._encoding_cache = EncodingCache(encoding_cache_size)
 
     def local_skyline(
@@ -189,6 +192,7 @@ class _WorkerState:
                     frame=data,
                     max_entries=self.max_entries,
                     kernel=self.kernel,
+                    index=self.index,
                 )
             else:
                 result = sfs_skyline(None, frame=data, kernel=self.kernel)
@@ -206,6 +210,7 @@ class _WorkerState:
                 max_entries=self.max_entries,
                 kernel=self.kernel,
                 use_frame=self.use_frame,
+                index=self.index,
             )
         else:
             result = sfs_skyline(dataset, kernel=self.kernel, use_frame=self.use_frame)
@@ -222,10 +227,17 @@ def _init_worker(
     max_entries: int,
     encoding_cache_size: int,
     use_frame: bool = False,
+    index_name: str | None = None,
 ) -> None:
     global _WORKER_STATE
     _WORKER_STATE = _WorkerState(
-        schema, shard_data, kernel_name, max_entries, encoding_cache_size, use_frame
+        schema,
+        shard_data,
+        kernel_name,
+        max_entries,
+        encoding_cache_size,
+        use_frame,
+        index_name,
     )
 
 
@@ -350,9 +362,11 @@ class ShardedExecutor:
         task_timeout: float | None = 600.0,
         frame: EncodedFrame | None = None,
         use_frame: bool | None = None,
+        index=None,
     ) -> None:
         self.dataset = dataset
         self.schema = dataset.schema
+        self.index = resolve_index(index)
         self.workers = resolve_workers(workers)
         self.num_shards = max(1, self.workers) if num_shards is None else num_shards
         if self.num_shards < 1:
@@ -412,6 +426,7 @@ class ShardedExecutor:
             self.max_entries,
             self.encoding_cache_size,
             self._frame is not None,
+            self.index,
         )
 
     def start(self) -> "ShardedExecutor":
@@ -854,6 +869,7 @@ class ShardedExecutor:
             "workers": self.workers,
             "partitioner": self.partitioner_name,
             "kernel": self.kernel.name,
+            "index": self.index,
             "merge_strategy": self.merge_strategy,
             "frame": self._frame is not None,
             "queries_answered": self.queries_answered,

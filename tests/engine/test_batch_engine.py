@@ -312,18 +312,37 @@ class TestColumnarEngine:
 
     def test_phase_seconds_track_evaluated_queries(self, workload):
         schema, dataset = workload
-        engine = BatchQueryEngine(dataset)
+        # workers=0: index_build tracks the in-process path only (sharded
+        # runs fold tree construction into their workers' local phase).
+        engine = BatchQueryEngine(dataset, workers=0)
         phases = engine.summary()["phase_seconds"]
-        assert set(phases) == {"encode", "build", "query", "merge"}
+        assert set(phases) == {"encode", "build", "index_build", "query", "merge"}
         assert all(value >= 0.0 for value in phases.values())
         baseline_query = phases["query"]
+        baseline_index = phases["index_build"]
         engine.run([BatchQuery("base")] + queries_from_seeds(schema, [1]))
         after = engine.summary()["phase_seconds"]
         assert after["query"] > baseline_query
+        # In-process evaluation bulk-loads one data R-tree per topology miss.
+        assert after["index_build"] > baseline_index
         # Cache hits add no phase time.
         settled = engine.summary()["phase_seconds"]
         engine.run_query(BatchQuery("base-again"))
         assert engine.summary()["phase_seconds"] == settled
+
+    def test_phase_seconds_sum_to_sane_total(self, workload):
+        import time
+
+        schema, dataset = workload
+        started = time.perf_counter()
+        engine = BatchQueryEngine(dataset, workers=0)
+        engine.run([BatchQuery("base")] + queries_from_seeds(schema, [1, 2]))
+        elapsed = time.perf_counter() - started
+        phases = engine.summary()["phase_seconds"]
+        # The phases are disjoint wall-clock slices of this thread's work, so
+        # their sum cannot exceed the end-to-end elapsed time.
+        assert 0.0 <= sum(phases.values()) <= elapsed
+        assert phases["index_build"] > 0.0
 
     def test_sharded_engine_accounts_merge_phase(self, workload):
         schema, dataset = workload

@@ -1,0 +1,193 @@
+"""Unit tests for the structure-of-arrays FlatRTree."""
+
+import pytest
+
+from repro.exceptions import IndexError_
+from repro.index.pager import DiskSimulator
+from repro.index.rtree import RTree, RTreeEntry
+from repro.skyline.base import SkylineStats
+
+np = pytest.importorskip("numpy")
+
+from repro.index.flat import (  # noqa: E402
+    FlatRTree,
+    GrowableRowMatrix,
+    run_bbs_flat,
+)
+
+
+def _random_points(n, dims, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 50, size=(n, dims)).astype(float)
+
+
+def _pointer_tree(points, max_entries, disk=None):
+    return RTree.bulk_load(
+        points.shape[1],
+        ((tuple(row), i) for i, row in enumerate(points)),
+        max_entries=max_entries,
+        disk=disk,
+    )
+
+
+class TestBulkLoadStructure:
+    @pytest.mark.parametrize("n", [0, 1, 7, 33, 400])
+    @pytest.mark.parametrize("dims", [2, 3])
+    def test_matches_pointer_str_layout(self, n, dims):
+        """Same STR math => same node counts, heights and drain order."""
+        points = _random_points(n, dims, seed=n + dims)
+        flat = FlatRTree.bulk_load(dims, points, max_entries=8)
+        pointer = _pointer_tree(points, max_entries=8)
+        assert len(flat) == len(pointer) == n
+        assert flat.node_count() == pointer.node_count()
+        assert flat.height == pointer.height
+        flat_drained = [(m, p) for m, _, p in flat.drain()]
+        pointer_drained = [(m, e.payload) for m, e in pointer.best_first().drain()]
+        assert flat_drained == pointer_drained
+
+    def test_all_entries_match_pointer_entry_api(self):
+        points = _random_points(50, 2, seed=9)
+        flat = FlatRTree.bulk_load(2, points, max_entries=4)
+        entries = flat.all_entries()
+        assert all(isinstance(entry, RTreeEntry) for entry in entries)
+        assert sorted(entry.payload for entry in entries) == list(range(50))
+
+    def test_explicit_payloads_are_honored(self):
+        points = _random_points(20, 2, seed=1)
+        payloads = np.arange(20) * 7 + 3
+        flat = FlatRTree.bulk_load(2, points, payloads, max_entries=4)
+        assert sorted(entry.payload for entry in flat.all_entries()) == sorted(
+            payloads.tolist()
+        )
+
+    def test_children_are_contiguous_and_cover_everything(self):
+        points = _random_points(300, 3, seed=5)
+        flat = FlatRTree.bulk_load(3, points, max_entries=8)
+        seen_rows = []
+        seen_nodes = {flat.root_id}
+        stack = [flat.root_id]
+        while stack:
+            node = stack.pop()
+            start, end = int(flat.child_start[node]), int(flat.child_end[node])
+            assert 0 < end - start <= flat.max_entries
+            if flat.is_leaf(node):
+                seen_rows.extend(range(start, end))
+                # The node MBR is exactly the bound of its points.
+                block = flat.points[start:end]
+                assert (flat.node_low[node] == block.min(axis=0)).all()
+                assert (flat.node_high[node] == block.max(axis=0)).all()
+            else:
+                for child in range(start, end):
+                    assert child not in seen_nodes
+                    seen_nodes.add(child)
+                    stack.append(child)
+                assert (
+                    flat.node_low[node] == flat.node_low[start:end].min(axis=0)
+                ).all()
+                assert (
+                    flat.node_high[node] == flat.node_high[start:end].max(axis=0)
+                ).all()
+        assert sorted(seen_rows) == list(range(300))
+        assert len(seen_nodes) == flat.node_count()
+
+    def test_validation_errors(self):
+        points = _random_points(10, 2)
+        with pytest.raises(IndexError_):
+            FlatRTree.bulk_load(3, points)  # dimensionality mismatch
+        with pytest.raises(IndexError_):
+            FlatRTree.bulk_load(2, points, max_entries=3)
+        with pytest.raises(IndexError_):
+            FlatRTree.bulk_load(0, points[:, :0])
+        with pytest.raises(IndexError_):
+            FlatRTree.bulk_load(2, points, np.arange(9))  # payload length
+        with pytest.raises(IndexError_):
+            FlatRTree()  # bulk-load only
+
+
+class TestDiskAccounting:
+    def test_bulk_load_charges_one_write_per_node(self):
+        points = _random_points(200, 2, seed=3)
+        disk_flat, disk_pointer = DiskSimulator(), DiskSimulator()
+        flat = FlatRTree.bulk_load(2, points, max_entries=8, disk=disk_flat)
+        pointer = _pointer_tree(points, max_entries=8, disk=disk_pointer)
+        assert disk_flat.stats.writes == flat.node_count()
+        assert disk_pointer.stats.writes == pointer.node_count()
+        assert disk_flat.stats.writes == disk_pointer.stats.writes
+
+    def test_empty_tree_charges_no_writes(self):
+        disk = DiskSimulator()
+        flat = FlatRTree.bulk_load(2, np.empty((0, 2)), disk=disk)
+        assert disk.stats.writes == 0
+        assert flat.node_count() == 1  # the (empty) root page still exists
+
+    def test_full_traversal_reads_every_node_once(self):
+        points = _random_points(150, 2, seed=4)
+        disk = DiskSimulator()
+        flat = FlatRTree.bulk_load(2, points, max_entries=8, disk=disk)
+        stats = SkylineStats()
+        results = run_bbs_flat(
+            flat,
+            dominated_point=lambda point, payload: False,
+            dominated_rect=lambda low, high: False,
+            on_result=lambda point, payload: None,
+            stats=stats,
+        )
+        assert disk.stats.reads == flat.node_count()
+        assert stats.nodes_expanded == flat.node_count()
+        assert len(results) == 150
+
+
+class TestFlatBBSLoop:
+    def test_no_pruning_reports_everything_in_mindist_order(self):
+        points = _random_points(80, 2, seed=8)
+        flat = FlatRTree.bulk_load(2, points, max_entries=4)
+        stats = SkylineStats()
+        results = run_bbs_flat(
+            flat,
+            dominated_point=lambda point, payload: False,
+            dominated_rect=lambda low, high: False,
+            on_result=lambda point, payload: None,
+            stats=stats,
+        )
+        mindists = [points[payload].sum() for payload in results]
+        assert mindists == sorted(mindists)
+        assert sorted(int(p) for p in results) == list(range(80))
+        assert stats.points_examined == 80
+
+    def test_dominated_root_prunes_the_whole_tree(self):
+        points = _random_points(40, 2, seed=2)
+        flat = FlatRTree.bulk_load(2, points, max_entries=4)
+        stats = SkylineStats()
+        results = run_bbs_flat(
+            flat,
+            dominated_point=lambda point, payload: True,
+            dominated_rect=lambda low, high: True,
+            on_result=lambda point, payload: None,
+            stats=stats,
+        )
+        assert results == []
+        assert stats.nodes_expanded == 0
+
+    def test_empty_tree_yields_no_results(self):
+        flat = FlatRTree.bulk_load(2, np.empty((0, 2)))
+        stats = SkylineStats()
+        assert (
+            run_bbs_flat(
+                flat,
+                dominated_point=lambda point, payload: False,
+                dominated_rect=lambda low, high: False,
+                on_result=lambda point, payload: None,
+                stats=stats,
+            )
+            == []
+        )
+
+
+class TestGrowableRowMatrix:
+    def test_appends_grow_past_initial_capacity(self):
+        rows = GrowableRowMatrix(3)
+        for i in range(100):
+            rows.append((float(i), float(i + 1), float(i + 2)))
+        assert len(rows) == 100
+        assert rows.view.shape == (100, 3)
+        assert (rows.view[41] == np.array([41.0, 42.0, 43.0])).all()

@@ -80,16 +80,20 @@ class TestBatchQueryCommand:
         assert code == 0
         out = capsys.readouterr().out
         match = re.search(
-            r"phases: encode (\S+) ms \| build (\S+) ms \| query (\S+) ms "
-            r"\| merge (\S+) ms \| total (\S+) ms",
+            r"phases: encode (\S+) ms \| build (\S+) ms \| index_build (\S+) ms "
+            r"\| query (\S+) ms \| merge (\S+) ms \| total (\S+) ms",
             out,
         )
         assert match, out
-        encode, build, query, merge, total = (float(g) for g in match.groups())
-        assert all(value >= 0.0 for value in (encode, build, query, merge))
-        # The phases sum to the printed total (each of the five numbers
+        encode, build, index_build, query, merge, total = (
+            float(g) for g in match.groups()
+        )
+        assert all(
+            value >= 0.0 for value in (encode, build, index_build, query, merge)
+        )
+        # The phases sum to the printed total (each of the six numbers
         # carries up to 0.05 ms of :.1f print rounding).
-        assert abs((encode + build + query + merge) - total) <= 0.3
+        assert abs((encode + build + index_build + query + merge) - total) <= 0.35
 
     def test_frame_flag_parses_and_runs(self, capsys):
         args = build_batch_query_parser().parse_args(["--frame", "off"])
@@ -142,6 +146,45 @@ class TestBatchQueryCommand:
         assert code == 2
         err = capsys.readouterr().err
         assert err.startswith("error:") and "REPRO_MERGE" in err
+
+    def test_index_flag_parses_and_runs(self, capsys):
+        from repro.index.registry import set_default_index
+
+        from repro.index.registry import available_indexes
+
+        args = build_batch_query_parser().parse_args(["--index", "pointer"])
+        assert args.index == "pointer"
+        try:
+            for backend in available_indexes():
+                code = main(
+                    [
+                        "batch-query",
+                        "--cardinality", "200",
+                        "--queries", "1",
+                        "--index", backend,
+                    ]
+                )
+                assert code == 0
+        finally:
+            set_default_index(None)
+        assert "cached topologies" in capsys.readouterr().out
+
+    def test_bad_index_value_is_reported(self, capsys):
+        from repro.index.registry import resolve_index
+
+        code = main(["batch-query", "--cardinality", "100", "--index", "btree"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "available indexes:" in err
+        # A rejected flag must not leave a broken process-wide override.
+        assert resolve_index(None) in ("flat", "pointer")
+
+    def test_bad_index_env_var_fails_cleanly(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_INDEX", "btree")
+        code = main(["batch-query", "--cardinality", "100"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
 
     def test_bad_cache_size_is_reported(self, capsys):
         code = main(["batch-query", "--cardinality", "100", "--cache-size", "0"])
