@@ -1,0 +1,261 @@
+"""Storage-plane benchmark: CSV cold start vs mmap-ing a packed store.
+
+Measures the time (and peak RSS) from a fresh process to a query-ready
+:class:`~repro.engine.batch.BatchQueryEngine` on two ingest paths:
+
+``csv``
+    The conventional pipeline — parse the CSV export, build the record
+    dataset, encode the frame, run the shared prefilter, build the engine.
+``mmap``
+    The storage plane — ``repro.open_dataset`` on a file written once by
+    ``repro.pack``: checksum pass + zero-copy ``np.memmap`` views, no
+    re-encode, no re-prefilter, no re-bulk-load.
+
+Both paths then answer the base query, whose skyline ids must be identical.
+Each configuration runs REPEATS times in fresh subprocesses (best run
+scored) so cold start and RSS are attributable to it alone; the packed
+store and the CSV export are written by the parent and are *not* part of
+the measured window.  Results land in ``benchmarks/results/BENCH_store.json``.
+
+Run under pytest (``pytest benchmarks/bench_store.py``) or standalone::
+
+    python benchmarks/bench_store.py [--quick]
+
+The acceptance target — >=5x faster cold start from the packed store at the
+200k-row sweep — is asserted only when NumPy is available (without it the
+store is loaded through the pure-Python struct path, a correctness fallback,
+not a fast path).  Correctness is always asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+#: Acceptance target: >=5x faster cold start (process start to query-ready
+#: engine) from the packed store at the target cardinality.
+SPEEDUP_TARGET = 5.0
+TARGET_CARDINALITY = 200_000
+
+FULL_CARDINALITIES = (50_000, 100_000, 200_000)
+QUICK_CARDINALITIES = (20_000,)
+MODES = ("csv", "mmap")
+#: Child runs per configuration; the best (min cold start) is scored.
+REPEATS = 3
+
+WORKLOAD = {
+    "distribution": "anticorrelated",
+    "num_total_order": 2,
+    "num_partial_order": 1,
+    "dag_height": 6,
+    "dag_density": 0.8,
+    "seed": 7,
+}
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _child_measure(mode: str, store_path: str, csv_path: str) -> dict[str, object]:
+    """One cold start, measured inside this (fresh) process."""
+    import resource
+
+    from repro.engine.batch import BatchQuery, BatchQueryEngine
+    from repro.store import DatasetStore
+
+    if mode == "csv":
+        # The schema is configuration, not data: read it (cheaply, header
+        # only) from the packed store before the clock starts.
+        from repro.data.io import load_csv_dataset
+
+        schema = DatasetStore.open(store_path, verify=False).schema
+        started = time.perf_counter()
+        dataset = load_csv_dataset(csv_path, schema)
+        engine = BatchQueryEngine(dataset)
+    else:
+        started = time.perf_counter()
+        engine = BatchQueryEngine(store_path)
+    cold_start_seconds = time.perf_counter() - started
+
+    result = engine.run_query(BatchQuery("base"))
+    first_query_seconds = time.perf_counter() - started - cold_start_seconds
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_rss_bytes = rss if sys.platform == "darwin" else rss * 1024
+    return {
+        "mode": mode,
+        "cold_start_seconds": cold_start_seconds,
+        "first_query_seconds": first_query_seconds,
+        "total_seconds": cold_start_seconds + first_query_seconds,
+        "peak_rss_bytes": peak_rss_bytes,
+        "candidates_after_prefilter": engine.candidate_count,
+        "skyline_size": len(result.skyline_ids),
+        "skyline_ids_head": sorted(result.skyline_ids)[:32],
+        "skyline_checksum": hash(tuple(sorted(result.skyline_ids))) & 0xFFFFFFFF,
+    }
+
+
+def _run_child(mode: str, store_path: Path, csv_path: Path) -> dict[str, object]:
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parent.parent / "src"
+    if src.is_dir():
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else str(src)
+    runs = []
+    for _ in range(REPEATS):
+        process = subprocess.run(
+            [sys.executable, __file__, "--child", mode, str(store_path), str(csv_path)],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=False,
+        )
+        if process.returncode != 0:
+            raise RuntimeError(f"child run ({mode}) failed:\n{process.stderr}")
+        runs.append(json.loads(process.stdout.splitlines()[-1]))
+    best = min(runs, key=lambda run: run["cold_start_seconds"])
+    best["runs"] = len(runs)
+    return best
+
+
+def _sweep_cardinality(cardinality: int, scratch: Path) -> dict[str, object]:
+    from repro.api import pack
+    from repro.data.io import save_csv_dataset
+    from repro.data.workloads import WorkloadSpec
+
+    spec = WorkloadSpec(name="bench-store", cardinality=cardinality, **WORKLOAD)
+    _, dataset = spec.build()
+    csv_path = scratch / f"bench_{cardinality}.csv"
+    store_path = scratch / f"bench_{cardinality}.rpro"
+    save_csv_dataset(dataset, csv_path)
+    pack_started = time.perf_counter()
+    summary = pack(dataset, store_path)
+    pack_seconds = time.perf_counter() - pack_started
+    del dataset
+
+    by_mode = {mode: _run_child(mode, store_path, csv_path) for mode in MODES}
+    csv_run, mmap_run = by_mode["csv"], by_mode["mmap"]
+    speedup = (
+        csv_run["cold_start_seconds"] / mmap_run["cold_start_seconds"]
+        if mmap_run["cold_start_seconds"]
+        else 0.0
+    )
+    for mode in MODES:
+        timings = by_mode[mode]
+        print(
+            f"  N={cardinality} {mode:>4}: cold start {timings['cold_start_seconds']:6.3f}s "
+            f"+ base query {timings['first_query_seconds']:6.3f}s, peak RSS "
+            f"{timings['peak_rss_bytes'] / 1e6:7.1f} MB",
+            flush=True,
+        )
+    print(f"  N={cardinality} mmap cold-start speedup: {speedup:.2f}x", flush=True)
+    return {
+        "cardinality": cardinality,
+        "store_bytes": summary["bytes"],
+        "csv_bytes": csv_path.stat().st_size,
+        "pack_seconds": pack_seconds,
+        "modes": by_mode,
+        "mmap_cold_start_speedup": speedup,
+        "mmap_rss_ratio": (
+            mmap_run["peak_rss_bytes"] / csv_run["peak_rss_bytes"]
+            if csv_run["peak_rss_bytes"]
+            else 0.0
+        ),
+        "skylines_match": (
+            csv_run["skyline_size"] == mmap_run["skyline_size"]
+            and csv_run["skyline_ids_head"] == mmap_run["skyline_ids_head"]
+            and csv_run["skyline_checksum"] == mmap_run["skyline_checksum"]
+        ),
+    }
+
+
+def run_benchmark(cardinalities) -> dict[str, object]:
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as scratch:
+        sweeps = [
+            _sweep_cardinality(cardinality, Path(scratch))
+            for cardinality in cardinalities
+        ]
+    return {
+        "workload": {**WORKLOAD, "numpy_available": _numpy_available()},
+        "target": {
+            "cold_start_speedup": SPEEDUP_TARGET,
+            "cardinality": TARGET_CARDINALITY,
+        },
+        "sweeps": sweeps,
+    }
+
+
+def _save(payload: dict[str, object]) -> None:
+    from conftest import save_bench_json
+
+    path = save_bench_json("store", payload)
+    print(f"wrote {path}")
+
+
+def _assert_targets(payload: dict[str, object]) -> None:
+    for sweep in payload["sweeps"]:
+        assert sweep["skylines_match"], (
+            f"csv and mmap cold starts disagree at N={sweep['cardinality']}"
+        )
+    if not _numpy_available():
+        print("NumPy unavailable: store cold-start target not checked")
+        return
+    target_sweep = next(
+        (s for s in payload["sweeps"] if s["cardinality"] == TARGET_CARDINALITY), None
+    )
+    if target_sweep is None:
+        print("quick profile: store cold-start target not checked")
+        return
+    achieved = target_sweep["mmap_cold_start_speedup"]
+    assert achieved >= SPEEDUP_TARGET, (
+        f"only {achieved:.2f}x mmap cold-start speedup at "
+        f"{TARGET_CARDINALITY} tuples (target {SPEEDUP_TARGET}x)"
+    )
+
+
+def _report(payload: dict[str, object]) -> None:
+    for sweep in payload["sweeps"]:
+        print(
+            f"N={sweep['cardinality']}: mmap cold start "
+            f"{sweep['mmap_cold_start_speedup']:.2f}x faster, RSS ratio "
+            f"{sweep['mmap_rss_ratio']:.2f}, store "
+            f"{sweep['store_bytes'] / 1e6:.1f} MB vs CSV "
+            f"{sweep['csv_bytes'] / 1e6:.1f} MB"
+        )
+
+
+def test_store_cold_start():
+    """Pytest entry point (quick cardinality, correctness always asserted)."""
+    payload = run_benchmark(QUICK_CARDINALITIES)
+    _save(payload)
+    _report(payload)
+    _assert_targets(payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "--child":
+        print(json.dumps(_child_measure(arguments[1], arguments[2], arguments[3])))
+        return 0
+    cardinalities = QUICK_CARDINALITIES if "--quick" in arguments else FULL_CARDINALITIES
+    payload = run_benchmark(cardinalities)
+    _save(payload)
+    _report(payload)
+    _assert_targets(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,8 +19,15 @@ Quick start
 >>> tickets = Dataset(schema, [(1800, 0, "a"), (1400, 1, "a"), (1000, 1, "b"), (500, 2, "d")])
 >>> sorted(r.value(schema, "price") for r in skyline_records(tickets))
 [500, 1000, 1400, 1800]
+
+For repeated runs over the same data, pack once and reopen via the storage
+plane: ``repro.pack(tickets, "tickets.rpro")`` then
+``engine = repro.open_dataset("tickets.rpro")`` — the packed file is
+memory-mapped (zero-copy, page-cache-shared) instead of re-encoded.
 """
 
+from repro.api import open_dataset, pack
+from repro.config import RuntimeConfig
 from repro.core.framework import ALGORITHMS, compute_skyline, skyline_records
 from repro.core.stss import stss_skyline
 from repro.data.dataset import Dataset, Record
@@ -30,11 +37,12 @@ from repro.data.workloads import WorkloadSpec, paper_defaults
 from repro.dynamic.dtss import DTSSIndex, dtss_skyline
 from repro.dynamic.sdc_dynamic import sdc_plus_dynamic_skyline
 from repro.engine.batch import BatchQuery, BatchQueryEngine
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, StoreError
 from repro.kernels import available_kernels, get_kernel, set_default_kernel
 from repro.order.dag import PartialOrderDAG
 from repro.order.encoding import DomainEncoding, encode_domain
 from repro.skyline.base import SkylineResult, SkylineStats
+from repro.store import DatasetStore, pack_dataset
 
 __version__ = "1.0.0"
 
@@ -66,4 +74,10 @@ __all__ = [
     "available_kernels",
     "get_kernel",
     "set_default_kernel",
+    "RuntimeConfig",
+    "StoreError",
+    "DatasetStore",
+    "open_dataset",
+    "pack",
+    "pack_dataset",
 ]

@@ -17,7 +17,6 @@ environment allows:
 
 from __future__ import annotations
 
-import os
 import random
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
@@ -85,7 +84,9 @@ class BenchProfile:
     @classmethod
     def from_env(cls, variable: str = "REPRO_BENCH_PROFILE") -> "BenchProfile":
         """Pick the profile from an environment variable (default: quick)."""
-        requested = os.environ.get(variable, "quick").lower()
+        from repro.config import env_bench_profile
+
+        requested = (env_bench_profile(variable) or "quick").lower()
         if requested == "full":
             return cls.full()
         if requested == "quick":

@@ -7,12 +7,16 @@ Subcommands
     subcommand name may be omitted: ``python -m repro fig7`` works.
 ``batch-query``
     Evaluate a batch of dynamic-preference skyline queries over one synthetic
-    workload through :class:`~repro.engine.batch.BatchQueryEngine`.
+    workload — or a packed store (``--store``) — through
+    :class:`~repro.engine.batch.BatchQueryEngine`.
 ``serve``
     Start the long-running JSON-over-TCP skyline query service
-    (:mod:`repro.service`) over one synthetic workload.
+    (:mod:`repro.service`) over one synthetic workload or a packed store.
 ``query``
     Send one request (query / ping / stats / shutdown) to a running service.
+``pack``
+    Pack one synthetic workload into a single mmap-able dataset store file
+    for instant cold starts (``--store`` on batch-query/serve).
 ``kernels``
     List the available dominance kernel backends.
 
@@ -33,6 +37,11 @@ Serve a 50k-tuple workload on 4 worker processes and query it::
     python -m repro query --wait 30 --seed 3
     python -m repro query --stats
     python -m repro query --shutdown
+
+Pack the same workload once, then serve it with a zero-copy mmap cold start::
+
+    python -m repro pack --cardinality 50000 --out catalog.rpro
+    python -m repro serve --store catalog.rpro --workers 4
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ from collections.abc import Sequence
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import render_tables
 from repro.bench.runner import BenchProfile
+from repro.config import RuntimeConfig
 from repro.exceptions import ExperimentError, ReproError
 from repro.index.registry import available_indexes, resolve_index, set_default_index
 from repro.kernels import available_kernels, get_kernel, set_default_kernel
@@ -127,6 +137,21 @@ def _add_sharding_options(parser: argparse.ArgumentParser) -> None:
         help="columnar frame data plane (default: REPRO_FRAME env var, else "
         "on when NumPy is available; off falls back to record-at-a-time)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="open this packed dataset store (written by 'repro pack') instead "
+        "of generating a synthetic workload (default: REPRO_STORE env var)",
+    )
+    parser.add_argument(
+        "--mmap",
+        choices=("on", "off"),
+        default=None,
+        help="memory-map packed store arrays zero-copy instead of loading "
+        "them into process memory (default: REPRO_MMAP env var, else on "
+        "when NumPy is available)",
+    )
 
 
 def _add_workload_options(parser: argparse.ArgumentParser) -> None:
@@ -178,18 +203,36 @@ def _build_workload(args, name: str):
     return spec.build()
 
 
-def _engine_options(args) -> dict:
-    options = {
-        "prefilter": not args.no_prefilter,
-        "workers": args.workers,
-        "num_shards": args.shards,
-        "partitioner": args.partitioner,
-        "merge_strategy": args.merge_strategy,
-        "use_frame": None if args.frame is None else args.frame == "on",
-    }
-    if args.cache_size is not None:
-        options["cache_size"] = args.cache_size
-    return options
+def _runtime_config(args) -> RuntimeConfig:
+    """One resolved :class:`RuntimeConfig` from the CLI flags.
+
+    Unset flags fall through to their ``REPRO_*`` environment variables.
+    Kernel and index are process-wide overrides (``_select_kernel`` /
+    ``_select_index`` install them before any engine is built), so they are
+    deliberately left unset here.
+    """
+    return RuntimeConfig.resolve(
+        frame=args.frame,
+        workers=args.workers,
+        shards=args.shards,
+        partitioner=args.partitioner,
+        merge=args.merge_strategy,
+        prefilter=not args.no_prefilter,
+        cache_size=args.cache_size,
+        store=args.store,
+        mmap=args.mmap,
+    )
+
+
+def _open_engine(args, name: str):
+    """The configured engine: a packed store when given, else a fresh workload."""
+    from repro.api import open_dataset
+
+    config = _runtime_config(args)
+    if config.store is not None:
+        return open_dataset(config.store, config=config)
+    _, dataset = _build_workload(args, name)
+    return open_dataset(dataset, config=config)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -251,7 +294,7 @@ def build_batch_query_parser() -> argparse.ArgumentParser:
 
 def batch_query_main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``batch-query`` subcommand."""
-    from repro.engine.batch import BatchQuery, BatchQueryEngine, queries_from_seeds
+    from repro.engine.batch import BatchQuery, queries_from_seeds
 
     args = build_batch_query_parser().parse_args(argv)
     if (code := _select_kernel(args.kernel)) != 0:
@@ -259,9 +302,9 @@ def batch_query_main(argv: Sequence[str] | None = None) -> int:
     if (code := _select_index(args.index)) != 0:
         return code
 
-    schema, dataset = _build_workload(args, "batch-query")
     try:
-        with BatchQueryEngine(dataset, **_engine_options(args)) as engine:
+        with _open_engine(args, "batch-query") as engine:
+            schema = engine.schema
             queries = [BatchQuery("base")]
             queries += queries_from_seeds(schema, range(args.seed, args.seed + args.queries))
             queries = queries * max(1, args.repeat)
@@ -339,10 +382,8 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
     if (code := _select_index(args.index)) != 0:
         return code
 
-    schema, dataset = _build_workload(args, "serve")
-
     async def _serve() -> None:
-        service = QueryService(dataset, **_engine_options(args))
+        service = QueryService(_open_engine(args, "serve"))
         host, port = await service.start(
             args.host if args.host is not None else DEFAULT_HOST,
             args.port if args.port is not None else DEFAULT_PORT,
@@ -421,7 +462,6 @@ def build_query_parser() -> argparse.ArgumentParser:
 
 def query_main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``query`` subcommand."""
-    from repro.exceptions import ServiceError
     from repro.service import DEFAULT_HOST, DEFAULT_PORT, ServiceClient, wait_for_service
 
     args = build_query_parser().parse_args(argv)
@@ -469,13 +509,68 @@ def query_main(argv: Sequence[str] | None = None) -> int:
                     print(
                         f"{response['name']:>8}  |skyline|={response['skyline_size']:<5d}  {source}"
                     )
-    except ServiceError as error:
+    except ReproError as error:
+        # Covers ServiceError (connection/protocol) and server-relayed store
+        # failures — e.g. '--stats'/'--shutdown' against a service whose
+        # packed store went stale: the StoreError text names the store path
+        # and the format version this build reads.
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(responses if len(responses) > 1 else responses[0], handle, indent=2)
             handle.write("\n")
+    return 0
+
+
+def build_pack_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tss-bench pack",
+        description="Pack one synthetic workload into a single mmap-able "
+        "dataset store file: encoded columns, prefiltered survivors, the "
+        "base-topology mapping and its bulk-loaded spatial index.",
+    )
+    _add_workload_options(parser)
+    parser.add_argument(
+        "--out", required=True, metavar="PATH", help="store file to write"
+    )
+    parser.add_argument(
+        "--max-entries",
+        type=int,
+        default=32,
+        help="R-tree fanout persisted for the base topology (default 32)",
+    )
+    _add_kernel_option(parser)
+    return parser
+
+
+def pack_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``pack`` subcommand."""
+    from repro.api import pack
+
+    args = build_pack_parser().parse_args(argv)
+    if (code := _select_kernel(args.kernel)) != 0:
+        return code
+    if (code := _select_index(args.index)) != 0:
+        return code
+
+    _, dataset = _build_workload(args, "pack")
+    try:
+        summary = pack(dataset, args.out, max_entries=args.max_entries)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    base = summary["base"]
+    artifacts = "frame"
+    if base["has_mapping"]:
+        artifacts += "+mapping"
+    if base["has_index"]:
+        artifacts += "+index"
+    print(
+        f"packed {summary['rows']} tuples -> {summary['path']} "
+        f"({summary['bytes']} bytes, format v{summary['format_version']}, "
+        f"{summary['survivors']} survivors, {artifacts})"
+    )
     return 0
 
 
@@ -504,6 +599,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return serve_main(arguments[1:])
     if arguments and arguments[0] == "query":
         return query_main(arguments[1:])
+    if arguments and arguments[0] == "pack":
+        return pack_main(arguments[1:])
     if arguments and arguments[0] == "kernels":
         return kernels_main(arguments[1:])
     if arguments and arguments[0] == "run":

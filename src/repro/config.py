@@ -1,0 +1,296 @@
+"""Runtime configuration: every ``REPRO_*`` knob resolved in one place.
+
+Historically each subsystem consulted its own environment variable at its own
+call site — ``REPRO_KERNEL`` in :mod:`repro.kernels`, ``REPRO_INDEX`` in
+:mod:`repro.index.registry`, ``REPRO_FRAME`` in :mod:`repro.data.columns`,
+``REPRO_WORKERS``/``REPRO_MERGE`` in :mod:`repro.parallel.executor` and
+``REPRO_BENCH_PROFILE`` in :mod:`repro.bench.runner`.  The resolvers now live
+here, all following the same precedence:
+
+    explicit argument  >  CLI flag  >  ``REPRO_*`` environment variable  >  default
+
+The old import paths (``repro.data.columns.resolve_frame_mode``,
+``repro.parallel.executor.resolve_workers`` / ``resolve_merge_strategy``)
+remain as thin deprecation shims delegating to this module, and the env-var
+name constants are re-exported from their historical homes.
+
+:class:`RuntimeConfig` bundles one resolved choice of every knob — kernel,
+spatial index, frame mode, workers, shards, partitioner, merge strategy, and
+the storage-plane knobs (store path + mmap mode) — as a frozen dataclass, so
+a whole engine/service construction can be described, logged and forwarded as
+a single value.  The public facade (:mod:`repro.api`) and the CLI build their
+engines through it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ExperimentError
+
+__all__ = [
+    "BENCH_PROFILE_ENV_VAR",
+    "FRAME_ENV_VAR",
+    "INDEX_ENV_VAR",
+    "KERNEL_ENV_VAR",
+    "MERGE_ENV_VAR",
+    "MERGE_STRATEGIES",
+    "MMAP_ENV_VAR",
+    "STORE_ENV_VAR",
+    "WORKERS_ENV_VAR",
+    "RuntimeConfig",
+    "env_text",
+    "resolve_frame_mode",
+    "resolve_merge_strategy",
+    "resolve_mmap_mode",
+    "resolve_workers",
+]
+
+#: Environment variable selecting the dominance kernel backend.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: Environment variable selecting the spatial index backend.
+INDEX_ENV_VAR = "REPRO_INDEX"
+
+#: Environment variable selecting the columnar frame data plane.
+FRAME_ENV_VAR = "REPRO_FRAME"
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+#: Environment variable selecting the cross-shard merge strategy.
+MERGE_ENV_VAR = "REPRO_MERGE"
+
+#: Environment variable selecting the benchmark parameter grid.
+BENCH_PROFILE_ENV_VAR = "REPRO_BENCH_PROFILE"
+
+#: Environment variable naming a packed dataset store to open.
+STORE_ENV_VAR = "REPRO_STORE"
+
+#: Environment variable selecting mmap vs. load for packed stores.
+MMAP_ENV_VAR = "REPRO_MMAP"
+
+#: The recognized cross-shard merge strategies.
+MERGE_STRATEGIES = ("sort-merge", "all-pairs")
+
+_TRUE_WORDS = frozenset({"1", "true", "on", "yes"})
+_FALSE_WORDS = frozenset({"0", "false", "off", "no"})
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def env_text(variable: str) -> str | None:
+    """The raw value of one environment knob, or ``None`` when unset/blank.
+
+    The single ``os.environ`` gateway of the library: every ``REPRO_*`` read
+    funnels through here so the precedence rules live in one module.
+    """
+    raw = os.environ.get(variable)
+    if raw is None or not raw.strip():
+        return None
+    return raw
+
+
+def resolve_workers(workers: int | str | None = None) -> int:
+    """Coerce a worker-count argument (int, string, or ``None`` for the env).
+
+    ``0`` means in-process execution (no pool); ``None`` falls back to the
+    ``REPRO_WORKERS`` environment variable, else ``0``.
+    """
+    source = ""
+    if workers is None:
+        raw = env_text(WORKERS_ENV_VAR)
+        if raw is None:
+            return 0
+        workers = raw
+        source = f" (from the {WORKERS_ENV_VAR} environment variable)"
+    try:
+        count = int(workers)
+    except (TypeError, ValueError):
+        raise ExperimentError(
+            f"worker count must be an integer, got {workers!r}{source}"
+        ) from None
+    if count < 0:
+        raise ExperimentError(f"worker count must be >= 0, got {count}{source}")
+    return count
+
+
+def resolve_merge_strategy(strategy: str | None = None) -> str:
+    """Coerce a merge-strategy argument (``None`` falls back to the env).
+
+    Mirrors :func:`resolve_workers`: an explicit value wins, ``None``
+    consults the ``REPRO_MERGE`` environment variable, and the default is
+    ``"sort-merge"``.
+    """
+    source = ""
+    if strategy is None:
+        raw = env_text(MERGE_ENV_VAR)
+        if raw is None:
+            return MERGE_STRATEGIES[0]
+        strategy = raw
+        source = f" (from the {MERGE_ENV_VAR} environment variable)"
+    strategy = str(strategy).strip().lower()
+    if strategy not in MERGE_STRATEGIES:
+        raise ExperimentError(
+            f"merge strategy must be one of {', '.join(MERGE_STRATEGIES)}; "
+            f"got {strategy!r}{source}"
+        )
+    return strategy
+
+
+def _resolve_switch(mode, variable: str, *, default: bool, what: str) -> bool:
+    """Shared on/off resolver: explicit bool > env words > ``default``."""
+    source = ""
+    if mode is None:
+        raw = env_text(variable)
+        if raw is None:
+            return default
+        mode = raw
+        source = f" (from the {variable} environment variable)"
+    if isinstance(mode, bool):
+        return mode
+    word = str(mode).strip().lower()
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
+        return False
+    raise ExperimentError(
+        f"{what} must be one of {sorted(_TRUE_WORDS | _FALSE_WORDS)}; "
+        f"got {mode!r}{source}"
+    )
+
+
+def resolve_frame_mode(mode: bool | str | None = None) -> bool:
+    """Coerce a frame-mode argument (``None`` falls back to the env).
+
+    An explicit boolean wins; ``None`` consults the ``REPRO_FRAME``
+    environment variable (``1/true/on/yes`` or ``0/false/off/no``); unset,
+    the columnar path is on exactly when NumPy is importable (forcing it on
+    without NumPy uses the tuple-backed fallback columns).
+    """
+    return _resolve_switch(
+        mode, FRAME_ENV_VAR, default=_numpy_available(), what="frame mode"
+    )
+
+
+def resolve_mmap_mode(mode: bool | str | None = None) -> bool:
+    """Coerce the store mmap/load switch (``None`` falls back to the env).
+
+    ``True`` memory-maps a packed store's arrays zero-copy (requires NumPy);
+    ``False`` loads them into process memory.  Default: mmap exactly when
+    NumPy is importable — the tuple backend always loads.
+    """
+    return _resolve_switch(
+        mode, MMAP_ENV_VAR, default=_numpy_available(), what="store mmap mode"
+    )
+
+
+def env_kernel_name() -> str | None:
+    """The ``REPRO_KERNEL`` override, or ``None`` (kernel registry hook)."""
+    return env_text(KERNEL_ENV_VAR)
+
+
+def env_index_name() -> str | None:
+    """The ``REPRO_INDEX`` override, or ``None`` (index registry hook)."""
+    return env_text(INDEX_ENV_VAR)
+
+
+def env_store_path() -> str | None:
+    """The ``REPRO_STORE`` default store path, or ``None``."""
+    return env_text(STORE_ENV_VAR)
+
+
+def env_bench_profile(variable: str = BENCH_PROFILE_ENV_VAR) -> str | None:
+    """The requested benchmark profile name, or ``None`` when unset."""
+    return env_text(variable)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """One fully resolved choice of every runtime knob.
+
+    Built with :meth:`resolve`, which applies the library-wide precedence
+    (explicit argument > env var > default) to each field in one shot.
+    ``kernel`` and ``index`` stay as *requested names* (``None`` = process
+    default) because their availability checks live in the kernel/index
+    registries; everything else is resolved to its final value.
+    """
+
+    kernel: str | None = None
+    index: str | None = None
+    frame: bool = True
+    workers: int = 0
+    shards: int | None = None
+    partitioner: str = "round-robin"
+    merge: str = "sort-merge"
+    prefilter: bool = True
+    cache_size: int | None = None
+    max_entries: int = 32
+    store: str | None = None
+    mmap: bool = True
+
+    @classmethod
+    def resolve(
+        cls,
+        *,
+        kernel: str | None = None,
+        index: str | None = None,
+        frame: bool | str | None = None,
+        workers: int | str | None = None,
+        shards: int | None = None,
+        partitioner: str = "round-robin",
+        merge: str | None = None,
+        prefilter: bool = True,
+        cache_size: int | None = None,
+        max_entries: int = 32,
+        store: str | os.PathLike | None = None,
+        mmap: bool | str | None = None,
+    ) -> "RuntimeConfig":
+        """Resolve every knob: explicit arguments win, then ``REPRO_*`` vars,
+        then defaults.  Raises :class:`~repro.exceptions.ExperimentError` on
+        malformed values (naming the env var when it was the source)."""
+        if store is None:
+            store = env_store_path()
+        return cls(
+            kernel=kernel if kernel is not None else env_kernel_name(),
+            index=index if index is not None else env_index_name(),
+            frame=resolve_frame_mode(frame),
+            workers=resolve_workers(workers),
+            shards=shards,
+            partitioner=partitioner,
+            merge=resolve_merge_strategy(merge),
+            prefilter=prefilter,
+            cache_size=cache_size,
+            max_entries=max_entries,
+            store=None if store is None else os.fspath(store),
+            mmap=resolve_mmap_mode(mmap),
+        )
+
+    def with_overrides(self, **changes) -> "RuntimeConfig":
+        """A copy with the given fields replaced (facade keyword overrides)."""
+        return replace(self, **changes)
+
+    def engine_options(self) -> dict:
+        """Keyword arguments for :class:`~repro.engine.batch.BatchQueryEngine`."""
+        options: dict = {
+            "kernel": self.kernel,
+            "index": self.index,
+            "use_frame": self.frame,
+            "workers": self.workers,
+            "num_shards": self.shards,
+            "partitioner": self.partitioner,
+            "merge_strategy": self.merge,
+            "prefilter": self.prefilter,
+            "max_entries": self.max_entries,
+            "mmap": self.mmap,
+        }
+        if self.cache_size is not None:
+            options["cache_size"] = self.cache_size
+        return options

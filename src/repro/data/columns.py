@@ -28,24 +28,18 @@ representation the vectorized one must agree with).
 
 from __future__ import annotations
 
-import os
 from collections.abc import Hashable, Mapping, Sequence
 from typing import TYPE_CHECKING
 
+from repro.config import FRAME_ENV_VAR  # noqa: F401  (historical home)
+from repro.config import resolve_frame_mode as _resolve_frame_mode
 from repro.data.schema import Schema
-from repro.exceptions import DatasetError, ExperimentError
+from repro.exceptions import DatasetError
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.data.dataset import Dataset
 
 Value = Hashable
-
-#: Environment variable selecting the columnar frame path (mirrors
-#: ``REPRO_KERNEL`` / ``REPRO_WORKERS``).
-FRAME_ENV_VAR = "REPRO_FRAME"
-
-_TRUE_WORDS = frozenset({"1", "true", "on", "yes"})
-_FALSE_WORDS = frozenset({"0", "false", "off", "no"})
 
 
 def _numpy_or_none():
@@ -57,31 +51,12 @@ def _numpy_or_none():
 
 
 def resolve_frame_mode(mode: bool | str | None = None) -> bool:
-    """Coerce a frame-mode argument (``None`` falls back to the env).
+    """Deprecated shim: delegates to :func:`repro.config.resolve_frame_mode`.
 
-    An explicit boolean wins; ``None`` consults the ``REPRO_FRAME``
-    environment variable (``1/true/on/yes`` or ``0/false/off/no``); unset,
-    the columnar path is on exactly when NumPy is importable (forcing it on
-    without NumPy uses the tuple-backed fallback columns).
+    Kept so existing imports stay green; the resolver (and the
+    ``REPRO_FRAME`` read) now lives in :mod:`repro.config`.
     """
-    source = ""
-    if mode is None:
-        raw = os.environ.get(FRAME_ENV_VAR)
-        if raw is None or not raw.strip():
-            return _numpy_or_none() is not None
-        mode = raw
-        source = f" (from the {FRAME_ENV_VAR} environment variable)"
-    if isinstance(mode, bool):
-        return mode
-    word = str(mode).strip().lower()
-    if word in _TRUE_WORDS:
-        return True
-    if word in _FALSE_WORDS:
-        return False
-    raise ExperimentError(
-        f"frame mode must be one of {sorted(_TRUE_WORDS | _FALSE_WORDS)}; "
-        f"got {mode!r}{source}"
-    )
+    return _resolve_frame_mode(mode)
 
 
 def group_rows(matrix) -> tuple[object, list]:

@@ -33,10 +33,18 @@ def load_csv_dataset(
 
     The header must contain every schema attribute (extra columns are
     ignored).  Totally ordered columns are parsed as ``int`` when possible and
-    ``float`` otherwise; partially ordered columns are kept as strings and
-    validated against the attribute's domain unless ``validate=False``.
+    ``float`` otherwise; partially ordered cells are matched against the
+    attribute's domain — directly, or by string representation for domains of
+    non-string values (e.g. integer lattice levels), so a dataset round-trips
+    through :func:`save_csv_dataset` unchanged.  Unmatched PO cells are kept
+    verbatim and rejected by validation unless ``validate=False``.
     """
     path = Path(path)
+    by_text = {
+        attribute.name: {str(value): value for value in attribute.domain}
+        for attribute in schema.attributes
+        if attribute.is_partial
+    }
     with path.open(newline="", encoding="utf-8") as handle:
         reader = csv.DictReader(handle, delimiter=delimiter)
         if reader.fieldnames is None:
@@ -50,7 +58,7 @@ def load_csv_dataset(
             for attribute in schema.attributes:
                 cell = raw[attribute.name]
                 if attribute.is_partial:
-                    row.append(cell)
+                    row.append(by_text[attribute.name].get(cell, cell))
                 else:
                     row.append(_parse_number(cell, attribute.name, path, line_number))
             rows.append(tuple(row))

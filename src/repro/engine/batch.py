@@ -37,19 +37,22 @@ are kept consistent under a dedicated state lock.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from collections.abc import Hashable, Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.parallel.executor import ShardedQueryResult
+    from repro.store.reader import DatasetStore
 
 from repro.core.mapping import TSSMapping
 from repro.core.stss import stss_skyline
-from repro.data.columns import EncodedFrame, group_rows, resolve_frame_mode
+from repro.data.columns import EncodedFrame, resolve_frame_mode
 from repro.data.dataset import Dataset
+from repro.engine.prefilter import prefilter_survivors
 from repro.engine.encodings import (
     DagKey,
     EncodingCache,
@@ -63,8 +66,6 @@ from repro.order.dag import PartialOrderDAG
 from repro.order.encoding import DomainEncoding
 from repro.skyline.base import SkylineStats
 from repro.skyline.sfs import sfs_skyline
-
-Value = Hashable
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
@@ -137,7 +138,7 @@ class BatchQueryEngine:
 
     def __init__(
         self,
-        dataset: Dataset,
+        dataset: "Dataset | DatasetStore | str | os.PathLike",
         *,
         kernel=None,
         max_entries: int = 32,
@@ -149,9 +150,28 @@ class BatchQueryEngine:
         merge_strategy: str | None = None,
         use_frame: bool | None = None,
         index=None,
+        mmap: bool | None = None,
     ) -> None:
-        self.dataset = dataset
-        self.schema = dataset.schema
+        # A path or an open DatasetStore selects the persisted plane: the
+        # encoded frame, the prefilter survivors and (for base-preference
+        # queries) the mapping/tree come straight out of the packed file —
+        # nothing is re-encoded, re-filtered or re-bulk-loaded.
+        from repro.store.reader import DatasetStore
+
+        store: DatasetStore | None = None
+        if isinstance(dataset, (str, os.PathLike)):
+            store = DatasetStore.open(dataset, mmap=mmap)
+        elif isinstance(dataset, DatasetStore):
+            store = dataset
+        self._store = store
+        if store is not None:
+            dataset = None
+            self.schema = store.schema
+            self._num_rows = store.num_rows
+        else:
+            self.schema = dataset.schema
+            self._num_rows = len(dataset)
+        self._dataset = dataset
         self.kernel = resolve_kernel(kernel)
         # Spatial index backend for the per-query data R-trees (resolved once
         # so typos fail fast and sharded workers receive the same choice).
@@ -186,10 +206,22 @@ class BatchQueryEngine:
             "merge": 0.0,
         }
         # The columnar data plane: the dataset encoded once, sliced once more
-        # for the prefilter survivors; ``None`` keeps the record path.
+        # for the prefilter survivors; ``None`` keeps the record path.  With
+        # a store the frame is the packed one (mapped or loaded, never
+        # re-encoded); disabling the frame on a store instead materializes
+        # records from the same file (the pure-Python fallback).
         self._use_frame = resolve_frame_mode(use_frame)
         started = time.perf_counter()
-        self._frame = EncodedFrame.from_dataset(dataset) if self._use_frame else None
+        if store is not None:
+            if self._use_frame:
+                self._frame = store.frame()
+            else:
+                self._frame = None
+                self._dataset = dataset = store.dataset()
+        else:
+            self._frame = (
+                EncodedFrame.from_dataset(dataset) if self._use_frame else None
+            )
         self._phase_seconds["encode"] += time.perf_counter() - started
         # Mirrors the kernel registry: an explicit ``workers`` wins, ``None``
         # consults REPRO_WORKERS, and 0 means single-process evaluation.
@@ -201,15 +233,36 @@ class BatchQueryEngine:
         merge_strategy = resolve_merge_strategy(merge_strategy)
         sharded = resolved_workers >= 1 or (num_shards is not None and num_shards > 1)
         started = time.perf_counter()
-        self._candidate_ids = (
-            self._prefilter_survivors()
-            if prefilter
-            else [record.id for record in dataset.records]
+        if store is not None and self._frame is not None:
+            # The packed prefilter pass (validated at pack time against both
+            # backends); skipping it costs nothing since the survivor list
+            # is one mmap'd section.
+            self._candidate_ids = (
+                store.survivors() if prefilter else list(range(self._num_rows))
+            )
+        else:
+            self._candidate_ids = (
+                self._prefilter_survivors()
+                if prefilter
+                else list(range(self._num_rows))
+            )
+        # Base-preference queries may adopt the store's packed mapping/tree;
+        # their point record ids index the *packed* survivor order, which is
+        # this engine's reduced order only when the prefilter is on.
+        self._store_base_usable = (
+            store is not None
+            and self._frame is not None
+            and prefilter
+            and store.has_base_mapping
         )
+        self._base_artifacts = None
         # The reduced record view backs the record fallback and the sharded
         # partitioners; the pure frame path reads only the reduced frame, so
-        # the per-record subset is skipped entirely there.
-        if len(self._candidate_ids) == len(dataset):
+        # the per-record subset is skipped entirely there (store-backed
+        # engines never materialize it — sharding partitions the frame).
+        if store is not None and self._frame is not None:
+            self._reduced = None
+        elif len(self._candidate_ids) == self._num_rows:
             self._reduced = dataset
         elif self._frame is not None and not sharded:
             self._reduced = None
@@ -219,7 +272,8 @@ class BatchQueryEngine:
         started = time.perf_counter()
         self._reduced_frame = (
             self._frame
-            if self._frame is not None and len(self._candidate_ids) == len(dataset)
+            if self._frame is not None
+            and len(self._candidate_ids) == self._num_rows
             else (
                 self._frame.take(self._candidate_ids)
                 if self._frame is not None
@@ -232,6 +286,7 @@ class BatchQueryEngine:
             from repro.parallel.executor import ShardedExecutor
 
             started = time.perf_counter()
+            ship_store = store if self._reduced is None and store is not None else None
             self._executor = ShardedExecutor(
                 self._reduced,
                 workers=resolved_workers,
@@ -244,6 +299,8 @@ class BatchQueryEngine:
                 frame=self._reduced_frame,
                 use_frame=self._use_frame,
                 index=self.index,
+                store=ship_store,
+                store_rows=self._candidate_ids if ship_store is not None else None,
             )
             self._phase_seconds["build"] += time.perf_counter() - started
 
@@ -254,6 +311,18 @@ class BatchQueryEngine:
     def executor(self):
         """The sharded executor evaluating this engine's queries, if any."""
         return self._executor
+
+    @property
+    def dataset(self) -> Dataset:
+        """The engine's record view (store-backed engines materialize lazily)."""
+        if self._dataset is None and self._store is not None:
+            self._dataset = self._store.dataset()
+        return self._dataset
+
+    @property
+    def store(self):
+        """The backing :class:`~repro.store.reader.DatasetStore`, if any."""
+        return self._store
 
     def close(self) -> None:
         """Release the sharded executor's worker pool, if one is running."""
@@ -274,67 +343,49 @@ class BatchQueryEngine:
 
         Query-independent: within a group the PO attributes tie under every
         preference DAG, so a record strictly TO-dominated by a group sibling
-        is dominated under every query.  With the frame built, grouping and
-        the per-group Pareto rows are column operations; the record path
-        below is the reference the columnar one must match.
+        is dominated under every query.  Delegates to
+        :func:`repro.engine.prefilter.prefilter_survivors` — the very same
+        code the store writer runs at pack time, so packed survivor lists
+        can never drift from a fresh engine's.
         """
-        schema = self.schema
-        if not schema.num_total_order or not len(self.dataset):
-            return [record.id for record in self.dataset.records]
-        if self._frame is not None:
-            return self._prefilter_frame_survivors()
-        groups: dict[tuple[Value, ...], list[int]] = {}
-        for record in self.dataset.records:
-            groups.setdefault(schema.partial_values(record.values), []).append(record.id)
-        survivors: list[int] = []
-        for member_ids in groups.values():
-            if len(member_ids) == 1:
-                survivors.append(member_ids[0])
-                continue
-            rows = [
-                schema.canonical_to_values(self.dataset[record_id].values)
-                for record_id in member_ids
-            ]
-            mask = self.kernel.pareto_mask(rows)
-            survivors.extend(
-                record_id for record_id, keep in zip(member_ids, mask) if keep
-            )
-        survivors.sort()
-        return survivors
-
-    def _prefilter_frame_survivors(self) -> list[int]:
-        """Columnar prefilter: group rows by PO-code combination, then run
-        one :meth:`pareto_mask <repro.kernels.base.DominanceKernel.
-        pareto_mask>` per group over frame slices (no per-record encoding)."""
-        frame = self._frame
-        survivors: list[int] = []
-        if frame.uses_numpy:
-            _, code_groups = group_rows(frame.codes)
-            for member_rows in code_groups:
-                if len(member_rows) == 1:
-                    survivors.append(int(member_rows[0]))
-                    continue
-                mask = self.kernel.pareto_mask(frame.to[member_rows])
-                survivors.extend(
-                    int(row) for row, keep in zip(member_rows, mask) if keep
-                )
-        else:
-            groups: dict[tuple, list[int]] = {}
-            for row, code_row in enumerate(frame.codes):
-                groups.setdefault(tuple(code_row), []).append(row)
-            for member_rows in groups.values():
-                if len(member_rows) == 1:
-                    survivors.append(member_rows[0])
-                    continue
-                mask = self.kernel.pareto_mask([frame.to[row] for row in member_rows])
-                survivors.extend(row for row, keep in zip(member_rows, mask) if keep)
-        survivors.sort()
-        return survivors
+        return prefilter_survivors(
+            self.schema, self._dataset, self._frame, self.kernel
+        )
 
     @property
     def candidate_count(self) -> int:
         """Records that can appear in some query's skyline (after prefilter)."""
         return len(self._candidate_ids)
+
+    def _stored_base_artifacts(self, query: BatchQuery, key: TopologyKey):
+        """The store's packed base mapping (+ tree, when compatible), cached.
+
+        The packed flat tree is adopted only when this engine actually
+        queries through the flat backend with the packed fanout; otherwise
+        the tree is rebuilt over the packed mapping's points (still no
+        re-mapping).  Guarded by :attr:`_store_base_usable` — the packed
+        record ids index the packed survivor order.
+        """
+        with self._state_lock:
+            cached = self._base_artifacts
+        if cached is not None:
+            return cached
+        store = self._store
+        mapping = store.base_mapping(encodings=self._encodings_for(query, key))
+        if (
+            self.index == "flat"
+            and store.has_base_index
+            and self.max_entries == store.base_max_entries
+        ):
+            tree = store.base_tree()
+        else:
+            tree = mapping.build_rtree(
+                max_entries=self.max_entries, index=self.index
+            )
+        with self._state_lock:
+            if self._base_artifacts is None:
+                self._base_artifacts = (mapping, tree)
+            return self._base_artifacts
 
     # ------------------------------------------------------------------ #
     # Query execution
@@ -416,7 +467,13 @@ class BatchQueryEngine:
                     )
                 if self.schema.num_partial_order:
                     phase_started = time.perf_counter()
-                    if self._reduced_frame is not None:
+                    tree = None
+                    if not query.dag_overrides and self._store_base_usable:
+                        # Base-preference query over a store: adopt the packed
+                        # mapping (and tree, when compatible) instead of
+                        # re-mapping / re-bulk-loading.
+                        mapping, tree = self._stored_base_artifacts(query, key)
+                    elif self._reduced_frame is not None:
                         # Columnar path: map the shared frame directly under
                         # the effective schema — no per-record re-walk.
                         schema = (
@@ -443,9 +500,10 @@ class BatchQueryEngine:
                         )
                     index_started = time.perf_counter()
                     build_seconds = index_started - phase_started
-                    tree = mapping.build_rtree(
-                        max_entries=self.max_entries, index=self.index
-                    )
+                    if tree is None:
+                        tree = mapping.build_rtree(
+                            max_entries=self.max_entries, index=self.index
+                        )
                     query_started = time.perf_counter()
                     index_build_seconds = query_started - index_started
                     result = stss_skyline(
@@ -501,9 +559,18 @@ class BatchQueryEngine:
             cache_hits = self.cache_hits
             phase_seconds = dict(self._phase_seconds)
         summary: dict[str, object] = {
-            "dataset_size": len(self.dataset),
+            "dataset_size": self._num_rows,
             "candidates_after_prefilter": self.candidate_count,
             "frame": self._frame is not None,
+            "store": (
+                {
+                    "path": self._store.path,
+                    "format_version": self._store.format_version,
+                    "mmap": self._store.uses_mmap,
+                }
+                if self._store is not None
+                else None
+            ),
             "phase_seconds": phase_seconds,
             "queries_evaluated": queries_evaluated,
             "cache_hits": cache_hits,

@@ -46,3 +46,12 @@ class ExperimentError(ReproError):
 
 class ServiceError(ReproError):
     """A query-service request failed (connection, protocol or server side)."""
+
+
+class StoreError(ReproError):
+    """A persisted dataset store is unreadable, corrupt or incompatible.
+
+    Messages name the offending file and, for format mismatches, the format
+    version this build expects — the store analogue of the env-var resolver
+    errors (REPRO_WORKERS/REPRO_MERGE) that name their source.
+    """

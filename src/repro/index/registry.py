@@ -20,8 +20,8 @@ STR and traversed without per-entry Python objects; it requires NumPy.
 
 from __future__ import annotations
 
-import os
-
+from repro.config import INDEX_ENV_VAR  # noqa: F401  (historical home)
+from repro.config import env_index_name
 from repro.exceptions import ExperimentError
 
 __all__ = [
@@ -30,9 +30,6 @@ __all__ = [
     "resolve_index",
     "set_default_index",
 ]
-
-#: Environment variable consulted when no explicit backend is requested.
-INDEX_ENV_VAR = "REPRO_INDEX"
 
 _ALIASES = {
     "pointer": "pointer",
@@ -80,7 +77,7 @@ def resolve_index(name: str | None = None) -> str:
         if _default_override is not None:
             name = _default_override
         else:
-            name = os.environ.get(INDEX_ENV_VAR) or (
+            name = env_index_name() or (
                 "flat" if _numpy_available() else "pointer"
             )
     canonical = _canonical(name)

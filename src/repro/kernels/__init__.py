@@ -20,8 +20,8 @@ and defines the semantics the vectorized backend must reproduce.
 
 from __future__ import annotations
 
-import os
-
+from repro.config import KERNEL_ENV_VAR  # noqa: F401  (historical home)
+from repro.config import env_kernel_name
 from repro.exceptions import ExperimentError
 from repro.kernels.base import (
     DominanceKernel,
@@ -46,9 +46,6 @@ __all__ = [
     "resolve_kernel",
     "set_default_kernel",
 ]
-
-#: Environment variable consulted when no explicit backend is requested.
-KERNEL_ENV_VAR = "REPRO_KERNEL"
 
 _ALIASES = {
     "purepython": "purepython",
@@ -108,7 +105,7 @@ def get_kernel(name: str | None = None) -> DominanceKernel:
         if _default_override is not None:
             name = _default_override
         else:
-            name = os.environ.get(KERNEL_ENV_VAR) or (
+            name = env_kernel_name() or (
                 "numpy" if _numpy_available() else "purepython"
             )
     canonical = _canonical(name)

@@ -50,12 +50,14 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
-import os
 import threading
 import time
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
+from repro.config import MERGE_ENV_VAR, MERGE_STRATEGIES, WORKERS_ENV_VAR  # noqa: F401
+from repro.config import resolve_merge_strategy as _resolve_merge_strategy
+from repro.config import resolve_workers as _resolve_workers
 from repro.core.stss import stss_skyline
 from repro.data.columns import EncodedFrame, resolve_frame_mode
 from repro.data.dataset import Dataset
@@ -72,74 +74,47 @@ from repro.index.registry import resolve_index
 from repro.kernels import resolve_kernel
 from repro.kernels.tables import RecordTables
 from repro.order.dag import PartialOrderDAG
-from repro.parallel.partition import Shard, resolve_partitioner
+from repro.parallel.partition import Shard, partition_frame, resolve_partitioner
 from repro.skyline.dominance import RecordEncoder
 from repro.skyline.sfs import depth_columns, monotone_sort_key, sfs_skyline
 
-#: Environment variable consulted when no explicit worker count is given
-#: (mirrors ``REPRO_KERNEL`` for the kernel backend).
-WORKERS_ENV_VAR = "REPRO_WORKERS"
-
-#: Environment variable selecting the cross-shard merge strategy.
-MERGE_ENV_VAR = "REPRO_MERGE"
-
-#: The recognized cross-shard merge strategies.
-MERGE_STRATEGIES = ("sort-merge", "all-pairs")
-
+#: Historical homes of the env-var names and strategy list (now in
+#: :mod:`repro.config`; re-exported so old imports stay green).
 #: Stream records resolved per batched window test of the sort-merge.
 MERGE_CHUNK = 256
 
 
 def resolve_workers(workers: int | str | None = None) -> int:
-    """Coerce a worker-count argument (int, string, or ``None`` for the env).
-
-    ``0`` means in-process execution (no pool); ``None`` falls back to the
-    ``REPRO_WORKERS`` environment variable, else ``0``.
-    """
-    source = ""
-    if workers is None:
-        raw = os.environ.get(WORKERS_ENV_VAR)
-        if raw is None or not raw.strip():
-            return 0
-        workers = raw
-        source = f" (from the {WORKERS_ENV_VAR} environment variable)"
-    try:
-        count = int(workers)
-    except (TypeError, ValueError):
-        raise ExperimentError(
-            f"worker count must be an integer, got {workers!r}{source}"
-        ) from None
-    if count < 0:
-        raise ExperimentError(f"worker count must be >= 0, got {count}{source}")
-    return count
+    """Deprecated shim: delegates to :func:`repro.config.resolve_workers`."""
+    return _resolve_workers(workers)
 
 
 def resolve_merge_strategy(strategy: str | None = None) -> str:
-    """Coerce a merge-strategy argument (``None`` falls back to the env).
-
-    Mirrors :func:`resolve_workers`: an explicit value wins, ``None``
-    consults the ``REPRO_MERGE`` environment variable, and the default is
-    ``"sort-merge"``.
-    """
-    source = ""
-    if strategy is None:
-        raw = os.environ.get(MERGE_ENV_VAR)
-        if raw is None or not raw.strip():
-            return MERGE_STRATEGIES[0]
-        strategy = raw
-        source = f" (from the {MERGE_ENV_VAR} environment variable)"
-    strategy = str(strategy).strip().lower()
-    if strategy not in MERGE_STRATEGIES:
-        raise ExperimentError(
-            f"merge strategy must be one of {', '.join(MERGE_STRATEGIES)}; "
-            f"got {strategy!r}{source}"
-        )
-    return strategy
+    """Deprecated shim: delegates to
+    :func:`repro.config.resolve_merge_strategy`."""
+    return _resolve_merge_strategy(strategy)
 
 
 # ---------------------------------------------------------------------- #
 # Worker-side machinery
 # ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _StoreShardSpec:
+    """What ships to a pool worker for one store-backed shard.
+
+    Instead of pickling an :class:`~repro.data.columns.EncodedFrame` slice,
+    the worker receives the store *path* plus the shard's global row
+    positions, reopens the file itself (checksums already verified by the
+    parent) and cuts its slice from the mapped frame — so every worker
+    shares the parent's bytes through the OS page cache rather than holding
+    a private pickled copy.
+    """
+
+    path: str
+    mmap: bool
+    rows: tuple[int, ...]
+
+
 class _WorkerState:
     """Process-local state of one pool worker (or of the inline executor).
 
@@ -162,6 +137,22 @@ class _WorkerState:
         index_name: str | None = None,
     ) -> None:
         self.schema = schema
+        if any(isinstance(data, _StoreShardSpec) for data in shard_data.values()):
+            from repro.store.reader import DatasetStore
+
+            stores: dict[str, DatasetStore] = {}
+            resolved: dict[int, "Dataset | EncodedFrame"] = {}
+            for index, data in shard_data.items():
+                if isinstance(data, _StoreShardSpec):
+                    store = stores.get(data.path)
+                    if store is None:
+                        store = stores[data.path] = DatasetStore.open(
+                            data.path, mmap=data.mmap, verify=False
+                        )
+                    resolved[index] = store.frame().take(list(data.rows))
+                else:
+                    resolved[index] = data
+            shard_data = resolved
         self.shard_data = shard_data
         self.kernel = resolve_kernel(kernel_name)
         self.max_entries = max_entries
@@ -346,11 +337,19 @@ class ShardedExecutor:
         failing the query with :class:`~repro.exceptions.QueryError` —
         without it a crashed worker (e.g. OOM-killed) would wedge the query,
         and any service serializing on it, forever.  ``None`` disables.
+    store / store_rows:
+        A :class:`~repro.store.reader.DatasetStore` backing ``frame`` plus
+        the store-global row position of each frame row.  When set, pool
+        workers receive only ``(path, rows)`` specs, reopen the packed file
+        themselves and slice their shards from the mapped frame — sharing
+        the parent's bytes through the OS page cache instead of holding
+        pickled copies.  ``dataset`` may then be ``None``; shards are cut
+        from the frame directly (named strategies only).
     """
 
     def __init__(
         self,
-        dataset: Dataset,
+        dataset: Dataset | None = None,
         *,
         num_shards: int | None = None,
         workers: int | str | None = None,
@@ -363,16 +362,23 @@ class ShardedExecutor:
         frame: EncodedFrame | None = None,
         use_frame: bool | None = None,
         index=None,
+        store=None,
+        store_rows=None,
     ) -> None:
+        if dataset is None and frame is None:
+            raise QueryError(
+                "a dataset-free executor needs an encoded frame (pass the "
+                "store's frame, or a dataset)"
+            )
+        if store is not None and frame is None:
+            raise QueryError("store-backed executors require the frame path")
         self.dataset = dataset
-        self.schema = dataset.schema
+        self.schema = dataset.schema if dataset is not None else frame.schema
         self.index = resolve_index(index)
         self.workers = resolve_workers(workers)
         self.num_shards = max(1, self.workers) if num_shards is None else num_shards
         if self.num_shards < 1:
             raise QueryError(f"num_shards must be >= 1, got {self.num_shards}")
-        self.partitioner_name, partition = resolve_partitioner(partitioner)
-        self.shards: list[Shard] = partition(dataset, self.num_shards)
         self.kernel = resolve_kernel(kernel)
         self.max_entries = max_entries
         self.merge_strategy = resolve_merge_strategy(merge_strategy)
@@ -380,14 +386,38 @@ class ShardedExecutor:
         self.task_timeout = task_timeout
         # The columnar data plane: one encoded frame over the whole dataset,
         # sliced per shard — what travels to workers and feeds the merges.
-        if frame is not None and len(frame) != len(dataset):
-            raise QueryError(
-                f"encoded frame has {len(frame)} rows but the dataset has "
-                f"{len(dataset)}"
-            )
-        if frame is None and resolve_frame_mode(use_frame):
-            frame = EncodedFrame.from_dataset(dataset)
+        if dataset is not None:
+            if frame is not None and len(frame) != len(dataset):
+                raise QueryError(
+                    f"encoded frame has {len(frame)} rows but the dataset has "
+                    f"{len(dataset)}"
+                )
+            if frame is None and resolve_frame_mode(use_frame):
+                frame = EncodedFrame.from_dataset(dataset)
         self._frame = frame
+        self._size = len(dataset) if dataset is not None else len(frame)
+        # Store shipping: workers reopen the packed file (sharing the OS page
+        # cache) and slice their shards by these store-global row positions
+        # instead of receiving pickled frame slices.
+        self._store = store
+        if store is not None:
+            store_rows = (
+                list(range(len(frame))) if store_rows is None else list(store_rows)
+            )
+            if len(store_rows) != len(frame):
+                raise QueryError(
+                    f"store_rows maps {len(store_rows)} rows but the frame "
+                    f"has {len(frame)}"
+                )
+        self._store_rows = store_rows
+        if dataset is not None:
+            self.partitioner_name, partition = resolve_partitioner(partitioner)
+            self.shards: list[Shard] = partition(dataset, self.num_shards)
+        else:
+            self.shards = partition_frame(frame, self.num_shards, partitioner)
+            self.partitioner_name = (
+                partitioner if isinstance(partitioner, str) else "custom"
+            )
         self._shard_frames: tuple[EncodedFrame, ...] | None = (
             tuple(frame.take(shard.record_ids) for shard in self.shards)
             if frame is not None
@@ -410,18 +440,34 @@ class ShardedExecutor:
         """The worker owning a shard (fixed round-robin assignment)."""
         return shard_index % self.workers
 
-    def _shard_payload(self, shard_index: int) -> "Dataset | EncodedFrame":
-        """What ships to workers for one shard: column blocks, or records
-        only when the frame path is disabled."""
+    def _shard_payload(
+        self, shard_index: int, *, ship_store: bool = False
+    ) -> "Dataset | EncodedFrame | _StoreShardSpec":
+        """What ships to workers for one shard: a store spec (path + rows)
+        when the executor is store-backed and the payload crosses a process
+        boundary, column blocks otherwise, records only when the frame path
+        is disabled."""
+        if ship_store and self._store is not None:
+            shard = self.shards[shard_index]
+            return _StoreShardSpec(
+                path=self._store.path,
+                mmap=self._store.uses_mmap,
+                rows=tuple(
+                    self._store_rows[position] for position in shard.record_ids
+                ),
+            )
         if self._shard_frames is not None:
             return self._shard_frames[shard_index]
         return self.shards[shard_index].dataset
 
-    def _worker_initargs(self, shard_indices) -> tuple:
+    def _worker_initargs(self, shard_indices, *, ship_store: bool = False) -> tuple:
         """The pool-initializer payload holding the given shards."""
         return (
             self.schema,
-            {index: self._shard_payload(index) for index in shard_indices},
+            {
+                index: self._shard_payload(index, ship_store=ship_store)
+                for index in shard_indices
+            },
             self.kernel.name,
             self.max_entries,
             self.encoding_cache_size,
@@ -459,7 +505,7 @@ class ShardedExecutor:
                         context.Pool(
                             processes=1,
                             initializer=_init_worker,
-                            initargs=self._worker_initargs(owned),
+                            initargs=self._worker_initargs(owned, ship_store=True),
                         )
                     )
                 self._pools = pools
@@ -863,7 +909,8 @@ class ShardedExecutor:
     # ------------------------------------------------------------------ #
     def summary(self) -> dict[str, object]:
         return {
-            "dataset_size": len(self.dataset),
+            "dataset_size": self._size,
+            "store": self._store.path if self._store is not None else None,
             "num_shards": self.num_shards,
             "shard_sizes": [len(shard) for shard in self.shards],
             "workers": self.workers,

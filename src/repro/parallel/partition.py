@@ -14,6 +14,12 @@ any partition works — but the strategy shapes the constants:
   under every preference DAG, so their mutual dominance is decided by the TO
   attributes alone; co-locating them lets the per-shard skyline pass resolve
   those fights locally instead of deferring them to the merge phase.
+
+Both strategies also run directly over an :class:`~repro.data.columns.
+EncodedFrame` (see :func:`partition_frame`): a frame row's position plays the
+record id, and the PO-code rows are bijective with the PO value combinations,
+so the frame path yields the identical shard assignment — which is what lets
+a store-backed executor partition without ever materializing records.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from collections.abc import Callable, Hashable
 from dataclasses import dataclass, field
 from functools import cached_property
 
+from repro.data.columns import EncodedFrame
 from repro.data.dataset import Dataset
 from repro.exceptions import QueryError
 
@@ -39,12 +46,14 @@ class Shard:
     id ``i`` (subsets re-assign ids positionally), so local skyline ids map
     back to parent ids by indexing.  The record view is materialized lazily:
     the columnar executor ships :class:`~repro.data.columns.EncodedFrame`
-    slices instead and never pays for per-shard ``Record`` copies.
+    slices instead and never pays for per-shard ``Record`` copies.  Shards cut
+    from a frame (store-backed executors) carry no parent dataset at all;
+    touching :attr:`dataset` on one raises a clean error.
     """
 
     shard_id: int
     record_ids: tuple[int, ...]
-    parent: Dataset = field(repr=False)
+    parent: Dataset | None = field(repr=False, default=None)
 
     def __len__(self) -> int:
         return len(self.record_ids)
@@ -52,6 +61,11 @@ class Shard:
     @cached_property
     def dataset(self) -> Dataset:
         """The shard as a record Dataset (built on first access, then cached)."""
+        if self.parent is None:
+            raise QueryError(
+                f"shard {self.shard_id} was cut from an encoded frame and has "
+                f"no parent dataset to materialize records from"
+            )
         return self.parent.subset(self.record_ids)
 
 
@@ -60,7 +74,9 @@ def _check_num_shards(num_shards: int) -> None:
         raise QueryError(f"num_shards must be >= 1, got {num_shards}")
 
 
-def _build_shards(dataset: Dataset, assignments: list[list[int]]) -> list[Shard]:
+def _build_shards(
+    dataset: Dataset | None, assignments: list[list[int]]
+) -> list[Shard]:
     return [
         Shard(
             shard_id=shard_id,
@@ -104,6 +120,64 @@ def po_group_partition(dataset: Dataset, num_shards: int) -> list[Shard]:
     for ids in assignments:
         ids.sort()
     return _build_shards(dataset, assignments)
+
+
+# --------------------------------------------------------------------- #
+# Frame-based partitioning (dataset-free, used by store-backed executors)
+# --------------------------------------------------------------------- #
+def _round_robin_rows(length: int, num_shards: int) -> list[list[int]]:
+    assignments: list[list[int]] = [[] for _ in range(num_shards)]
+    for row in range(length):
+        assignments[row % num_shards].append(row)
+    return assignments
+
+
+def _po_group_rows(frame: EncodedFrame, num_shards: int) -> list[list[int]]:
+    if not frame.schema.num_partial_order:
+        return _round_robin_rows(len(frame), num_shards)
+    groups: dict[tuple, list[int]] = {}
+    if frame.uses_numpy:
+        for row in range(len(frame)):
+            groups.setdefault(tuple(frame.codes[row].tolist()), []).append(row)
+    else:
+        for row, code_row in enumerate(frame.codes):
+            groups.setdefault(tuple(code_row), []).append(row)
+    assignments: list[list[int]] = [[] for _ in range(num_shards)]
+    for member_ids in sorted(groups.values(), key=lambda ids: (-len(ids), ids[0])):
+        smallest = min(range(num_shards), key=lambda i: len(assignments[i]))
+        assignments[smallest].extend(member_ids)
+    for ids in assignments:
+        ids.sort()
+    return assignments
+
+
+def partition_frame(
+    frame: EncodedFrame, num_shards: int, strategy: str = "round-robin"
+) -> list[Shard]:
+    """Cut an encoded frame into shards without a record dataset.
+
+    Row positions stand in for record ids.  ``po-group`` groups by PO-code
+    rows — bijective with the PO value combinations and iterated in the same
+    row order, so the shard assignment is identical to the record path's for
+    a frame encoded from that dataset.  Custom partitioner callables need
+    records and are rejected here.
+    """
+    _check_num_shards(num_shards)
+    if callable(strategy):
+        raise QueryError(
+            "custom partitioner callables need a record dataset; "
+            "frame/store-backed executors support the named strategies "
+            f"{sorted(PARTITIONERS)} only"
+        )
+    if strategy == "round-robin":
+        assignments = _round_robin_rows(len(frame), num_shards)
+    elif strategy == "po-group":
+        assignments = _po_group_rows(frame, num_shards)
+    else:
+        raise QueryError(
+            f"unknown partitioner {strategy!r}; known: {sorted(PARTITIONERS)}"
+        )
+    return _build_shards(None, assignments)
 
 
 PARTITIONERS: dict[str, Partitioner] = {

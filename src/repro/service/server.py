@@ -43,7 +43,7 @@ class QueryService:
 
     def __init__(
         self,
-        dataset: Dataset,
+        dataset: "Dataset | BatchQueryEngine | object",
         *,
         kernel=None,
         workers: int | str | None = None,
@@ -54,25 +54,36 @@ class QueryService:
         max_entries: int = 32,
         prefilter: bool = True,
         use_frame: bool | None = None,
+        index=None,
+        mmap: bool | None = None,
     ) -> None:
-        self.engine = BatchQueryEngine(
-            dataset,
-            kernel=kernel,
-            workers=workers,
-            num_shards=num_shards,
-            partitioner=partitioner,
-            merge_strategy=merge_strategy,
-            cache_size=cache_size,
-            max_entries=max_entries,
-            prefilter=prefilter,
-            use_frame=use_frame,
-        )
+        # The first argument is anything the engine can open: a Dataset, a
+        # DatasetStore, a packed-store path — or a ready-made engine (the
+        # ``repro.api`` facade hands one over), whose construction options
+        # then win over this constructor's.
+        if isinstance(dataset, BatchQueryEngine):
+            self.engine = dataset
+        else:
+            self.engine = BatchQueryEngine(
+                dataset,
+                kernel=kernel,
+                workers=workers,
+                num_shards=num_shards,
+                partitioner=partitioner,
+                merge_strategy=merge_strategy,
+                cache_size=cache_size,
+                max_entries=max_entries,
+                prefilter=prefilter,
+                use_frame=use_frame,
+                index=index,
+                mmap=mmap,
+            )
         # Start the worker pool (if any) now, while the process is still
         # single-threaded — the event loop and executor threads come later,
         # and forking after they exist is unsafe (see ShardedExecutor.start).
         if self.engine.executor is not None:
             self.engine.executor.start()
-        self.schema = dataset.schema
+        self.schema = self.engine.schema
         self.started_at = time.time()
         self.connections_served = 0
         self.requests_served = 0

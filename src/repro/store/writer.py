@@ -1,0 +1,257 @@
+"""Pack an encoded dataset into a single mmap-able store file.
+
+Packing performs, once, exactly the work a fresh process would otherwise
+repeat on every start: encode the dataset into an
+:class:`~repro.data.columns.EncodedFrame`, run the query-independent
+per-PO-group TO-Pareto prefilter, map the survivors into the TSS space under
+the schema's *base* preferences, and bulk-load the flat data R-tree over the
+mapped points.  All of it is written as page-aligned little-endian array
+sections (see :mod:`repro.store.format`) so loaders reconstruct the same
+objects as zero-copy ``np.memmap`` views — or, without NumPy, by reading the
+very same bytes into tuple-backed columns.
+
+The writer works under both backends: the frame and the mapped-point arrays
+are backend-agnostic (the columnar and record paths are pinned to agree
+bitwise), while the flat-tree sections are written only when NumPy is
+available — a store packed without NumPy simply omits them and loaders
+rebuild the tree from the mapped points.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+from repro.data.columns import EncodedFrame
+from repro.data.dataset import Dataset
+from repro.engine.prefilter import prefilter_survivors
+from repro.exceptions import StoreError
+from repro.kernels import resolve_kernel
+from repro.order.encoding import encode_domain
+from repro.store.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    PAGE_SIZE,
+    align,
+    encode_schema,
+)
+
+
+def _numpy_or_none():
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+def _pack_floats(values) -> bytes:
+    flat = list(values)
+    return struct.pack(f"<{len(flat)}d", *flat)
+
+
+def _pack_ints(values, fmt: str) -> bytes:
+    flat = [int(v) for v in values]
+    return struct.pack(f"<{len(flat)}{fmt}", *flat)
+
+
+def _matrix_bytes(matrix, dtype: str) -> bytes:
+    """Raw little-endian bytes of a 2-D array or tuple-of-row-tuples."""
+    np = _numpy_or_none()
+    if np is not None and not isinstance(matrix, (tuple, list)):
+        return np.ascontiguousarray(matrix, dtype=np.dtype(dtype)).tobytes()
+    flat = [value for row in matrix for value in row]
+    if dtype == "<f8":
+        return _pack_floats(flat)
+    return _pack_ints(flat, {"<i4": "i", "<i8": "q"}[dtype])
+
+
+def _vector_bytes(vector, dtype: str) -> bytes:
+    np = _numpy_or_none()
+    if np is not None and not isinstance(vector, (tuple, list)):
+        return np.ascontiguousarray(vector, dtype=np.dtype(dtype)).tobytes()
+    if dtype == "<f8":
+        return _pack_floats(vector)
+    return _pack_ints(vector, {"<i4": "i", "<i8": "q"}[dtype])
+
+
+def pack_dataset(
+    dataset: Dataset,
+    path,
+    *,
+    kernel=None,
+    max_entries: int = 32,
+) -> dict:
+    """Encode, prefilter, map, bulk-load and write ``dataset`` to ``path``.
+
+    Returns a summary dict (path, section sizes, counts).  Raises
+    :class:`~repro.exceptions.StoreError` for schemas whose PO domains are
+    not JSON-serializable (e.g. frozenset lattices).
+    """
+    schema = dataset.schema
+    schema_spec = encode_schema(schema)
+    kernel = resolve_kernel(kernel)
+    if max_entries < 4:
+        raise StoreError(f"max_entries must be at least 4, got {max_entries}")
+
+    frame = EncodedFrame.from_dataset(dataset)
+    survivors = prefilter_survivors(schema, dataset, frame, kernel)
+    n = len(dataset)
+    reduced = frame if len(survivors) == n else frame.take(survivors)
+
+    sections: list[tuple[str, str, tuple[int, ...], bytes]] = [
+        (
+            "frame_to",
+            "<f8",
+            (n, schema.num_total_order),
+            _matrix_bytes(frame.to, "<f8"),
+        ),
+        (
+            "frame_codes",
+            "<i4",
+            (n, schema.num_partial_order),
+            _matrix_bytes(frame.codes, "<i4"),
+        ),
+        ("survivors", "<i8", (len(survivors),), _vector_bytes(survivors, "<i8")),
+    ]
+
+    base: dict = {
+        "max_entries": max_entries,
+        "has_mapping": False,
+        "has_index": False,
+    }
+    num_points = 0
+    if schema.num_partial_order:
+        from repro.core.mapping import TSSMapping
+
+        encodings = [
+            encode_domain(attribute.dag)
+            for attribute in schema.partial_order_attributes
+        ]
+        mapping = TSSMapping(None, encodings, schema=schema, frame=reduced)
+        offsets = [0]
+        rows: list[int] = []
+        for point in mapping.points:
+            rows.extend(point.record_ids)
+            offsets.append(len(rows))
+        coords = (
+            mapping.mapped_matrix()
+            if reduced.uses_numpy
+            else tuple(point.coords for point in mapping.points)
+        )
+        dimensions = mapping.dimensions
+        num_points = len(mapping.points)
+        sections += [
+            (
+                "mapped_coords",
+                "<f8",
+                (len(mapping.points), dimensions),
+                _matrix_bytes(coords, "<f8"),
+            ),
+            ("point_offsets", "<i8", (len(offsets),), _vector_bytes(offsets, "<i8")),
+            ("point_rows", "<i8", (len(rows),), _vector_bytes(rows, "<i8")),
+        ]
+        base.update({"has_mapping": True, "dimensions": dimensions})
+        if reduced.uses_numpy:
+            from repro.index.flat import FlatRTree
+
+            tree = FlatRTree.bulk_load(
+                dimensions, mapping.mapped_matrix(), max_entries=max_entries
+            )
+            nodes = tree.node_count()
+            sections += [
+                ("tree_points", "<f8", (len(tree.points), dimensions), _matrix_bytes(tree.points, "<f8")),
+                ("tree_payloads", "<i8", (len(tree.payloads),), _vector_bytes(tree.payloads, "<i8")),
+                ("tree_node_low", "<f8", (nodes, dimensions), _matrix_bytes(tree.node_low, "<f8")),
+                ("tree_node_high", "<f8", (nodes, dimensions), _matrix_bytes(tree.node_high, "<f8")),
+                ("tree_child_start", "<i4", (nodes,), _vector_bytes(tree.child_start, "<i4")),
+                ("tree_child_end", "<i4", (nodes,), _vector_bytes(tree.child_end, "<i4")),
+                ("tree_entry_mindists", "<f8", (len(tree.entry_mindists),), _vector_bytes(tree.entry_mindists, "<f8")),
+                ("tree_node_mindists", "<f8", (nodes,), _vector_bytes(tree.node_mindists, "<f8")),
+            ]
+            base.update(
+                {
+                    "has_index": True,
+                    "num_leaves": tree.num_leaves,
+                    "height": tree.height,
+                    "num_nodes": nodes,
+                }
+            )
+
+    # Lay the sections out page-aligned after the header.  Header length is
+    # not known before the offsets are, so lay out twice: once with a
+    # worst-case header page count, then with the real one.
+    def layout(header_bytes_len: int) -> list[dict]:
+        placed = []
+        offset = align(len(MAGIC) + 8 + header_bytes_len)
+        for name, dtype, shape, payload in sections:
+            placed.append(
+                {
+                    "name": name,
+                    "dtype": dtype,
+                    "shape": list(shape),
+                    "offset": offset,
+                    "nbytes": len(payload),
+                    "crc32": zlib.crc32(payload) & 0xFFFFFFFF,
+                }
+            )
+            offset = align(offset + len(payload))
+        return placed
+
+    def header_json(placed: list[dict]) -> bytes:
+        header = {
+            "format_version": FORMAT_VERSION,
+            "schema": schema_spec,
+            "counts": {
+                "rows": n,
+                "survivors": len(survivors),
+                "points": num_points,
+            },
+            "base": base,
+            "sections": {
+                entry["name"]: {
+                    key: entry[key]
+                    for key in ("dtype", "shape", "offset", "nbytes", "crc32")
+                }
+                for entry in placed
+            },
+        }
+        return json.dumps(header, separators=(",", ":")).encode("utf-8")
+
+    placed = layout(0)
+    encoded = header_json(placed)
+    # Re-layout until the header size stabilizes (it grows only if the
+    # offsets' digit count pushes it across a page boundary — at most twice).
+    for _ in range(3):
+        relaid = layout(len(encoded))
+        re_encoded = header_json(relaid)
+        if len(re_encoded) == len(encoded) and relaid == placed:
+            placed, encoded = relaid, re_encoded
+            break
+        placed, encoded = relaid, re_encoded
+
+    out_path = str(path)
+    with open(out_path, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(struct.pack("<Q", len(encoded)))
+        handle.write(encoded)
+        position = len(MAGIC) + 8 + len(encoded)
+        for entry, (_, _, _, payload) in zip(placed, sections):
+            handle.write(b"\x00" * (entry["offset"] - position))
+            handle.write(payload)
+            position = entry["offset"] + len(payload)
+        # Pad the tail to a page boundary so the last mmap view is covered.
+        handle.write(b"\x00" * (align(position) - position))
+        total_bytes = align(position)
+
+    return {
+        "path": out_path,
+        "format_version": FORMAT_VERSION,
+        "bytes": total_bytes,
+        "page_size": PAGE_SIZE,
+        "rows": n,
+        "survivors": len(survivors),
+        "base": dict(base),
+        "sections": {entry["name"]: entry["nbytes"] for entry in placed},
+    }

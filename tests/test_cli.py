@@ -197,6 +197,53 @@ class TestBatchQueryCommand:
         assert "num_shards" in capsys.readouterr().err
 
 
+class TestPackAndStore:
+    def test_pack_requires_out(self):
+        from repro.cli import build_pack_parser
+
+        with pytest.raises(SystemExit):
+            build_pack_parser().parse_args([])
+
+    def test_pack_then_query_matches_workload_run(self, tmp_path, capsys):
+        store = tmp_path / "cli.rpro"
+        common = ["--cardinality", "300", "--seed", "9"]
+        assert main(["pack", *common, "--out", str(store)]) == 0
+        assert "packed 300 tuples" in capsys.readouterr().out
+        assert main(["batch-query", *common, "--queries", "2"]) == 0
+        direct = capsys.readouterr().out
+        # --seed keeps seeding the random queries; the workload knobs are
+        # superseded by the packed store.
+        assert main(
+            ["batch-query", "--store", str(store), "--seed", "9", "--queries", "2"]
+        ) == 0
+        via_store = capsys.readouterr().out
+        # Identical per-query skyline sizes, ingest path notwithstanding.
+        pick = lambda text: [line.split("|skyline|=")[1].split()[0]
+                             for line in text.splitlines() if "|skyline|" in line]
+        assert pick(via_store) == pick(direct)
+
+    def test_store_flag_parses(self):
+        args = build_batch_query_parser().parse_args(
+            ["--store", "x.rpro", "--mmap", "off"]
+        )
+        assert args.store == "x.rpro" and args.mmap == "off"
+
+    def test_missing_store_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "gone.rpro"
+        assert main(["batch-query", "--store", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and str(missing) in err
+        assert "format version 1" in err
+
+    def test_stale_store_names_path_and_version(self, tmp_path, capsys):
+        stale = tmp_path / "stale.rpro"
+        stale.write_bytes(b"not a store at all")
+        assert main(["batch-query", "--store", str(stale)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert str(stale) in err and "format version 1" in err
+
+
 class TestServeAndQueryParsers:
     def test_serve_parser_defaults(self):
         args = build_serve_parser().parse_args([])

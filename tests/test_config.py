@@ -1,0 +1,149 @@
+"""RuntimeConfig resolution: precedence, env errors and deprecation shims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    FRAME_ENV_VAR,
+    KERNEL_ENV_VAR,
+    MERGE_ENV_VAR,
+    MMAP_ENV_VAR,
+    STORE_ENV_VAR,
+    WORKERS_ENV_VAR,
+    RuntimeConfig,
+    env_text,
+    resolve_merge_strategy,
+    resolve_mmap_mode,
+    resolve_workers,
+)
+from repro.exceptions import ExperimentError
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    for variable in (
+        KERNEL_ENV_VAR,
+        FRAME_ENV_VAR,
+        WORKERS_ENV_VAR,
+        MERGE_ENV_VAR,
+        STORE_ENV_VAR,
+        MMAP_ENV_VAR,
+    ):
+        monkeypatch.delenv(variable, raising=False)
+
+
+class TestPrecedence:
+    def test_defaults(self):
+        config = RuntimeConfig.resolve()
+        assert config.kernel is None and config.index is None
+        assert config.workers == 0
+        assert config.merge == "sort-merge"
+        assert config.store is None
+        assert config.prefilter is True
+
+    def test_env_fills_unset_fields(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "purepython")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        monkeypatch.setenv(MERGE_ENV_VAR, "all-pairs")
+        monkeypatch.setenv(STORE_ENV_VAR, "/tmp/env.rpro")
+        monkeypatch.setenv(MMAP_ENV_VAR, "off")
+        config = RuntimeConfig.resolve()
+        assert config.kernel == "purepython"
+        assert config.workers == 3
+        assert config.merge == "all-pairs"
+        assert config.store == "/tmp/env.rpro"
+        assert config.mmap is False
+
+    def test_explicit_arguments_beat_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        monkeypatch.setenv(MERGE_ENV_VAR, "all-pairs")
+        monkeypatch.setenv(STORE_ENV_VAR, "/tmp/env.rpro")
+        config = RuntimeConfig.resolve(
+            workers=1, merge="sort-merge", store="/tmp/flag.rpro"
+        )
+        assert config.workers == 1
+        assert config.merge == "sort-merge"
+        assert config.store == "/tmp/flag.rpro"
+
+    def test_with_overrides_replaces_fields(self):
+        config = RuntimeConfig.resolve(workers=2)
+        changed = config.with_overrides(workers=5, store="/tmp/x.rpro")
+        assert changed.workers == 5 and changed.store == "/tmp/x.rpro"
+        assert config.workers == 2  # frozen original untouched
+
+    def test_engine_options_round_trip(self):
+        config = RuntimeConfig.resolve(
+            workers=2, shards=4, merge="all-pairs", prefilter=False, cache_size=7
+        )
+        options = config.engine_options()
+        assert options["workers"] == 2
+        assert options["num_shards"] == 4
+        assert options["merge_strategy"] == "all-pairs"
+        assert options["prefilter"] is False
+        assert options["cache_size"] == 7
+        assert "mmap" in options
+
+    def test_blank_env_values_are_ignored(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "   ")
+        assert env_text(WORKERS_ENV_VAR) is None
+        assert RuntimeConfig.resolve().workers == 0
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", ["lots", "-2", "1.5"])
+    def test_bad_workers_env_names_the_variable(self, monkeypatch, bad):
+        monkeypatch.setenv(WORKERS_ENV_VAR, bad)
+        with pytest.raises(ExperimentError, match=WORKERS_ENV_VAR):
+            resolve_workers()
+
+    def test_bad_merge_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(MERGE_ENV_VAR, "zipper")
+        with pytest.raises(ExperimentError, match=MERGE_ENV_VAR):
+            resolve_merge_strategy()
+
+    def test_bad_mmap_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(MMAP_ENV_VAR, "sideways")
+        with pytest.raises(ExperimentError, match=MMAP_ENV_VAR):
+            resolve_mmap_mode()
+
+    def test_explicit_bad_value_does_not_blame_env(self):
+        with pytest.raises(ExperimentError) as excinfo:
+            resolve_workers("many")
+        assert WORKERS_ENV_VAR not in str(excinfo.value)
+
+
+class TestDeprecationShims:
+    """The historical import paths keep working and agree with repro.config."""
+
+    def test_executor_shims(self, monkeypatch):
+        from repro.parallel import executor
+
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        assert executor.resolve_workers() == resolve_workers() == 4
+        assert executor.resolve_merge_strategy("all-pairs") == "all-pairs"
+        assert executor.WORKERS_ENV_VAR == WORKERS_ENV_VAR
+        assert executor.MERGE_ENV_VAR == MERGE_ENV_VAR
+
+    def test_columns_shim(self, monkeypatch):
+        from repro.config import resolve_frame_mode
+        from repro.data import columns
+
+        monkeypatch.setenv(FRAME_ENV_VAR, "off")
+        assert columns.resolve_frame_mode() is resolve_frame_mode() is False
+        assert columns.FRAME_ENV_VAR == FRAME_ENV_VAR
+
+    def test_env_reads_live_only_in_config(self):
+        """The library funnels every REPRO_* read through repro.config."""
+        import pathlib
+
+        import repro
+
+        package_root = pathlib.Path(repro.__file__).parent
+        offenders = [
+            path
+            for path in package_root.rglob("*.py")
+            if path.name != "config.py"
+            and 'os.environ' in path.read_text(encoding="utf-8")
+        ]
+        assert offenders == []
