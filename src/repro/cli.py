@@ -14,6 +14,9 @@ Subcommands
     (:mod:`repro.service`) over one synthetic workload or a packed store.
 ``query``
     Send one request (query / ping / stats / shutdown) to a running service.
+``mutate``
+    Send live mutations (insert / delete / compact) to a running service's
+    delta plane.
 ``pack``
     Pack one synthetic workload into a single mmap-able dataset store file
     for instant cold starts (``--store`` on batch-query/serve).
@@ -42,6 +45,12 @@ Pack the same workload once, then serve it with a zero-copy mmap cold start::
 
     python -m repro pack --cardinality 50000 --out catalog.rpro
     python -m repro serve --store catalog.rpro --workers 4
+
+Apply live updates to the served store through the delta plane::
+
+    python -m repro mutate --insert-json rows.json
+    python -m repro mutate --delete 17 42
+    python -m repro mutate --compact
 """
 
 from __future__ import annotations
@@ -152,6 +161,23 @@ def _add_sharding_options(parser: argparse.ArgumentParser) -> None:
         "them into process memory (default: REPRO_MMAP env var, else on "
         "when NumPy is available)",
     )
+    parser.add_argument(
+        "--crc",
+        choices=("eager", "lazy"),
+        default=None,
+        help="store checksum mode: verify every section at open (eager) or "
+        "each section on first touch (lazy; default: REPRO_CRC env var, "
+        "else eager)",
+    )
+    parser.add_argument(
+        "--compact-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fold the delta plane into a fresh base after N pending "
+        "mutations; 0 disables auto-compaction (default: "
+        "REPRO_COMPACT_THRESHOLD env var, else 8192)",
+    )
 
 
 def _add_workload_options(parser: argparse.ArgumentParser) -> None:
@@ -221,6 +247,8 @@ def _runtime_config(args) -> RuntimeConfig:
         cache_size=args.cache_size,
         store=args.store,
         mmap=args.mmap,
+        crc=args.crc,
+        compact_threshold=args.compact_threshold,
     )
 
 
@@ -523,6 +551,104 @@ def query_main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
+def build_mutate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tss-bench mutate",
+        description="Apply live mutations (insert / delete / compact) to a "
+        "running 'repro serve' instance's delta plane.",
+    )
+    parser.add_argument("--host", default=None, help="service address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None, help="service port (default 7409)")
+    parser.add_argument(
+        "--wait",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="wait up to this long for the service to become ready first",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-response socket timeout (raise it for big compactions)",
+    )
+    parser.add_argument("--json", default=None, help="write the raw response(s) to this file")
+    what = parser.add_mutually_exclusive_group(required=True)
+    what.add_argument(
+        "--insert-json",
+        default=None,
+        metavar="FILE",
+        help="insert the rows read from a JSON file: a list of attribute-value "
+        "lists in schema order ([[1.5, 2.0, \"a\"], ...])",
+    )
+    what.add_argument(
+        "--delete",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="ID",
+        help="tombstone these stable record ids",
+    )
+    what.add_argument(
+        "--compact",
+        action="store_true",
+        help="fold the delta plane into a fresh base now",
+    )
+    return parser
+
+
+def mutate_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``mutate`` subcommand."""
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT, ServiceClient, wait_for_service
+
+    args = build_mutate_parser().parse_args(argv)
+    host = args.host if args.host is not None else DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
+
+    rows = None
+    if args.insert_json is not None:
+        try:
+            with open(args.insert_json, encoding="utf-8") as handle:
+                rows = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read rows file: {error}", file=sys.stderr)
+            return 2
+
+    response: dict[str, object]
+    try:
+        if args.wait > 0:
+            wait_for_service(host, port, timeout=args.wait)
+        with ServiceClient(host, port, timeout=args.timeout) as client:
+            if rows is not None:
+                response = client.checked_request({"op": "insert", "rows": rows})
+                ids = response["ids"]
+                print(f"inserted {response['inserted']} rows -> ids {ids}")
+            elif args.delete is not None:
+                response = client.checked_request({"op": "delete", "ids": args.delete})
+                print(f"deleted {response['deleted']} of {len(args.delete)} ids")
+            else:
+                response = client.checked_request({"op": "compact"})
+                summary = response["compaction"]
+                if summary.get("compacted"):
+                    print(
+                        f"compacted {summary['folded_mutations']} mutations into "
+                        f"{summary['rows']} rows "
+                        f"(generation {summary.get('generation', '-')}, "
+                        f"{summary['seconds'] * 1000:.1f} ms)"
+                    )
+                else:
+                    print("nothing to compact")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(response, handle, indent=2)
+            handle.write("\n")
+    return 0
+
+
 def build_pack_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tss-bench pack",
@@ -599,6 +725,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return serve_main(arguments[1:])
     if arguments and arguments[0] == "query":
         return query_main(arguments[1:])
+    if arguments and arguments[0] == "mutate":
+        return mutate_main(arguments[1:])
     if arguments and arguments[0] == "pack":
         return pack_main(arguments[1:])
     if arguments and arguments[0] == "kernels":

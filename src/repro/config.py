@@ -31,6 +31,10 @@ from repro.exceptions import ExperimentError
 
 __all__ = [
     "BENCH_PROFILE_ENV_VAR",
+    "COMPACT_THRESHOLD_ENV_VAR",
+    "CRC_ENV_VAR",
+    "CRC_MODES",
+    "DEFAULT_COMPACT_THRESHOLD",
     "FRAME_ENV_VAR",
     "INDEX_ENV_VAR",
     "KERNEL_ENV_VAR",
@@ -41,6 +45,8 @@ __all__ = [
     "WORKERS_ENV_VAR",
     "RuntimeConfig",
     "env_text",
+    "resolve_compact_threshold",
+    "resolve_crc_mode",
     "resolve_frame_mode",
     "resolve_merge_strategy",
     "resolve_mmap_mode",
@@ -71,8 +77,21 @@ STORE_ENV_VAR = "REPRO_STORE"
 #: Environment variable selecting mmap vs. load for packed stores.
 MMAP_ENV_VAR = "REPRO_MMAP"
 
+#: Environment variable setting the delta-plane auto-compaction threshold.
+COMPACT_THRESHOLD_ENV_VAR = "REPRO_COMPACT_THRESHOLD"
+
+#: Environment variable selecting eager vs. lazy store checksum verification.
+CRC_ENV_VAR = "REPRO_CRC"
+
 #: The recognized cross-shard merge strategies.
 MERGE_STRATEGIES = ("sort-merge", "all-pairs")
+
+#: The recognized store checksum-verification modes.
+CRC_MODES = ("eager", "lazy")
+
+#: Pending mutations (inserts + tombstoned deletes) that trigger an automatic
+#: delta-plane compaction; ``0`` (or any value ``<= 0``) disables auto-compaction.
+DEFAULT_COMPACT_THRESHOLD = 8192
 
 _TRUE_WORDS = frozenset({"1", "true", "on", "yes"})
 _FALSE_WORDS = frozenset({"0", "false", "off", "no"})
@@ -192,6 +211,53 @@ def resolve_mmap_mode(mode: bool | str | None = None) -> bool:
     )
 
 
+def resolve_compact_threshold(threshold: int | str | None = None) -> int:
+    """Coerce the delta-plane auto-compaction threshold.
+
+    An explicit value wins; ``None`` consults the ``REPRO_COMPACT_THRESHOLD``
+    environment variable, else :data:`DEFAULT_COMPACT_THRESHOLD`.  Values
+    ``<= 0`` disable automatic compaction (explicit ``compact()`` still works)
+    and are normalized to ``0``.
+    """
+    source = ""
+    if threshold is None:
+        raw = env_text(COMPACT_THRESHOLD_ENV_VAR)
+        if raw is None:
+            return DEFAULT_COMPACT_THRESHOLD
+        threshold = raw
+        source = f" (from the {COMPACT_THRESHOLD_ENV_VAR} environment variable)"
+    try:
+        value = int(threshold)
+    except (TypeError, ValueError):
+        raise ExperimentError(
+            f"compaction threshold must be an integer, got {threshold!r}{source}"
+        ) from None
+    return max(0, value)
+
+
+def resolve_crc_mode(mode: str | None = None) -> str:
+    """Coerce the store checksum-verification mode.
+
+    ``"eager"`` verifies every section checksum at :meth:`DatasetStore.open`;
+    ``"lazy"`` defers each section's checksum to its first touch, pushing
+    replica cold start below the CRC pass.  ``None`` consults ``REPRO_CRC``,
+    else the default is ``"eager"``.
+    """
+    source = ""
+    if mode is None:
+        raw = env_text(CRC_ENV_VAR)
+        if raw is None:
+            return CRC_MODES[0]
+        mode = raw
+        source = f" (from the {CRC_ENV_VAR} environment variable)"
+    mode = str(mode).strip().lower()
+    if mode not in CRC_MODES:
+        raise ExperimentError(
+            f"crc mode must be one of {', '.join(CRC_MODES)}; got {mode!r}{source}"
+        )
+    return mode
+
+
 def env_kernel_name() -> str | None:
     """The ``REPRO_KERNEL`` override, or ``None`` (kernel registry hook)."""
     return env_text(KERNEL_ENV_VAR)
@@ -235,6 +301,8 @@ class RuntimeConfig:
     max_entries: int = 32
     store: str | None = None
     mmap: bool = True
+    crc: str = "eager"
+    compact_threshold: int = DEFAULT_COMPACT_THRESHOLD
 
     @classmethod
     def resolve(
@@ -252,6 +320,8 @@ class RuntimeConfig:
         max_entries: int = 32,
         store: str | os.PathLike | None = None,
         mmap: bool | str | None = None,
+        crc: str | None = None,
+        compact_threshold: int | str | None = None,
     ) -> "RuntimeConfig":
         """Resolve every knob: explicit arguments win, then ``REPRO_*`` vars,
         then defaults.  Raises :class:`~repro.exceptions.ExperimentError` on
@@ -271,6 +341,8 @@ class RuntimeConfig:
             max_entries=max_entries,
             store=None if store is None else os.fspath(store),
             mmap=resolve_mmap_mode(mmap),
+            crc=resolve_crc_mode(crc),
+            compact_threshold=resolve_compact_threshold(compact_threshold),
         )
 
     def with_overrides(self, **changes) -> "RuntimeConfig":
@@ -290,6 +362,8 @@ class RuntimeConfig:
             "prefilter": self.prefilter,
             "max_entries": self.max_entries,
             "mmap": self.mmap,
+            "crc": self.crc,
+            "compact_threshold": self.compact_threshold,
         }
         if self.cache_size is not None:
             options["cache_size"] = self.cache_size

@@ -88,6 +88,7 @@ class TSSMapping:
         *,
         schema: Schema | None = None,
         frame: EncodedFrame | None = None,
+        rows: Sequence[int] | None = None,
         use_frame: bool | None = None,
         toposort_strategy: str = "kahn",
         parent_choice: str = "first",
@@ -117,8 +118,10 @@ class TSSMapping:
         # needed elsewhere (see :meth:`mapped_matrix`).
         self._mapped_matrix = None
         if frame is not None:
-            self.points: list[MappedPoint] = self._build_points_from_frame(frame)
+            self.points: list[MappedPoint] = self._build_points_from_frame(frame, rows)
         else:
+            if rows is not None:
+                raise SchemaError("TSSMapping row subsets require an encoded frame")
             self.points = self._build_points()
 
     # ------------------------------------------------------------------ #
@@ -152,21 +155,28 @@ class TSSMapping:
             for encoding in self.encodings
         ]
 
-    def _build_points_from_frame(self, frame: EncodedFrame) -> list[MappedPoint]:
+    def _build_points_from_frame(
+        self, frame: EncodedFrame, rows: Sequence[int] | None = None
+    ) -> list[MappedPoint]:
         """Columnar twin of :meth:`_build_points` over an encoded frame.
 
         The frame's canonical codes are gathered into topological positions
         (``ordinal - 1``); duplicate grouping is one ``np.unique`` over the
         mapped-coordinate matrix, reordered to first occurrence so the point
-        list is identical to the record path's.
+        list is identical to the record path's.  ``rows`` restricts the build
+        to a row subset without materializing a reduced frame — point
+        ``record_ids`` are then positions within ``rows``, exactly as a
+        ``frame.take(rows)`` build would number them.
         """
-        topo_codes = frame.remap_codes(self._topo_code_maps())
+        topo_codes = frame.remap_codes(self._topo_code_maps(), rows)
+        to_block = frame.gather_to(rows)
+        length = len(frame) if rows is None else len(rows)
         orders = [encoding.order for encoding in self.encodings]
         if not frame.uses_numpy:
             points: list[MappedPoint] = []
             groups: dict[tuple, list[int]] = {}
-            for row_index in range(len(frame)):
-                key = (tuple(frame.to[row_index]), tuple(topo_codes[row_index]))
+            for row_index in range(length):
+                key = (tuple(to_block[row_index]), tuple(topo_codes[row_index]))
                 groups.setdefault(key, []).append(row_index)
             for (to_values, codes), row_ids in groups.items():
                 ordinals = tuple(float(code + 1) for code in codes)
@@ -183,8 +193,8 @@ class TSSMapping:
         import numpy as np
 
         num_to = self.num_total_order
-        coords = np.empty((len(frame), self.dimensions), dtype=float)
-        coords[:, :num_to] = frame.to
+        coords = np.empty((length, self.dimensions), dtype=float)
+        coords[:, :num_to] = to_block
         coords[:, num_to:] = topo_codes
         coords[:, num_to:] += 1.0
         unique_coords, groups = group_rows(coords)

@@ -251,7 +251,24 @@ class EncodedFrame:
         codes = tuple(self.codes[i] for i in indices)
         return EncodedFrame(self.schema, self.codec, to, codes, len(to))
 
-    def remap_codes(self, code_maps: Sequence[Mapping[Value, int]]):
+    def gather_to(self, rows: Sequence[int] | None):
+        """The TO matrix restricted to ``rows`` (``None`` = every row).
+
+        The full-frame case stays zero-copy; a row subset is one vectorized
+        gather (a transient per-call block, not a persistent reduced frame).
+        """
+        if rows is None:
+            return self.to
+        if self.uses_numpy:
+            np = _numpy_or_none()
+            return self.to[np.asarray(rows, dtype=np.intp)]
+        return tuple(self.to[i] for i in rows)
+
+    def remap_codes(
+        self,
+        code_maps: Sequence[Mapping[Value, int]],
+        rows: Sequence[int] | None = None,
+    ):
         """The code matrix translated into another per-attribute code space.
 
         ``code_maps`` holds one value-to-code mapping per PO attribute (e.g.
@@ -259,6 +276,9 @@ class EncodedFrame:
         RecordTables`, or an encoding's topological positions).  Identity
         remaps return the frame's own columns unchanged (zero-copy); anything
         else is one O(domain) permutation build plus a vectorized gather.
+        ``rows`` restricts the result to a row subset (positions in the
+        returned matrix follow the order of ``rows``) without materializing a
+        reduced frame first.
         """
         if len(code_maps) != self.num_partial_order:
             raise DatasetError(
@@ -269,21 +289,31 @@ class EncodedFrame:
             self.codec.permutation_to(attr_index, code_map)
             for attr_index, code_map in enumerate(code_maps)
         ]
+        np = _numpy_or_none() if self.uses_numpy else None
+        if self.uses_numpy and rows is not None:
+            codes = self.codes[np.asarray(rows, dtype=np.intp)]
+        elif rows is not None:
+            codes = tuple(self.codes[i] for i in rows)
+        else:
+            codes = self.codes
         if all(perm == list(range(len(perm))) for perm in perms):
-            return self.codes
+            return codes
         if self.uses_numpy:
-            np = _numpy_or_none()
-            remapped = np.empty_like(self.codes)
+            remapped = np.empty_like(codes)
             remapped.flags.writeable = True
             for attr_index, perm in enumerate(perms):
                 table = np.asarray(perm, dtype=np.int32)
-                remapped[:, attr_index] = table[self.codes[:, attr_index]]
+                remapped[:, attr_index] = table[codes[:, attr_index]]
             return remapped
         return tuple(
-            tuple(perm[code] for perm, code in zip(perms, row)) for row in self.codes
+            tuple(perm[code] for perm, code in zip(perms, row)) for row in codes
         )
 
-    def monotone_keys(self, depth_columns: Sequence[Sequence[float]]):
+    def monotone_keys(
+        self,
+        depth_columns: Sequence[Sequence[float]],
+        rows: Sequence[int] | None = None,
+    ):
         """The SFS monotone sort key of every row, bitwise identical to the
         record path's :func:`~repro.skyline.sfs.monotone_sort_key`.
 
@@ -291,17 +321,32 @@ class EncodedFrame:
         *canonical-code* value.  Accumulation order matches the scalar key —
         TO columns left to right, then PO depths in attribute order — so the
         float results (and thus any sort built on them) are identical.
+        ``rows`` restricts the keys to a row subset, in ``rows`` order.
         """
         if self.uses_numpy:
             np = _numpy_or_none()
-            keys = np.zeros(self._length, dtype=float)
+            if rows is None:
+                to, codes, length = self.to, self.codes, self._length
+            else:
+                index_array = np.asarray(rows, dtype=np.intp)
+                to, codes, length = (
+                    self.to[index_array],
+                    self.codes[index_array],
+                    int(len(index_array)),
+                )
+            keys = np.zeros(length, dtype=float)
             for column in range(self.num_total_order):
-                keys += self.to[:, column]
+                keys += to[:, column]
             for attr_index, depths in enumerate(depth_columns):
-                keys += np.asarray(depths, dtype=float)[self.codes[:, attr_index]]
+                keys += np.asarray(depths, dtype=float)[codes[:, attr_index]]
             return keys
+        row_iter = (
+            zip(self.to, self.codes)
+            if rows is None
+            else ((self.to[i], self.codes[i]) for i in rows)
+        )
         keys = []
-        for to_row, code_row in zip(self.to, self.codes):
+        for to_row, code_row in row_iter:
             score = 0.0
             for value in to_row:
                 score += value

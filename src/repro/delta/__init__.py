@@ -1,0 +1,40 @@
+"""The columnar delta plane: LSM-style live updates over an immutable base.
+
+The static planes of the library are read-optimized and immutable — an
+:class:`~repro.data.columns.EncodedFrame` encoded once, a bulk-loaded
+R-tree, a packed :class:`~repro.store.reader.DatasetStore`.  This package
+adds the write path without giving any of that up, the way LSM trees do:
+
+* :class:`DeltaFrame` (``frame.py``) — append-only insert blocks in the same
+  canonical column layout as the base frame, plus a tombstone id-set for
+  deletes, layered over the immutable base.  Record ids are *stable*: base
+  rows keep their ids, inserts get fresh monotonically increasing ids, and
+  compaction preserves both.
+* :class:`BaseCandidateTracker` (``candidates.py``) — incremental
+  maintenance of the engine's per-PO-group TO-Pareto prefilter under base
+  deletes (deleting a survivor can resurrect group siblings the prefilter
+  dropped).
+* :func:`cross_examine` (``merge.py``) — the divide-and-conquer merge step:
+  the live skyline equals the mutual survivors of the base-side and
+  delta-side skylines, decided by two batched kernel calls.
+* :class:`~repro.store.delta.DeltaLog` (``repro.store.delta``) — the
+  crash-safe sidecar persisting mutations next to a packed store until
+  compaction folds them into a new base.
+
+Queries over a mutated engine are bitwise-identical (ids and discovery
+order) to a from-scratch rebuild over the live rows — pinned by the
+hypothesis suite in ``tests/delta/``.
+"""
+
+from repro.delta.candidates import BaseCandidateTracker
+from repro.delta.frame import DeltaFrame, as_record_dataset, dataset_from_frame
+from repro.delta.merge import cross_examine, tables_blocks
+
+__all__ = [
+    "BaseCandidateTracker",
+    "DeltaFrame",
+    "as_record_dataset",
+    "cross_examine",
+    "dataset_from_frame",
+    "tables_blocks",
+]

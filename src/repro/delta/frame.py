@@ -1,0 +1,385 @@
+"""The append-only :class:`DeltaFrame`: encoded inserts + tombstones.
+
+A :class:`DeltaFrame` layers mutations over an immutable base
+:class:`~repro.data.columns.EncodedFrame`:
+
+* **Inserts** are encoded on arrival into the base codec's *canonical*
+  column layout (one float TO row + one int code row per record) and
+  appended to in-memory buffers; :meth:`insert_frame` materializes them as
+  an ordinary :class:`~repro.data.columns.EncodedFrame` so every columnar
+  consumer (TSS mapping, SFS presort, kernels) works on them unchanged.
+* **Deletes** tombstone a stable record id — a base row or an earlier
+  insert — without touching the base columns.
+
+Stable ids are the contract with callers: base row ``r`` answers to id
+``base_ids[r]`` (identity when ``base_ids`` is ``None``), inserts are
+numbered from :attr:`next_id` upward, and ids are never reused.  Compaction
+(:meth:`live_frame_and_ids`) folds the live rows into a fresh base frame
+whose ``row -> id`` mapping keeps every surviving id.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.data.columns import EncodedFrame
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.exceptions import QueryError
+
+Value = Hashable
+
+
+def _numpy_or_none():
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+def decode_frame_rows(frame: EncodedFrame, rows: Sequence[int] | None = None) -> list[tuple]:
+    """Original attribute-value tuples of the frame's rows (schema order).
+
+    The inverse of :meth:`EncodedFrame.from_dataset`: canonical TO values are
+    mapped back through each attribute's direction (max-attributes were
+    negated) and PO codes decoded through the codec's domains.  ``rows``
+    restricts (and orders) the output.
+    """
+    schema = frame.schema
+    codec = frame.codec
+    indices = range(len(frame)) if rows is None else rows
+    columns: list[list] = []
+    to_index = 0
+    po_index = 0
+    for attribute in schema.attributes:
+        if attribute.is_partial:
+            domain = codec.domains[po_index]
+            if frame.uses_numpy:
+                columns.append([domain[int(frame.codes[r, po_index])] for r in indices])
+            else:
+                columns.append([domain[frame.codes[r][po_index]] for r in indices])
+            po_index += 1
+        else:
+            if frame.uses_numpy:
+                values = [float(frame.to[r, to_index]) for r in indices]
+            else:
+                values = [frame.to[r][to_index] for r in indices]
+            if attribute.best == "max":
+                values = [-value for value in values]
+            columns.append(values)
+            to_index += 1
+    length = len(columns[0]) if columns else 0
+    return [tuple(column[i] for column in columns) for i in range(length)]
+
+
+def dataset_from_frame(
+    frame: EncodedFrame, rows: Sequence[int] | None = None
+) -> Dataset:
+    """A record :class:`~repro.data.dataset.Dataset` over (a row subset of)
+    an encoded frame — record ``i`` is row ``rows[i]`` (or row ``i``)."""
+    return Dataset(frame.schema, decode_frame_rows(frame, rows), validate=False)
+
+
+class DeltaFrame:
+    """Append-only insert blocks + tombstones over an immutable base frame."""
+
+    def __init__(
+        self,
+        base: EncodedFrame,
+        *,
+        base_ids: Sequence[int] | None = None,
+        next_id: int | None = None,
+    ) -> None:
+        self.base = base
+        self.schema: Schema = base.schema
+        self.codec = base.codec
+        self.base_ids = None if base_ids is None else [int(i) for i in base_ids]
+        if self.base_ids is not None and len(self.base_ids) != len(base):
+            raise QueryError(
+                f"base_ids has {len(self.base_ids)} entries for a "
+                f"{len(base)}-row base frame"
+            )
+        self._base_row_of = (
+            None
+            if self.base_ids is None
+            else {id_: row for row, id_ in enumerate(self.base_ids)}
+        )
+        if next_id is None:
+            next_id = (
+                len(base)
+                if self.base_ids is None
+                else (max(self.base_ids) + 1 if self.base_ids else 0)
+            )
+        self.next_id = int(next_id)
+        self._insert_to: list[tuple[float, ...]] = []
+        self._insert_codes: list[tuple[int, ...]] = []
+        self._insert_ids: list[int] = []
+        self._insert_pos_of = {}
+        self._dead_base_rows: set[int] = set()
+        self._dead_inserts: set[int] = set()
+        #: Mutation rows applied since the base was packed/adopted — the
+        #: quantity the auto-compaction threshold is compared against.
+        self.mutations = 0
+        #: Bumped on every state change (engines guard caches with it).
+        self.version = 0
+        self._insert_frame: EncodedFrame | None = None
+        self._insert_frame_rows = -1
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_inserts(self) -> int:
+        """Insert rows buffered (live or tombstoned)."""
+        return len(self._insert_ids)
+
+    @property
+    def num_live(self) -> int:
+        return (
+            len(self.base)
+            - len(self._dead_base_rows)
+            + len(self._insert_ids)
+            - len(self._dead_inserts)
+        )
+
+    @property
+    def has_base_deletes(self) -> bool:
+        return bool(self._dead_base_rows)
+
+    @property
+    def num_base_deletes(self) -> int:
+        return len(self._dead_base_rows)
+
+    @property
+    def live_insert_count(self) -> int:
+        return len(self._insert_ids) - len(self._dead_inserts)
+
+    def stable_id_of_base_row(self, row: int) -> int:
+        return row if self.base_ids is None else self.base_ids[row]
+
+    def dead_ids(self) -> list[int]:
+        """Every tombstoned stable id (base rows first, then inserts)."""
+        ids = [self.stable_id_of_base_row(row) for row in sorted(self._dead_base_rows)]
+        ids.extend(self._insert_ids[pos] for pos in sorted(self._dead_inserts))
+        return ids
+
+    def insert_entries(
+        self, start: int = 0
+    ) -> list[tuple[int, tuple[float, ...], tuple[Value, ...]]]:
+        """``(stable id, canonical TO values, PO values)`` of the inserts from
+        buffer position ``start`` on — tombstoned ones included, so a consumer
+        tracking a position cursor (incremental dTSS maintenance) sees every
+        insert exactly once."""
+        domains = self.codec.domains
+        entries: list[tuple[int, tuple[float, ...], tuple[Value, ...]]] = []
+        for position in range(start, len(self._insert_ids)):
+            codes = self._insert_codes[position]
+            po_values = tuple(domains[k][codes[k]] for k in range(len(codes)))
+            entries.append(
+                (self._insert_ids[position], tuple(self._insert_to[position]), po_values)
+            )
+        return entries
+
+    def is_live(self, record_id: int) -> bool:
+        position = self._insert_pos_of.get(record_id)
+        if position is not None:
+            return position not in self._dead_inserts
+        row = self._resolve_base_row(record_id)
+        return row is not None and row not in self._dead_base_rows
+
+    def _resolve_base_row(self, record_id: int) -> int | None:
+        if self._base_row_of is not None:
+            return self._base_row_of.get(record_id)
+        return record_id if 0 <= record_id < len(self.base) else None
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def _encode_row(self, row) -> tuple[tuple, tuple[float, ...], tuple[int, ...]]:
+        values = tuple(row)
+        self.schema.validate_row(values)
+        to_values = self.schema.canonical_to_values(values)
+        po_values = self.schema.partial_values(values)
+        codes = tuple(
+            self.codec.code_of[attr_index][value]
+            for attr_index, value in enumerate(po_values)
+        )
+        return values, to_values, codes
+
+    def insert_rows(self, rows: Sequence[Sequence[Value]]) -> list[int]:
+        """Validate, encode and append a batch of rows; returns their new ids."""
+        encoded = [self._encode_row(row) for row in rows]
+        ids: list[int] = []
+        for _, to_values, codes in encoded:
+            ids.append(self._append_insert(self.next_id, to_values, codes))
+        self.mutations += len(ids)
+        if ids:
+            self.version += 1
+        return ids
+
+    def replay_insert(self, record_id: int, to_values, codes) -> int:
+        """Re-apply one already-encoded insert (delta-log replay path)."""
+        appended = self._append_insert(
+            int(record_id), tuple(float(v) for v in to_values), tuple(int(c) for c in codes)
+        )
+        self.mutations += 1
+        self.version += 1
+        return appended
+
+    def _append_insert(self, record_id: int, to_values, codes) -> int:
+        if record_id in self._insert_pos_of or self._resolve_base_row(record_id) is not None:
+            raise QueryError(f"record id {record_id} already exists")
+        position = len(self._insert_ids)
+        self._insert_to.append(to_values)
+        self._insert_codes.append(codes)
+        self._insert_ids.append(record_id)
+        self._insert_pos_of[record_id] = position
+        self.next_id = max(self.next_id, record_id + 1)
+        return record_id
+
+    def insert_payload(
+        self, record_ids: Sequence[int]
+    ) -> tuple[list[tuple[float, ...]], list[tuple[int, ...]]]:
+        """``(to_rows, code_rows)`` of already-applied inserts, by id — the
+        encoded form the delta log persists."""
+        positions = [self._insert_pos_of[int(record_id)] for record_id in record_ids]
+        return (
+            [self._insert_to[pos] for pos in positions],
+            [self._insert_codes[pos] for pos in positions],
+        )
+
+    def delete_ids(self, record_ids: Sequence[int]) -> tuple[list[int], list[int]]:
+        """Tombstone stable ids; returns ``(newly deleted ids, base rows freed)``.
+
+        Already-dead ids are ignored (idempotent, which keeps delta-log
+        replay simple); ids that were never allocated raise
+        :class:`~repro.exceptions.QueryError`.
+        """
+        removed: list[int] = []
+        base_rows: list[int] = []
+        for record_id in record_ids:
+            record_id = int(record_id)
+            position = self._insert_pos_of.get(record_id)
+            if position is not None:
+                if position not in self._dead_inserts:
+                    self._dead_inserts.add(position)
+                    removed.append(record_id)
+                continue
+            row = self._resolve_base_row(record_id)
+            if row is None:
+                raise QueryError(f"cannot delete unknown record id {record_id}")
+            if row not in self._dead_base_rows:
+                self._dead_base_rows.add(row)
+                removed.append(record_id)
+                base_rows.append(row)
+        if removed:
+            self.mutations += len(removed)
+            self.version += 1
+        return removed, base_rows
+
+    # ------------------------------------------------------------------ #
+    # Live views
+    # ------------------------------------------------------------------ #
+    def live_base_rows(self) -> list[int]:
+        if not self._dead_base_rows:
+            return list(range(len(self.base)))
+        dead = self._dead_base_rows
+        return [row for row in range(len(self.base)) if row not in dead]
+
+    def live_insert_positions(self) -> list[int]:
+        if not self._dead_inserts:
+            return list(range(len(self._insert_ids)))
+        dead = self._dead_inserts
+        return [pos for pos in range(len(self._insert_ids)) if pos not in dead]
+
+    def insert_ids_at(self, positions: Sequence[int]) -> list[int]:
+        return [self._insert_ids[pos] for pos in positions]
+
+    def insert_frame(self) -> EncodedFrame:
+        """All buffered inserts as an :class:`EncodedFrame` (row = position).
+
+        Tombstoned inserts are *included* so positions stay stable; pass
+        :meth:`live_insert_positions` as the ``rows`` subset downstream.
+        Rebuilt only when new inserts arrived since the last call.
+        """
+        count = len(self._insert_ids)
+        if self._insert_frame is not None and self._insert_frame_rows == count:
+            return self._insert_frame
+        np = _numpy_or_none() if self.base.uses_numpy else None
+        num_to = self.schema.num_total_order
+        num_po = self.schema.num_partial_order
+        if np is not None:
+            to = np.asarray(self._insert_to, dtype=np.float64).reshape(count, num_to)
+            codes = np.asarray(self._insert_codes, dtype=np.int32).reshape(count, num_po)
+            to.flags.writeable = False
+            codes.flags.writeable = False
+        else:
+            to = tuple(self._insert_to)
+            codes = tuple(self._insert_codes)
+        self._insert_frame = EncodedFrame(self.schema, self.codec, to, codes, count)
+        self._insert_frame_rows = count
+        return self._insert_frame
+
+    def live_frame_and_ids(self) -> tuple[EncodedFrame, list[int]]:
+        """The live rows folded into one fresh frame, plus its stable ids.
+
+        The compaction product: base live rows first (base order), then live
+        inserts (arrival order) — each paired with the id it keeps, so
+        ``ids[r]`` is the new base's ``row -> stable id`` mapping.
+        """
+        base_rows = self.live_base_rows()
+        insert_positions = self.live_insert_positions()
+        ids = [self.stable_id_of_base_row(row) for row in base_rows]
+        ids.extend(self._insert_ids[pos] for pos in insert_positions)
+        base = self.base
+        if base.uses_numpy:
+            np = _numpy_or_none()
+            inserts = self.insert_frame()
+            index = np.asarray(base_rows, dtype=np.intp)
+            ins_index = np.asarray(insert_positions, dtype=np.intp)
+            to = np.concatenate([base.to[index], inserts.to[ins_index]], axis=0)
+            codes = np.concatenate([base.codes[index], inserts.codes[ins_index]], axis=0)
+            to.flags.writeable = False
+            codes.flags.writeable = False
+        else:
+            to = tuple(base.to[row] for row in base_rows) + tuple(
+                self._insert_to[pos] for pos in insert_positions
+            )
+            codes = tuple(base.codes[row] for row in base_rows) + tuple(
+                self._insert_codes[pos] for pos in insert_positions
+            )
+        frame = EncodedFrame(self.schema, self.codec, to, codes, len(ids))
+        return frame, ids
+
+    def live_dataset_and_ids(self) -> tuple[Dataset, list[int]]:
+        """The live rows as a record dataset (record ``i`` = live row ``i``),
+        plus the stable id of each record — the record-path twin of
+        :meth:`live_frame_and_ids`."""
+        base_rows = self.live_base_rows()
+        insert_positions = self.live_insert_positions()
+        ids = [self.stable_id_of_base_row(row) for row in base_rows]
+        ids.extend(self._insert_ids[pos] for pos in insert_positions)
+        rows = decode_frame_rows(self.base, base_rows)
+        rows.extend(decode_frame_rows(self.insert_frame(), insert_positions))
+        return Dataset(self.schema, rows, validate=False), ids
+
+
+def as_record_dataset(source) -> tuple[Dataset, list[int] | None]:
+    """Normalize any data-plane source into ``(record dataset, stable ids)``.
+
+    The adapter record-path consumers use to accept a :class:`Dataset`, an
+    :class:`~repro.data.columns.EncodedFrame` or a live :class:`DeltaFrame`
+    interchangeably.  ``ids`` is ``None`` when record positions already are
+    the stable ids (plain datasets and frames); for a delta it maps record
+    ``i`` of the returned dataset to its stable id.
+    """
+    if isinstance(source, DeltaFrame):
+        return source.live_dataset_and_ids()
+    if isinstance(source, EncodedFrame):
+        return dataset_from_frame(source), None
+    if isinstance(source, Dataset):
+        return source, None
+    raise QueryError(
+        f"expected a Dataset, EncodedFrame or DeltaFrame, got {type(source).__name__}"
+    )

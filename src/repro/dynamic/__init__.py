@@ -14,6 +14,12 @@ processing groups in topological order against a global main-memory R-tree.
   for each query (charged as extra passes over the data).
 * :mod:`~repro.dynamic.cache` — caching of past dynamic query results keyed
   by the query's partial orders.
+
+All entry points also accept the columnar data plane directly: an
+:class:`~repro.data.columns.EncodedFrame` or a live
+:class:`~repro.delta.frame.DeltaFrame` — over a delta, dTSS maintains its
+group structures incrementally (:meth:`DTSSIndex.sync`) and results carry
+stable record ids.
 """
 
 from repro.dynamic.cache import DynamicQueryCache

@@ -28,7 +28,9 @@ from __future__ import annotations
 from collections.abc import Hashable, Mapping, Sequence
 
 from repro.core.virtual_rtree import VirtualPointIndex
+from repro.data.columns import EncodedFrame
 from repro.data.dataset import Dataset
+from repro.delta.frame import DeltaFrame
 from repro.dynamic.groups import GroupedDataset, GroupPoint
 from repro.exceptions import QueryError
 from repro.index.pager import DiskSimulator
@@ -41,11 +43,18 @@ Value = Hashable
 
 
 class DTSSIndex:
-    """Reusable dTSS structures: group partitioning plus per-group R-trees."""
+    """Reusable dTSS structures: group partitioning plus per-group R-trees.
+
+    Built over a record :class:`Dataset`, an :class:`EncodedFrame` or a live
+    :class:`DeltaFrame`.  Over a delta, :meth:`sync` folds mutations applied
+    since construction (or the last sync) into the group structures
+    incrementally — only the touched PO-value groups are rebuilt, the rest
+    of the offline investment survives.
+    """
 
     def __init__(
         self,
-        dataset: Dataset,
+        dataset: Dataset | EncodedFrame | DeltaFrame,
         *,
         max_entries: int = 32,
         disk: DiskSimulator | None = None,
@@ -57,8 +66,47 @@ class DTSSIndex:
             disk=disk,
             precompute_local_skylines=precompute_local_skylines,
         )
-        self.dataset = dataset
+        self.source = dataset
+        self.dataset = dataset if isinstance(dataset, Dataset) else None
         self.disk = disk
+        # Sync cursor over the delta's mutation stream: the grouped build
+        # already reflects everything applied up to now.
+        if isinstance(dataset, DeltaFrame):
+            self._synced_inserts = dataset.num_inserts
+            self._synced_dead = set(dataset.dead_ids())
+        else:
+            self._synced_inserts = 0
+            self._synced_dead: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance (delta plane)
+    # ------------------------------------------------------------------ #
+    def sync(self, delta: DeltaFrame | None = None) -> dict[str, int]:
+        """Fold a delta's new mutations in; returns what was applied.
+
+        With no argument, syncs against the :class:`DeltaFrame` the index
+        was built over.  Inserts that were tombstoned before this sync are
+        skipped entirely (they were never visible to any query here).
+        """
+        if delta is None:
+            delta = self.source if isinstance(self.source, DeltaFrame) else None
+        if delta is None:
+            raise QueryError("sync() needs the DeltaFrame this index was built over")
+        dead_now = set(delta.dead_ids())
+        new_dead = dead_now - self._synced_dead
+        fresh = delta.insert_entries(self._synced_inserts)
+        # Inserts tombstoned before this sync were never visible here:
+        # neither inserted nor deleted, they don't touch any group.
+        new_dead -= {entry[0] for entry in fresh} & new_dead
+        inserts = [entry for entry in fresh if entry[0] not in dead_now]
+        rebuilt = self.grouped.apply_mutations(inserts, new_dead)
+        self._synced_inserts = delta.num_inserts
+        self._synced_dead = dead_now
+        return {
+            "inserts": len(inserts),
+            "deletes": len(new_dead),
+            "groups_rebuilt": len(rebuilt),
+        }
 
     # ------------------------------------------------------------------ #
     # Query processing
@@ -204,7 +252,7 @@ class DTSSIndex:
 
 
 def dtss_skyline(
-    dataset: Dataset,
+    dataset: Dataset | EncodedFrame | DeltaFrame,
     partial_orders: Mapping[str, PartialOrderDAG] | Sequence[PartialOrderDAG],
     *,
     index: DTSSIndex | None = None,

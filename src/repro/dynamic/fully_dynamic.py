@@ -23,8 +23,10 @@ from collections import OrderedDict
 from collections.abc import Hashable, Mapping, Sequence
 
 from repro.core.stss import stss_skyline
+from repro.data.columns import EncodedFrame
 from repro.data.dataset import Dataset
 from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.delta.frame import DeltaFrame, as_record_dataset
 from repro.dynamic.cache import canonical_query_key
 from repro.exceptions import QueryError
 from repro.order.dag import PartialOrderDAG
@@ -106,29 +108,52 @@ def distance_transformed_dataset(
 
 
 def fully_dynamic_skyline(
-    dataset: Dataset,
+    dataset: Dataset | EncodedFrame | DeltaFrame,
     partial_orders: Mapping[str, PartialOrderDAG] | Sequence[PartialOrderDAG],
     ideal_values: Mapping[str, float] | Sequence[float],
     **stss_options,
 ) -> SkylineResult:
-    """Answer one fully dynamic skyline query (preferences + ideal TO values)."""
-    schema = dataset.schema
+    """Answer one fully dynamic skyline query (preferences + ideal TO values).
+
+    Columnar sources (frames, live deltas) are materialized to records for
+    the distance transform; over a delta the answer carries *stable* ids.
+    """
+    records, stable_ids = as_record_dataset(dataset)
+    schema = records.schema
     resolved_orders = _resolve_partial_orders(schema, partial_orders)
     resolved_ideals = _resolve_ideal_values(schema, ideal_values)
-    derived = distance_transformed_dataset(dataset, resolved_orders, resolved_ideals)
-    return stss_skyline(derived, **stss_options)
+    derived = distance_transformed_dataset(records, resolved_orders, resolved_ideals)
+    result = stss_skyline(derived, **stss_options)
+    if stable_ids is None:
+        return result
+    return SkylineResult(
+        skyline_ids=[stable_ids[i] for i in result.skyline_ids],
+        stats=result.stats,
+        progress=result.progress,
+    )
 
 
 class FullyDynamicEngine:
-    """Answer fully dynamic queries over one dataset, caching repeated queries."""
+    """Answer fully dynamic queries over one dataset, caching repeated queries.
 
-    def __init__(self, dataset: Dataset, *, cache_capacity: int = 32, **stss_options) -> None:
+    Over a live :class:`DeltaFrame` the cache is invalidated whenever the
+    delta's version moves — a mutation makes every past answer stale.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset | EncodedFrame | DeltaFrame,
+        *,
+        cache_capacity: int = 32,
+        **stss_options,
+    ) -> None:
         if cache_capacity < 1:
             raise QueryError("cache capacity must be positive")
         self.dataset = dataset
         self.stss_options = stss_options
         self._capacity = cache_capacity
         self._cache: OrderedDict[tuple, SkylineResult] = OrderedDict()
+        self._source_version = getattr(dataset, "version", None)
         self.hits = 0
         self.misses = 0
 
@@ -148,6 +173,10 @@ class FullyDynamicEngine:
         ideal_values: Mapping[str, float] | Sequence[float],
     ) -> SkylineResult:
         schema = self.dataset.schema
+        version = getattr(self.dataset, "version", None)
+        if version != self._source_version:
+            self._cache.clear()
+            self._source_version = version
         resolved_orders = _resolve_partial_orders(schema, partial_orders)
         resolved_ideals = _resolve_ideal_values(schema, ideal_values)
         key = self._key(resolved_orders, resolved_ideals)

@@ -23,7 +23,9 @@ from collections.abc import Hashable, Mapping, Sequence
 
 from repro.baselines.sdc_plus import sdc_plus_skyline
 from repro.baselines.transform import BaselineMapping
+from repro.data.columns import EncodedFrame
 from repro.data.dataset import Dataset
+from repro.delta.frame import DeltaFrame, as_record_dataset
 from repro.exceptions import QueryError
 from repro.index.pager import DiskSimulator
 from repro.order.dag import PartialOrderDAG
@@ -41,14 +43,20 @@ REPARTITION_WRITE_PASSES = 1
 
 
 def sdc_plus_dynamic_skyline(
-    dataset: Dataset,
+    dataset: Dataset | EncodedFrame | DeltaFrame,
     partial_orders: Mapping[str, PartialOrderDAG] | Sequence[PartialOrderDAG],
     *,
     max_entries: int = 32,
     disk: DiskSimulator | None = None,
     records_per_page: int = DEFAULT_RECORDS_PER_PAGE,
 ) -> SkylineResult:
-    """Answer one dynamic skyline query by rebuilding SDC+ from scratch."""
+    """Answer one dynamic skyline query by rebuilding SDC+ from scratch.
+
+    Columnar sources are materialized to records first — that full pass over
+    the live data is exactly the re-partitioning work this baseline is
+    charged for anyway; over a delta the answer carries stable ids.
+    """
+    dataset, stable_ids = as_record_dataset(dataset)
     schema = dataset.schema
     po_attributes = schema.partial_order_attributes
     if isinstance(partial_orders, Mapping):
@@ -103,4 +111,10 @@ def sdc_plus_dynamic_skyline(
     if disk is not None:
         disk.stats.reads += repartition_reads
         disk.stats.writes += repartition_writes
+    if stable_ids is not None:
+        result = SkylineResult(
+            skyline_ids=[stable_ids[i] for i in result.skyline_ids],
+            stats=result.stats,
+            progress=result.progress,
+        )
     return result

@@ -12,7 +12,8 @@ Section V of the paper, but answered for a whole set of queries at once.
   group's TO-Pareto front (one vectorized :meth:`pareto_mask
   <repro.kernels.base.DominanceKernel.pareto_mask>` call per group).  The
   dropped records are dominated under every query and can never appear in
-  any skyline; every query then runs against the reduced dataset.
+  any skyline; every query then runs against the reduced rows — a row-index
+  *view* over the shared frame, not a materialized copy.
 * **Per-topology result caching.**  Queries are keyed by the *semantic*
   topology of their preference DAGs (values plus transitive-closure edges,
   per PO attribute).  Two queries that induce the same preference relation —
@@ -20,19 +21,35 @@ Section V of the paper, but answered for a whole set of queries at once.
   computation, and the per-DAG interval encodings are cached the same way.
 
 Per query, the engine runs sTSS (or SFS for TO-only schemas) on the reduced
-dataset through the configured dominance kernel and maps the resulting ids
-back to the original dataset.  Both caches are bounded LRU maps
-(``cache_size``) so a long-running service cannot grow memory without limit,
-and with ``workers``/``num_shards`` the per-query work is delegated to a
-:class:`~repro.parallel.executor.ShardedExecutor` over the reduced dataset.
+rows through the configured dominance kernel and maps the resulting ids back
+to stable record ids.  Both caches are bounded LRU maps (``cache_size``) so
+a long-running service cannot grow memory without limit, and with
+``workers``/``num_shards`` the per-query work is delegated to a
+:class:`~repro.parallel.executor.ShardedExecutor` over the reduced rows.
+
+**Live mutations** ride on the columnar delta plane
+(:mod:`repro.delta`): :meth:`BatchQueryEngine.insert` encodes new rows into
+an append-only :class:`~repro.delta.frame.DeltaFrame` over the immutable
+base and :meth:`BatchQueryEngine.delete` tombstones stable record ids.
+Queries then answer ``SKY(base ∪ delta)`` by cross-examining the (cached)
+base skyline against a per-query delta skyline — two batched kernel calls,
+bitwise-identical to a from-scratch rebuild over the live rows.  Deleting a
+base row may resurrect prefilter-dropped group siblings; a
+:class:`~repro.delta.candidates.BaseCandidateTracker` recomputes exactly the
+dirty groups' Pareto fronts.  Store-backed engines persist every mutation in
+a crash-safe sidecar :class:`~repro.store.delta.DeltaLog` and fold the delta
+into a fresh packed base once ``compact_threshold`` mutations accumulate
+(atomic ``os.replace``; ids survive via the store's ``row_ids`` section).
 
 The engine is a concurrency-safe façade: :meth:`BatchQueryEngine.run_query`
 may be called from many threads at once.  Queries synchronize on a
 per-``dag_signature`` lock — concurrent queries over *distinct* topologies
 interleave freely (their shard-local phases overlap), while concurrent
 queries over the *same* topology elect one computing thread and serve the
-rest from the shared result cache.  Counters and :meth:`summary` snapshots
-are kept consistent under a dedicated state lock.
+rest from the shared result cache.  Mutations are writers: a small
+read/write latch lets any number of queries overlap each other but never a
+mutation.  Counters and :meth:`summary` snapshots are kept consistent under
+a dedicated state lock.
 """
 
 from __future__ import annotations
@@ -48,10 +65,14 @@ if TYPE_CHECKING:
     from repro.parallel.executor import ShardedQueryResult
     from repro.store.reader import DatasetStore
 
+from repro.config import resolve_compact_threshold, resolve_crc_mode
 from repro.core.mapping import TSSMapping
 from repro.core.stss import stss_skyline
 from repro.data.columns import EncodedFrame, resolve_frame_mode
 from repro.data.dataset import Dataset
+from repro.delta.candidates import BaseCandidateTracker
+from repro.delta.frame import DeltaFrame, dataset_from_frame
+from repro.delta.merge import cross_examine, tables_blocks
 from repro.engine.prefilter import prefilter_survivors
 from repro.engine.encodings import (
     DagKey,
@@ -62,6 +83,7 @@ from repro.engine.encodings import (
 from repro.engine.lru import LRUDict
 from repro.exceptions import QueryError
 from repro.kernels import resolve_kernel
+from repro.kernels.tables import RecordTables
 from repro.order.dag import PartialOrderDAG
 from repro.order.encoding import DomainEncoding
 from repro.skyline.base import SkylineStats
@@ -125,15 +147,58 @@ DEFAULT_CACHE_SIZE = 256
 _CACHE_MISS = object()
 
 
+class _ReadWriteLatch:
+    """A minimal many-readers / one-writer latch (writer-preferring enough).
+
+    Queries are readers (they share every engine structure), mutations and
+    compaction are writers.  Not reentrant across kinds: a holder of the
+    write side must not re-acquire either side.
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
 class BatchQueryEngine:
     """Evaluate many skyline queries over one dataset with shared work.
 
     ``cache_size`` bounds both LRU caches (results and per-DAG encodings).
     ``workers``/``num_shards``/``partitioner`` optionally route each evaluated
-    query through a sharded executor built over the reduced dataset
+    query through a sharded executor built over the reduced rows
     (``workers=0`` with ``num_shards>1`` shards in-process; ``workers>=1``
     uses a persistent worker pool — close the engine, e.g. as a context
-    manager, to release it).
+    manager, to release it).  ``crc`` selects the store checksum mode
+    (``"eager"``/``"lazy"``, see :meth:`DatasetStore.open
+    <repro.store.reader.DatasetStore.open>`) and ``compact_threshold`` the
+    number of pending delta mutations that triggers automatic compaction
+    (0 disables; both fall back to ``REPRO_CRC`` / ``REPRO_COMPACT_THRESHOLD``).
     """
 
     def __init__(
@@ -151,6 +216,8 @@ class BatchQueryEngine:
         use_frame: bool | None = None,
         index=None,
         mmap: bool | None = None,
+        crc: str | None = None,
+        compact_threshold: int | str | None = None,
     ) -> None:
         # A path or an open DatasetStore selects the persisted plane: the
         # encoded frame, the prefilter survivors and (for base-preference
@@ -158,9 +225,11 @@ class BatchQueryEngine:
         # nothing is re-encoded, re-filtered or re-bulk-loaded.
         from repro.store.reader import DatasetStore
 
+        self._crc_mode = resolve_crc_mode(crc)
+        self._compact_threshold = resolve_compact_threshold(compact_threshold)
         store: DatasetStore | None = None
         if isinstance(dataset, (str, os.PathLike)):
-            store = DatasetStore.open(dataset, mmap=mmap)
+            store = DatasetStore.open(dataset, mmap=mmap, crc=self._crc_mode)
         elif isinstance(dataset, DatasetStore):
             store = dataset
         self._store = store
@@ -180,12 +249,22 @@ class BatchQueryEngine:
         self.index = resolve_index(index)
         self.max_entries = max_entries
         self.cache_size = cache_size
+        self._prefilter = bool(prefilter)
         self._result_cache: LRUDict[TopologyKey, list[int]] = LRUDict(cache_size)
+        # Base-side skylines as *frame rows*, per topology.  Survives inserts
+        # (the base did not change) and is dropped only when the live base
+        # row set does: base deletes and compaction.
+        self._base_cache: LRUDict[TopologyKey, list[int]] = LRUDict(cache_size)
         self._encoding_cache = EncodingCache(cache_size)
         self.queries_evaluated = 0
         self.cache_hits = 0
+        self.mutations_applied = 0
+        self.compactions = 0
         # Owns the counters and snapshot reads; never held while computing.
         self._state_lock = threading.Lock()
+        # Queries read the engine structures concurrently; mutations /
+        # compaction swap them under the write side.
+        self._latch = _ReadWriteLatch()
         # One lock per topology signature, so only same-topology queries
         # serialize.  Evicting a lock someone still holds is harmless: a
         # latecomer creates a fresh lock and at worst duplicates work the
@@ -205,11 +284,12 @@ class BatchQueryEngine:
             "query": 0.0,
             "merge": 0.0,
         }
-        # The columnar data plane: the dataset encoded once, sliced once more
-        # for the prefilter survivors; ``None`` keeps the record path.  With
-        # a store the frame is the packed one (mapped or loaded, never
-        # re-encoded); disabling the frame on a store instead materializes
-        # records from the same file (the pure-Python fallback).
+        # The columnar data plane: the dataset encoded once; queries then
+        # read it through row-index views (never a materialized survivor
+        # copy).  ``None`` keeps the record path.  With a store the frame is
+        # the packed one (mapped or loaded, never re-encoded); disabling the
+        # frame on a store instead materializes records from the same file
+        # (the pure-Python fallback).
         self._use_frame = resolve_frame_mode(use_frame)
         started = time.perf_counter()
         if store is not None:
@@ -223,32 +303,41 @@ class BatchQueryEngine:
                 EncodedFrame.from_dataset(dataset) if self._use_frame else None
             )
         self._phase_seconds["encode"] += time.perf_counter() - started
+        # Stable ``base row -> record id`` mapping (None = identity).  A
+        # store packed by compaction carries one; fresh data starts identity.
+        self._row_ids = store.row_ids() if store is not None else None
         # Mirrors the kernel registry: an explicit ``workers`` wins, ``None``
         # consults REPRO_WORKERS, and 0 means single-process evaluation.
         # The merge strategy resolves the same way (REPRO_MERGE) and is
         # validated even when no executor is built, so typos fail fast.
         from repro.parallel.executor import resolve_merge_strategy, resolve_workers
 
-        resolved_workers = resolve_workers(workers)
-        merge_strategy = resolve_merge_strategy(merge_strategy)
-        sharded = resolved_workers >= 1 or (num_shards is not None and num_shards > 1)
+        self._workers_resolved = resolve_workers(workers)
+        self._merge_strategy = resolve_merge_strategy(merge_strategy)
+        self._num_shards_config = num_shards
+        self._partitioner = partitioner
+        self._sharded = self._workers_resolved >= 1 or (
+            num_shards is not None and num_shards > 1
+        )
         started = time.perf_counter()
         if store is not None and self._frame is not None:
             # The packed prefilter pass (validated at pack time against both
             # backends); skipping it costs nothing since the survivor list
             # is one mmap'd section.
-            self._candidate_ids = (
+            self._candidate_rows = (
                 store.survivors() if prefilter else list(range(self._num_rows))
             )
         else:
-            self._candidate_ids = (
+            self._candidate_rows = (
                 self._prefilter_survivors()
                 if prefilter
                 else list(range(self._num_rows))
             )
+        self._phase_seconds["build"] += time.perf_counter() - started
         # Base-preference queries may adopt the store's packed mapping/tree;
         # their point record ids index the *packed* survivor order, which is
-        # this engine's reduced order only when the prefilter is on.
+        # this engine's reduced order only while the prefilter is on and no
+        # base row has been deleted.
         self._store_base_usable = (
             store is not None
             and self._frame is not None
@@ -256,53 +345,16 @@ class BatchQueryEngine:
             and store.has_base_mapping
         )
         self._base_artifacts = None
-        # The reduced record view backs the record fallback and the sharded
-        # partitioners; the pure frame path reads only the reduced frame, so
-        # the per-record subset is skipped entirely there (store-backed
-        # engines never materialize it — sharding partitions the frame).
-        if store is not None and self._frame is not None:
-            self._reduced = None
-        elif len(self._candidate_ids) == self._num_rows:
-            self._reduced = dataset
-        elif self._frame is not None and not sharded:
-            self._reduced = None
-        else:
-            self._reduced = dataset.subset(self._candidate_ids)
-        self._phase_seconds["build"] += time.perf_counter() - started
-        started = time.perf_counter()
-        self._reduced_frame = (
-            self._frame
-            if self._frame is not None
-            and len(self._candidate_ids) == self._num_rows
-            else (
-                self._frame.take(self._candidate_ids)
-                if self._frame is not None
-                else None
-            )
-        )
-        self._phase_seconds["encode"] += time.perf_counter() - started
+        # The delta plane: built lazily on the first mutation (or delta-log
+        # replay); ``None`` means the base alone answers every query.
+        self._delta: DeltaFrame | None = None
+        self._tracker: BaseCandidateTracker | None = None
+        self._log = None
+        self._mutation_frame: EncodedFrame | None = None
         self._executor = None
-        if sharded:
-            from repro.parallel.executor import ShardedExecutor
-
-            started = time.perf_counter()
-            ship_store = store if self._reduced is None and store is not None else None
-            self._executor = ShardedExecutor(
-                self._reduced,
-                workers=resolved_workers,
-                num_shards=num_shards,
-                partitioner=partitioner,
-                kernel=self.kernel,
-                max_entries=max_entries,
-                merge_strategy=merge_strategy,
-                encoding_cache_size=cache_size,
-                frame=self._reduced_frame,
-                use_frame=self._use_frame,
-                index=self.index,
-                store=ship_store,
-                store_rows=self._candidate_ids if ship_store is not None else None,
-            )
-            self._phase_seconds["build"] += time.perf_counter() - started
+        if store is not None:
+            self._replay_delta_log()
+        self._build_reduced_state()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -314,9 +366,13 @@ class BatchQueryEngine:
 
     @property
     def dataset(self) -> Dataset:
-        """The engine's record view (store-backed engines materialize lazily)."""
-        if self._dataset is None and self._store is not None:
-            self._dataset = self._store.dataset()
+        """The engine's record view (frame/store-backed engines materialize
+        lazily)."""
+        if self._dataset is None:
+            if self._store is not None:
+                self._dataset = self._store.dataset()
+            elif self._frame is not None:
+                self._dataset = dataset_from_frame(self._frame)
         return self._dataset
 
     @property
@@ -355,7 +411,15 @@ class BatchQueryEngine:
     @property
     def candidate_count(self) -> int:
         """Records that can appear in some query's skyline (after prefilter)."""
-        return len(self._candidate_ids)
+        return len(self._candidate_rows)
+
+    @property
+    def _candidate_ids(self) -> list[int]:
+        """Stable record ids of the candidate rows (compat/introspection)."""
+        return [self._stable_id_of_row(row) for row in self._candidate_rows]
+
+    def _stable_id_of_row(self, row: int) -> int:
+        return row if self._row_ids is None else self._row_ids[row]
 
     def _stored_base_artifacts(self, query: BatchQuery, key: TopologyKey):
         """The store's packed base mapping (+ tree, when compatible), cached.
@@ -386,6 +450,74 @@ class BatchQueryEngine:
             if self._base_artifacts is None:
                 self._base_artifacts = (mapping, tree)
             return self._base_artifacts
+
+    # ------------------------------------------------------------------ #
+    # Reduced state (initial build + rebuilds after base-live changes)
+    # ------------------------------------------------------------------ #
+    def _build_reduced_state(self) -> None:
+        """Derive every candidate-dependent structure from ``_candidate_rows``.
+
+        Called at construction and again whenever the live base row set
+        changes (base delete that dirtied a Pareto front, compaction).  The
+        in-process frame path keeps only a row-index view
+        (:attr:`_reduced_rows`); a materialized row-subset frame is built
+        solely for the sharded executor, which partitions rows across
+        shards/processes and therefore needs its own copy anyway.
+        """
+        full = len(self._candidate_rows) == self._num_rows
+        self._reduced_rows = None if full else list(self._candidate_rows)
+        started = time.perf_counter()
+        # The reduced record view backs the record fallback and the sharded
+        # partitioners; the frame path reads row views of the shared frame,
+        # so no per-record subset is materialized there (store-backed
+        # engines never materialize it — sharding partitions the frame).
+        if self._store is not None and self._frame is not None:
+            self._reduced = None
+        elif self._frame is not None and not self._sharded:
+            self._reduced = None
+        else:
+            records = self.dataset
+            self._reduced = (
+                records if full else records.subset(self._candidate_rows)
+            )
+        self._phase_seconds["build"] += time.perf_counter() - started
+        started = time.perf_counter()
+        if self._frame is not None and self._sharded and not full:
+            self._executor_frame = self._frame.take(self._candidate_rows)
+        elif self._frame is not None and full:
+            self._executor_frame = self._frame
+        else:
+            self._executor_frame = None
+        self._phase_seconds["encode"] += time.perf_counter() - started
+        old = self._executor
+        self._executor = None
+        if old is not None:
+            old.close()
+        if self._sharded:
+            from repro.parallel.executor import ShardedExecutor
+
+            started = time.perf_counter()
+            ship_store = (
+                self._store
+                if self._reduced is None and self._store is not None
+                else None
+            )
+            self._executor = ShardedExecutor(
+                self._reduced,
+                workers=self._workers_resolved,
+                num_shards=self._num_shards_config,
+                partitioner=self._partitioner,
+                kernel=self.kernel,
+                max_entries=self.max_entries,
+                merge_strategy=self._merge_strategy,
+                encoding_cache_size=self.cache_size,
+                frame=self._executor_frame,
+                use_frame=self._use_frame,
+                index=self.index,
+                store=ship_store,
+                store_rows=self._candidate_rows if ship_store is not None else None,
+            )
+            self._phase_seconds["build"] += time.perf_counter() - started
 
     # ------------------------------------------------------------------ #
     # Query execution
@@ -427,13 +559,159 @@ class BatchQueryEngine:
             seconds=time.perf_counter() - started,
         )
 
+    def _effective_schema(self, query: BatchQuery):
+        if query.dag_overrides:
+            return self.schema.replace_partial_order(dict(query.dag_overrides))
+        return self.schema
+
+    def _base_skyline_rows(self, query: BatchQuery, key: TopologyKey):
+        """The base-side skyline as frame rows, via the per-topology cache.
+
+        Returns ``(rows, stats, sharded_result, timers)`` where ``timers`` is
+        the ``(build, index_build, query, merge)`` seconds of an actual
+        computation (all zero on a base-cache hit).
+        """
+        cached = self._base_cache.get(key, _CACHE_MISS)
+        if cached is not _CACHE_MISS:
+            return list(cached), None, None, (0.0, 0.0, 0.0, 0.0)
+        stats = None
+        sharded = None
+        build_seconds = index_build_seconds = query_seconds = merge_seconds = 0.0
+        if self._executor is not None:
+            sharded = self._executor.query(query.dag_overrides, name=query.name)
+            reduced_ids = sharded.skyline_ids
+            query_seconds = sharded.seconds_local
+            merge_seconds = sharded.seconds_merge
+        else:
+            if query.dag_overrides:
+                # Domain coverage is checked up front (the shared cheap
+                # equivalent of full row validation, same as the sharded
+                # path) so the frame/dataset swap can skip re-walking every
+                # row on each topology miss.
+                validate_override_domains(
+                    self.schema.partial_order_attributes, query.dag_overrides
+                )
+            if self.schema.num_partial_order:
+                phase_started = time.perf_counter()
+                tree = None
+                if not query.dag_overrides and self._store_base_usable:
+                    # Base-preference query over a store: adopt the packed
+                    # mapping (and tree, when compatible) instead of
+                    # re-mapping / re-bulk-loading.
+                    mapping, tree = self._stored_base_artifacts(query, key)
+                elif self._frame is not None:
+                    # Columnar path: map a row view of the shared frame under
+                    # the effective schema — no survivor copy, no per-record
+                    # re-walk.
+                    mapping = TSSMapping(
+                        None,
+                        self._encodings_for(query, key),
+                        schema=self._effective_schema(query),
+                        frame=self._frame,
+                        rows=self._reduced_rows,
+                    )
+                else:
+                    if query.dag_overrides:
+                        schema = self.schema.replace_partial_order(
+                            dict(query.dag_overrides)
+                        )
+                        data = self._reduced.with_schema(schema, validate=False)
+                    else:
+                        data = self._reduced
+                    mapping = TSSMapping(
+                        data, self._encodings_for(query, key), use_frame=False
+                    )
+                index_started = time.perf_counter()
+                build_seconds = index_started - phase_started
+                if tree is None:
+                    tree = mapping.build_rtree(
+                        max_entries=self.max_entries, index=self.index
+                    )
+                query_started = time.perf_counter()
+                index_build_seconds = query_started - index_started
+                result = stss_skyline(
+                    mapping=mapping, tree=tree, kernel=self.kernel, index=self.index
+                )
+                query_seconds = time.perf_counter() - query_started
+            else:
+                query_started = time.perf_counter()
+                if self._frame is not None:
+                    result = sfs_skyline(
+                        None,
+                        frame=self._frame,
+                        rows=self._reduced_rows,
+                        kernel=self.kernel,
+                    )
+                else:
+                    result = sfs_skyline(
+                        self._reduced, kernel=self.kernel, use_frame=False
+                    )
+                query_seconds = time.perf_counter() - query_started
+            reduced_ids = result.skyline_ids
+            stats = result.stats
+        rows = [self._candidate_rows[reduced_id] for reduced_id in reduced_ids]
+        self._base_cache[key] = rows
+        timers = (build_seconds, index_build_seconds, query_seconds, merge_seconds)
+        return rows, stats, sharded, timers
+
+    def _merged_skyline_ids(
+        self, query: BatchQuery, key: TopologyKey, base_rows: Sequence[int]
+    ) -> list[int]:
+        """``SKY(base ∪ delta)`` as sorted stable ids.
+
+        The delta side runs the same per-query pipeline over a row view of
+        the insert frame (live inserts only); the two partial skylines are
+        then cross-examined with one batched ground-truth dominance call per
+        direction — see :mod:`repro.delta.merge` for why the union of the
+        mutual survivors is exactly the from-scratch skyline.
+        """
+        delta = self._delta
+        live_positions = delta.live_insert_positions()
+        insert_frame = delta.insert_frame()
+        if self.schema.num_partial_order:
+            mapping = TSSMapping(
+                None,
+                self._encodings_for(query, key),
+                schema=self._effective_schema(query),
+                frame=insert_frame,
+                rows=live_positions,
+            )
+            tree = mapping.build_rtree(max_entries=self.max_entries, index=self.index)
+            result = stss_skyline(
+                mapping=mapping, tree=tree, kernel=self.kernel, index=self.index
+            )
+        else:
+            result = sfs_skyline(
+                None, frame=insert_frame, rows=live_positions, kernel=self.kernel
+            )
+        delta_rows = [live_positions[i] for i in result.skyline_ids]
+        tables = RecordTables.from_schema(self._effective_schema(query))
+        keep_base, keep_delta = cross_examine(
+            self.kernel,
+            tables,
+            tables_blocks(self._mutation_base_frame(), list(base_rows), tables),
+            tables_blocks(insert_frame, delta_rows, tables),
+        )
+        ids = [
+            self._stable_id_of_row(row)
+            for row, keep in zip(base_rows, keep_base)
+            if keep
+        ]
+        ids.extend(
+            delta.insert_ids_at(
+                [row for row, keep in zip(delta_rows, keep_delta) if keep]
+            )
+        )
+        return sorted(ids)
+
     def run_query(self, query: BatchQuery) -> BatchQueryResult:
         """Answer one query (possibly from the per-topology cache).
 
         Thread-safe: concurrent callers over distinct topologies proceed in
         parallel; concurrent callers over the same topology serialize on a
         per-``dag_signature`` lock, where all but the first are then served
-        by the result cache the winner filled.
+        by the result cache the winner filled.  Mutations never interleave
+        with an in-flight query (read/write latch).
         """
         started = time.perf_counter()
         key = self.topology_key(query)
@@ -448,91 +726,32 @@ class BatchQueryEngine:
             hit = self._cached_result(query, key, started)
             if hit is not None:
                 return hit
-            stats = None
-            sharded = None
-            build_seconds = index_build_seconds = query_seconds = merge_seconds = 0.0
-            if self._executor is not None:
-                sharded = self._executor.query(query.dag_overrides, name=query.name)
-                reduced_ids = sharded.skyline_ids
-                query_seconds = sharded.seconds_local
-                merge_seconds = sharded.seconds_merge
-            else:
-                if query.dag_overrides:
-                    # Domain coverage is checked up front (the shared cheap
-                    # equivalent of full row validation, same as the sharded
-                    # path) so the dataset swap can skip re-walking every
-                    # row on each topology miss.
-                    validate_override_domains(
-                        self.schema.partial_order_attributes, query.dag_overrides
-                    )
-                if self.schema.num_partial_order:
-                    phase_started = time.perf_counter()
-                    tree = None
-                    if not query.dag_overrides and self._store_base_usable:
-                        # Base-preference query over a store: adopt the packed
-                        # mapping (and tree, when compatible) instead of
-                        # re-mapping / re-bulk-loading.
-                        mapping, tree = self._stored_base_artifacts(query, key)
-                    elif self._reduced_frame is not None:
-                        # Columnar path: map the shared frame directly under
-                        # the effective schema — no per-record re-walk.
-                        schema = (
-                            self.schema.replace_partial_order(dict(query.dag_overrides))
-                            if query.dag_overrides
-                            else self.schema
-                        )
-                        mapping = TSSMapping(
-                            None,
-                            self._encodings_for(query, key),
-                            schema=schema,
-                            frame=self._reduced_frame,
-                        )
-                    else:
-                        if query.dag_overrides:
-                            schema = self.schema.replace_partial_order(
-                                dict(query.dag_overrides)
-                            )
-                            data = self._reduced.with_schema(schema, validate=False)
-                        else:
-                            data = self._reduced
-                        mapping = TSSMapping(
-                            data, self._encodings_for(query, key), use_frame=False
-                        )
-                    index_started = time.perf_counter()
-                    build_seconds = index_started - phase_started
-                    if tree is None:
-                        tree = mapping.build_rtree(
-                            max_entries=self.max_entries, index=self.index
-                        )
-                    query_started = time.perf_counter()
-                    index_build_seconds = query_started - index_started
-                    result = stss_skyline(
-                        mapping=mapping, tree=tree, kernel=self.kernel, index=self.index
-                    )
-                    query_seconds = time.perf_counter() - query_started
+            self._latch.acquire_read()
+            try:
+                base_rows, stats, sharded, timers = self._base_skyline_rows(
+                    query, key
+                )
+                build_seconds, index_build_seconds, query_seconds, merge_seconds = (
+                    timers
+                )
+                delta = self._delta
+                if delta is not None and delta.live_insert_count:
+                    merge_started = time.perf_counter()
+                    skyline_ids = self._merged_skyline_ids(query, key, base_rows)
+                    merge_seconds += time.perf_counter() - merge_started
                 else:
-                    query_started = time.perf_counter()
-                    if self._reduced_frame is not None:
-                        result = sfs_skyline(
-                            None, frame=self._reduced_frame, kernel=self.kernel
-                        )
-                    else:
-                        result = sfs_skyline(
-                            self._reduced, kernel=self.kernel, use_frame=False
-                        )
-                    query_seconds = time.perf_counter() - query_started
-                reduced_ids = result.skyline_ids
-                stats = result.stats
-            skyline_ids = sorted(
-                self._candidate_ids[reduced_id] for reduced_id in reduced_ids
-            )
-            with self._state_lock:
-                self.queries_evaluated += 1
-                self._phase_seconds["build"] += build_seconds
-                self._phase_seconds["index_build"] += index_build_seconds
-                self._phase_seconds["query"] += query_seconds
-                self._phase_seconds["merge"] += merge_seconds
-            self._result_cache[key] = skyline_ids
+                    skyline_ids = sorted(
+                        self._stable_id_of_row(row) for row in base_rows
+                    )
+                with self._state_lock:
+                    self.queries_evaluated += 1
+                    self._phase_seconds["build"] += build_seconds
+                    self._phase_seconds["index_build"] += index_build_seconds
+                    self._phase_seconds["query"] += query_seconds
+                    self._phase_seconds["merge"] += merge_seconds
+                self._result_cache[key] = skyline_ids
+            finally:
+                self._latch.release_read()
         return BatchQueryResult(
             name=query.name,
             skyline_ids=list(skyline_ids),
@@ -547,6 +766,263 @@ class BatchQueryEngine:
         """Answer a whole batch in order."""
         return [self.run_query(query) for query in queries]
 
+    # ------------------------------------------------------------------ #
+    # Live mutations (the delta plane)
+    # ------------------------------------------------------------------ #
+    def _mutation_base_frame(self) -> EncodedFrame:
+        """The encoded base the delta plane layers over.
+
+        The engine's own frame when the columnar path is on; otherwise a
+        one-time encode of the record dataset (bitwise-pinned to the frame a
+        columnar engine would hold, so both paths merge identically).
+        """
+        if self._frame is not None:
+            return self._frame
+        if self._mutation_frame is None:
+            self._mutation_frame = EncodedFrame.from_dataset(self.dataset)
+        return self._mutation_frame
+
+    def _ensure_delta(self) -> DeltaFrame:
+        if self._delta is None:
+            self._delta = DeltaFrame(
+                self._mutation_base_frame(), base_ids=self._row_ids
+            )
+            if self._store is not None and self._log is None:
+                from repro.store.delta import DeltaLog, delta_log_path
+
+                self._log = DeltaLog.ensure(
+                    delta_log_path(self._store.path), self._store.generation
+                )
+        return self._delta
+
+    def _ensure_tracker(self) -> BaseCandidateTracker:
+        if self._tracker is None:
+            self._tracker = BaseCandidateTracker(
+                self._mutation_base_frame(),
+                self.kernel,
+                prefilter=self._prefilter,
+                initial_rows=self._candidate_rows,
+            )
+        return self._tracker
+
+    def _replay_delta_log(self) -> None:
+        """Recover pending mutations from the store's sidecar log (at open).
+
+        Only a log written against this very store generation applies; a
+        stale one (compaction landed, crash before the log reset) is left to
+        be discarded by the first mutation's :meth:`DeltaLog.ensure
+        <repro.store.delta.DeltaLog.ensure>`.
+        """
+        from repro.store.delta import DeltaLog, delta_log_path
+
+        log = DeltaLog.load(delta_log_path(self._store.path))
+        if log is None or log.generation != self._store.generation:
+            return
+        self._log = log
+        if not log.entries:
+            return
+        delta = self._ensure_delta()
+        for entry in log.entries:
+            if entry[0] == "insert":
+                for record_id, to_values, codes in zip(entry[1], entry[2], entry[3]):
+                    delta.replay_insert(record_id, to_values, codes)
+            else:
+                _, base_rows = delta.delete_ids(entry[1])
+                if base_rows:
+                    self._ensure_tracker().remove_rows(base_rows)
+        if self._tracker is not None:
+            candidates = self._tracker.candidates()
+            if candidates != self._candidate_rows:
+                self._candidate_rows = candidates
+                self._store_base_usable = False
+        self.mutations_applied += delta.mutations
+
+    def insert(self, rows: Sequence[Sequence[object]]) -> list[int]:
+        """Insert a batch of records; returns their newly allocated stable ids.
+
+        Rows are validated against the schema, encoded into the canonical
+        column layout and appended to the delta plane (and, store-backed, to
+        the crash-safe sidebar log) — the base is never rewritten.  May
+        trigger automatic compaction (``compact_threshold``).
+        """
+        rows = list(rows)
+        if not rows:
+            return []
+        self._latch.acquire_write()
+        try:
+            delta = self._ensure_delta()
+            ids = delta.insert_rows(rows)
+            if self._log is not None:
+                to_rows, code_rows = delta.insert_payload(ids)
+                self._log.append_inserts(ids, to_rows, code_rows)
+            self._note_mutation(len(ids))
+            self._maybe_compact()
+            return ids
+        finally:
+            self._latch.release_write()
+
+    def delete(self, record_ids: Sequence[int]) -> list[int]:
+        """Tombstone stable record ids; returns the ids actually deleted.
+
+        Idempotent for already-deleted ids; unknown ids raise
+        :class:`~repro.exceptions.QueryError`.  Deleting a base row that sat
+        on its PO group's Pareto front resurrects the prefilter-dropped
+        siblings it was masking (the candidate tracker recomputes exactly
+        the dirty fronts).  May trigger automatic compaction.
+        """
+        record_ids = [int(record_id) for record_id in record_ids]
+        if not record_ids:
+            return []
+        self._latch.acquire_write()
+        try:
+            delta = self._ensure_delta()
+            removed, base_rows = delta.delete_ids(record_ids)
+            if self._log is not None and removed:
+                self._log.append_deletes(removed)
+            if base_rows:
+                self._apply_base_deletes(base_rows)
+            if removed:
+                self._note_mutation(len(removed))
+                self._maybe_compact()
+            return removed
+        finally:
+            self._latch.release_write()
+
+    def _note_mutation(self, count: int) -> None:
+        with self._state_lock:
+            self.mutations_applied += count
+        # Every mutation invalidates merged results; the base-side cache
+        # survives unless the live base row set changed.
+        self._result_cache.clear()
+
+    def _apply_base_deletes(self, base_rows: Sequence[int]) -> None:
+        tracker = self._ensure_tracker()
+        if not tracker.remove_rows(base_rows):
+            # The deleted rows were prefilter-dropped (dominated) — the
+            # candidate set, every base skyline and the packed artifacts
+            # still stand.
+            return
+        self._candidate_rows = tracker.candidates()
+        self._base_cache.clear()
+        self._base_artifacts = None
+        self._store_base_usable = False
+        self._build_reduced_state()
+
+    def _maybe_compact(self) -> None:
+        if (
+            self._compact_threshold > 0
+            and self._delta is not None
+            and self._delta.mutations >= self._compact_threshold
+        ):
+            self._compact_locked()
+
+    def compact(self) -> dict:
+        """Fold the delta plane into a fresh base; returns a summary dict.
+
+        Store-backed engines pack the live rows (with their surviving stable
+        ids) to a temporary file, atomically ``os.replace`` it over the
+        store, reset the sidecar log to the new generation and re-open —
+        every intermediate state is CRC-valid and re-openable.  In-memory
+        engines simply adopt the live frame as the new base.
+        """
+        self._latch.acquire_write()
+        try:
+            return self._compact_locked()
+        finally:
+            self._latch.release_write()
+
+    def _compact_locked(self) -> dict:
+        delta = self._delta
+        if delta is None or not delta.mutations:
+            return {"compacted": False, "reason": "no pending mutations"}
+        live_frame, row_ids = delta.live_frame_and_ids()
+        summary: dict[str, object] = {
+            "compacted": True,
+            "rows": len(row_ids),
+            "folded_mutations": delta.mutations,
+        }
+        started = time.perf_counter()
+        if self._store is not None:
+            from repro.store.delta import DeltaLog, delta_log_path
+            from repro.store.reader import DatasetStore
+            from repro.store.writer import pack_frame
+
+            store = self._store
+            generation = store.generation + 1
+            tmp_path = store.path + ".compact.tmp"
+            pack_frame(
+                live_frame,
+                tmp_path,
+                kernel=self.kernel,
+                max_entries=self.max_entries,
+                row_ids=row_ids,
+                generation=generation,
+            )
+            # The commit point: readers see either the old store (+ the old
+            # log, still at the old generation) or the new one.  A crash
+            # after the replace but before the log reset leaves a stale-
+            # generation log, which every loader discards.
+            os.replace(tmp_path, store.path)
+            if self._log is not None:
+                self._log.reset(generation)
+            else:
+                self._log = DeltaLog.ensure(
+                    delta_log_path(store.path), generation
+                )
+            reopened = DatasetStore.open(
+                store.path, mmap=store.uses_mmap, crc=self._crc_mode
+            )
+            self._store = reopened
+            self._num_rows = reopened.num_rows
+            self._row_ids = reopened.row_ids()
+            if self._use_frame:
+                self._frame = reopened.frame()
+                self._dataset = None
+            else:
+                self._frame = None
+                self._dataset = reopened.dataset()
+            self._mutation_frame = None
+            self._candidate_rows = (
+                reopened.survivors()
+                if self._prefilter
+                else list(range(self._num_rows))
+            )
+            self._store_base_usable = (
+                self._frame is not None
+                and self._prefilter
+                and reopened.has_base_mapping
+            )
+            summary["generation"] = generation
+            summary["path"] = reopened.path
+        else:
+            identity = row_ids == list(range(len(row_ids)))
+            self._row_ids = None if identity else row_ids
+            self._num_rows = len(row_ids)
+            if self._use_frame:
+                self._frame = live_frame
+                self._dataset = None
+                self._mutation_frame = None
+            else:
+                self._frame = None
+                self._dataset = dataset_from_frame(live_frame)
+                self._mutation_frame = live_frame
+            self._candidate_rows = (
+                self._prefilter_survivors()
+                if self._prefilter
+                else list(range(self._num_rows))
+            )
+            self._store_base_usable = False
+        self._delta = None
+        self._tracker = None
+        self._base_artifacts = None
+        self._base_cache.clear()
+        self._result_cache.clear()
+        with self._state_lock:
+            self.compactions += 1
+        self._build_reduced_state()
+        summary["seconds"] = time.perf_counter() - started
+        return summary
+
     def summary(self) -> dict[str, object]:
         """A consistent snapshot of counters, cache sizes and shard state.
 
@@ -557,7 +1033,10 @@ class BatchQueryEngine:
         with self._state_lock:
             queries_evaluated = self.queries_evaluated
             cache_hits = self.cache_hits
+            mutations_applied = self.mutations_applied
+            compactions = self.compactions
             phase_seconds = dict(self._phase_seconds)
+        delta = self._delta
         summary: dict[str, object] = {
             "dataset_size": self._num_rows,
             "candidates_after_prefilter": self.candidate_count,
@@ -566,7 +1045,9 @@ class BatchQueryEngine:
                 {
                     "path": self._store.path,
                     "format_version": self._store.format_version,
+                    "generation": self._store.generation,
                     "mmap": self._store.uses_mmap,
+                    "crc": self._store.crc_mode,
                 }
                 if self._store is not None
                 else None
@@ -584,6 +1065,22 @@ class BatchQueryEngine:
             "kernel": self.kernel.name,
             "index": self.index,
             "workers": self._executor.workers if self._executor is not None else 0,
+            "crc": self._crc_mode,
+            "compact_threshold": self._compact_threshold,
+            "mutations_applied": mutations_applied,
+            "compactions": compactions,
+            "delta": (
+                None
+                if delta is None
+                else {
+                    "inserts": delta.num_inserts,
+                    "live_inserts": delta.live_insert_count,
+                    "base_deletes": delta.num_base_deletes,
+                    "pending_mutations": delta.mutations,
+                    "live_rows": delta.num_live,
+                    "next_id": delta.next_id,
+                }
+            ),
         }
         if self._executor is not None:
             summary["sharding"] = self._executor.summary()

@@ -108,6 +108,25 @@ class ServiceClient:
             payload["omit_ids"] = True
         return self.checked_request(payload)
 
+    def insert(self, rows) -> list[int]:
+        """Insert records (lists of attribute values in schema order);
+        returns their newly allocated stable ids."""
+        response = self.checked_request(
+            {"op": "insert", "rows": [list(row) for row in rows]}
+        )
+        return [int(record_id) for record_id in response["ids"]]
+
+    def delete(self, ids) -> list[int]:
+        """Delete records by stable id; returns the ids actually deleted."""
+        response = self.checked_request(
+            {"op": "delete", "ids": [int(record_id) for record_id in ids]}
+        )
+        return [int(record_id) for record_id in response["ids"]]
+
+    def compact(self) -> dict[str, object]:
+        """Fold the service's delta plane into a fresh base."""
+        return self.checked_request({"op": "compact"})["compaction"]  # type: ignore[return-value]
+
     def shutdown(self) -> dict[str, object]:
         """Ask the server to stop; the server answers before stopping."""
         return self.checked_request({"op": "shutdown"})

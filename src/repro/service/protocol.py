@@ -13,6 +13,16 @@ Each request and each response is one JSON object on one line (UTF-8,
     ``seed`` (server-side random preferences — handy for smoke tests, since
     the client needs no schema knowledge), or neither (the dataset's base
     preferences).
+``insert``
+    Append a batch of new records to the live delta plane: ``rows`` is a
+    list of attribute-value lists in schema order.  Answers the stable
+    record ids allocated to the rows.
+``delete``
+    Tombstone records by stable id: ``ids`` is a list of integers.  Answers
+    the ids actually deleted (already-dead ids are ignored).
+``compact``
+    Fold the delta plane into a fresh base (store-backed services rewrite
+    the packed file atomically); answers the compaction summary.
 ``shutdown``
     Acknowledge, then stop the server cleanly.
 
@@ -32,7 +42,41 @@ from repro.exceptions import QueryError, ReproError
 from repro.order.dag import PartialOrderDAG
 
 #: Protocol revision, reported by ``ping`` and ``stats``.
-PROTOCOL_VERSION = 1
+#: 2 added the delta-plane mutation ops (``insert``/``delete``/``compact``).
+PROTOCOL_VERSION = 2
+
+
+def decode_rows(payload: object, schema: Schema) -> list[tuple]:
+    """Parse the ``rows`` field of an ``insert`` request.
+
+    Checks shape only (a list of schema-arity value lists); value-level
+    validation — numeric TO values, PO domain membership — happens in the
+    engine's encoder, whose typed errors relay back over the wire.
+    """
+    if not isinstance(payload, list) or not payload:
+        raise QueryError("'rows' must be a non-empty list of record value lists")
+    arity = len(schema.attributes)
+    rows: list[tuple] = []
+    for index, row in enumerate(payload):
+        if not isinstance(row, list) or len(row) != arity:
+            raise QueryError(
+                f"row {index} must be a list of {arity} attribute values "
+                f"(schema order)"
+            )
+        rows.append(tuple(row))
+    return rows
+
+
+def decode_ids(payload: object) -> list[int]:
+    """Parse the ``ids`` field of a ``delete`` request."""
+    if not isinstance(payload, list) or not payload:
+        raise QueryError("'ids' must be a non-empty list of record ids")
+    ids: list[int] = []
+    for value in payload:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise QueryError(f"record id {value!r} is not an integer")
+        ids.append(value)
+    return ids
 
 
 def encode_dag(dag: PartialOrderDAG) -> dict[str, object]:

@@ -202,6 +202,12 @@ class QueryService:
                 return protocol.ok_response(stopping=True)
             if op == "query":
                 return await self._run_query(request)
+            if op == "insert":
+                return await self._run_insert(request)
+            if op == "delete":
+                return await self._run_delete(request)
+            if op == "compact":
+                return await self._run_compact()
             return protocol.error_response(f"unknown op {op!r}")
         except ReproError as error:
             return protocol.error_response(str(error))
@@ -256,6 +262,49 @@ class QueryService:
         if not request.get("omit_ids"):
             payload["skyline_ids"] = result.skyline_ids
         return protocol.ok_response(**payload)
+
+    async def _mutate(self, worker) -> dict[str, object]:
+        """Run one blocking mutation off-loop, inflight-counted like queries.
+
+        The engine's read/write latch serializes the mutation against every
+        in-flight query internally; here we only keep shutdown's drain
+        honest and the event loop responsive.
+        """
+        loop = asyncio.get_running_loop()
+        async with self._drained:
+            if self._shutdown.is_set():
+                return protocol.error_response("service is shutting down")
+            self._inflight += 1
+        try:
+            return await loop.run_in_executor(None, worker)
+        finally:
+            async with self._drained:
+                self._inflight -= 1
+                self._drained.notify_all()
+
+    async def _run_insert(self, request: dict[str, object]) -> dict[str, object]:
+        rows = protocol.decode_rows(request.get("rows"), self.schema)
+
+        def worker() -> dict[str, object]:
+            ids = self.engine.insert(rows)
+            return protocol.ok_response(ids=ids, inserted=len(ids))
+
+        return await self._mutate(worker)
+
+    async def _run_delete(self, request: dict[str, object]) -> dict[str, object]:
+        ids = protocol.decode_ids(request.get("ids"))
+
+        def worker() -> dict[str, object]:
+            deleted = self.engine.delete(ids)
+            return protocol.ok_response(ids=deleted, deleted=len(deleted))
+
+        return await self._mutate(worker)
+
+    async def _run_compact(self) -> dict[str, object]:
+        def worker() -> dict[str, object]:
+            return protocol.ok_response(compaction=self.engine.compact())
+
+        return await self._mutate(worker)
 
     def stats(self) -> dict[str, object]:
         """Cache, shard and latency statistics for the ``stats`` op."""

@@ -77,26 +77,30 @@ def depth_columns(schema: Schema, frame: EncodedFrame) -> list[list[int]]:
     ]
 
 
-def _sfs_frame(schema: Schema, frame: EncodedFrame, kernel) -> SkylineResult:
+def _sfs_frame(schema: Schema, frame: EncodedFrame, kernel, rows=None) -> SkylineResult:
     """Columnar SFS: presort via ``argsort`` on the monotone key vector.
 
     The candidate scan is the same sequence of store queries as the record
     path — identical verdicts, discovery order and dominance-check counts —
     but the per-record encode step is gone: rows stream out of the frame.
+    ``rows`` restricts the scan to a row subset without materializing a
+    reduced frame; result ids are then positions within ``rows``, exactly as
+    a ``frame.take(rows)`` run would number them.
     """
     stats = SkylineStats()
     clock = RunClock(stats)
     tables = RecordTables.from_schema(schema)
-    codes = frame.remap_codes([table.code_of for table in tables.attributes])
-    keys = frame.monotone_keys(depth_columns(schema, frame))
+    codes = frame.remap_codes([table.code_of for table in tables.attributes], rows)
+    keys = frame.monotone_keys(depth_columns(schema, frame), rows)
+    length = len(frame) if rows is None else len(rows)
     if frame.uses_numpy:
         import numpy as np
 
         order = np.argsort(keys, kind="stable").tolist()
     else:
-        order = sorted(range(len(frame)), key=keys.__getitem__)
+        order = sorted(range(length), key=keys.__getitem__)
     store = resolve_kernel(kernel).record_store(tables)
-    to = frame.to
+    to = frame.gather_to(rows)
     skyline_ids: list[int] = []
     for row in order:
         stats.points_examined += 1
@@ -115,6 +119,7 @@ def sfs_skyline(
     key: Callable[[Record], float] | None = None,
     kernel=None,
     frame: EncodedFrame | None = None,
+    rows=None,
     use_frame: bool | None = None,
 ) -> SkylineResult:
     """Compute the skyline of ``dataset`` with Sort-Filter-Skyline.
@@ -134,11 +139,11 @@ def sfs_skyline(
         if frame is None and resolve_frame_mode(use_frame):
             frame = EncodedFrame.from_dataset(dataset)
         if frame is not None:
-            return _sfs_frame(schema, frame, kernel)
-    if dataset is None:
+            return _sfs_frame(schema, frame, kernel, rows)
+    if dataset is None or rows is not None:
         raise DatasetError(
-            "sfs_skyline needs a dataset when a custom key or dominance "
-            "predicate bypasses the columnar path"
+            "sfs_skyline needs a dataset (and no row subset) when a custom "
+            "key or dominance predicate bypasses the columnar path"
         )
     key = key or monotone_sort_key(schema)
 

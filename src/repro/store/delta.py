@@ -1,0 +1,198 @@
+"""The sidecar delta log: crash-safe mutation persistence for packed stores.
+
+A packed store file is immutable by design (mmap views, page-cache sharing),
+so live mutations persist *next to* it, LSM-style, in ``<store>.delta`` — an
+append-only log replayed into the engine's in-memory
+:class:`~repro.delta.frame.DeltaFrame` at open and folded into a fresh base
+by compaction.
+
+Layout::
+
+    header:  8-byte magic ``RPRODLOG`` + ``<Q`` generation
+    entry:   1-byte kind (``I``/``D``) + ``<I`` crc32(kind+payload)
+             + ``<Q`` payload length + payload
+    insert payload: ``<Q`` count, ``<Q`` num_to, ``<Q`` num_po,
+             count ``<q`` record ids, count*num_to ``<d`` canonical TO
+             values, count*num_po ``<i`` canonical PO codes
+    delete payload: ``<Q`` count, count ``<q`` record ids
+
+Two invariants make every crash point recoverable:
+
+* **Per-entry checksums + torn-tail tolerance.**  Loading stops at the first
+  incomplete or checksum-failing entry and keeps the valid prefix; the next
+  append overwrites the torn tail.  A mutation is durable exactly when its
+  entry was fully written.
+* **Generation fencing.**  The log's header carries the store generation it
+  was written against; compaction writes the new store (``os.replace``,
+  atomic) *before* resetting the log, so a crash between the two leaves a
+  stale-generation log that loaders simply discard — mutations are never
+  applied twice.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from collections.abc import Sequence
+
+from repro.exceptions import StoreError
+
+LOG_MAGIC = b"RPRODLOG"
+_HEADER = struct.Struct("<8sQ")
+_FRAME = struct.Struct("<cIQ")
+
+#: Default sidecar suffix: ``catalog.rpro`` logs to ``catalog.rpro.delta``.
+LOG_SUFFIX = ".delta"
+
+
+def delta_log_path(store_path) -> str:
+    return os.fspath(store_path) + LOG_SUFFIX
+
+
+def _encode_insert_payload(ids, to_rows, code_rows) -> bytes:
+    count = len(ids)
+    num_to = len(to_rows[0]) if count else 0
+    num_po = len(code_rows[0]) if count else 0
+    parts = [struct.pack("<QQQ", count, num_to, num_po)]
+    parts.append(struct.pack(f"<{count}q", *[int(i) for i in ids]))
+    flat_to = [float(v) for row in to_rows for v in row]
+    parts.append(struct.pack(f"<{len(flat_to)}d", *flat_to))
+    flat_codes = [int(c) for row in code_rows for c in row]
+    parts.append(struct.pack(f"<{len(flat_codes)}i", *flat_codes))
+    return b"".join(parts)
+
+
+def _decode_insert_payload(payload: bytes):
+    count, num_to, num_po = struct.unpack_from("<QQQ", payload, 0)
+    offset = 24
+    ids = list(struct.unpack_from(f"<{count}q", payload, offset))
+    offset += 8 * count
+    flat_to = struct.unpack_from(f"<{count * num_to}d", payload, offset)
+    offset += 8 * count * num_to
+    flat_codes = struct.unpack_from(f"<{count * num_po}i", payload, offset)
+    to_rows = [
+        tuple(flat_to[r * num_to : (r + 1) * num_to]) for r in range(count)
+    ]
+    code_rows = [
+        tuple(flat_codes[r * num_po : (r + 1) * num_po]) for r in range(count)
+    ]
+    return ids, to_rows, code_rows
+
+
+class DeltaLog:
+    """One sidecar mutation log, loaded once and then append-only."""
+
+    def __init__(self, path: str, generation: int, entries: list, valid_end: int) -> None:
+        self.path = path
+        self.generation = int(generation)
+        #: Entries recovered at load: ``("insert", ids, to_rows, code_rows)``
+        #: or ``("delete", ids)`` tuples, in append order.
+        self.entries = entries
+        self._valid_end = valid_end
+
+    # ------------------------------------------------------------------ #
+    # Loading / creation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path) -> "DeltaLog | None":
+        """Read a log (``None`` when absent), keeping the valid entry prefix.
+
+        A torn tail — an entry cut short or failing its checksum, the
+        signature of a crash mid-append — ends the scan silently; everything
+        before it is intact (per-entry CRCs).  A malformed *header* raises
+        :class:`~repro.exceptions.StoreError`: that is not a crash artifact.
+        """
+        path = os.fspath(path)
+        try:
+            handle = open(path, "rb")
+        except FileNotFoundError:
+            return None
+        with handle:
+            raw = handle.read(_HEADER.size)
+            if len(raw) < _HEADER.size or raw[: len(LOG_MAGIC)] != LOG_MAGIC:
+                raise StoreError(f"'{path}' is not a delta log (bad magic)")
+            _, generation = _HEADER.unpack(raw)
+            entries: list = []
+            valid_end = _HEADER.size
+            while True:
+                frame = handle.read(_FRAME.size)
+                if len(frame) < _FRAME.size:
+                    break
+                kind, crc, length = _FRAME.unpack(frame)
+                payload = handle.read(length)
+                if len(payload) < length:
+                    break
+                if (zlib.crc32(kind + payload) & 0xFFFFFFFF) != crc:
+                    break
+                try:
+                    if kind == b"I":
+                        ids, to_rows, code_rows = _decode_insert_payload(payload)
+                        entries.append(("insert", ids, to_rows, code_rows))
+                    elif kind == b"D":
+                        (count,) = struct.unpack_from("<Q", payload, 0)
+                        ids = list(struct.unpack_from(f"<{count}q", payload, 8))
+                        entries.append(("delete", ids))
+                    else:
+                        break
+                except struct.error:
+                    break
+                valid_end = handle.tell()
+        return cls(path, generation, entries, valid_end)
+
+    @classmethod
+    def create(cls, path, generation: int) -> "DeltaLog":
+        """Write a fresh (empty) log for ``generation``, replacing any file."""
+        path = os.fspath(path)
+        with open(path, "wb") as handle:
+            handle.write(_HEADER.pack(LOG_MAGIC, int(generation)))
+            handle.flush()
+            os.fsync(handle.fileno())
+        return cls(path, generation, [], _HEADER.size)
+
+    @classmethod
+    def ensure(cls, path, generation: int) -> "DeltaLog":
+        """The log for ``generation``: loaded when it matches, else recreated.
+
+        A stale-generation log (compaction replaced the store but crashed
+        before the reset) is discarded here — its mutations are already in
+        the new base.
+        """
+        log = cls.load(path)
+        if log is None or log.generation != int(generation):
+            return cls.create(path, generation)
+        return log
+
+    def reset(self, generation: int) -> None:
+        """Drop every entry and re-stamp the log (post-compaction)."""
+        fresh = self.create(self.path, generation)
+        self.generation = fresh.generation
+        self.entries = []
+        self._valid_end = fresh._valid_end
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+    def _append(self, kind: bytes, payload: bytes) -> None:
+        frame = _FRAME.pack(
+            kind, zlib.crc32(kind + payload) & 0xFFFFFFFF, len(payload)
+        )
+        with open(self.path, "r+b") as handle:
+            handle.seek(self._valid_end)
+            handle.write(frame)
+            handle.write(payload)
+            handle.truncate()
+            handle.flush()
+            os.fsync(handle.fileno())
+            self._valid_end = handle.tell()
+
+    def append_inserts(self, ids: Sequence[int], to_rows, code_rows) -> None:
+        if len(ids):
+            self._append(b"I", _encode_insert_payload(ids, to_rows, code_rows))
+
+    def append_deletes(self, ids: Sequence[int]) -> None:
+        if len(ids):
+            payload = struct.pack("<Q", len(ids)) + struct.pack(
+                f"<{len(ids)}q", *[int(i) for i in ids]
+            )
+            self._append(b"D", payload)

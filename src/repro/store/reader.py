@@ -28,7 +28,7 @@ import struct
 import threading
 import zlib
 
-from repro.config import resolve_mmap_mode
+from repro.config import resolve_crc_mode, resolve_mmap_mode
 from repro.data.columns import ColumnCodec, EncodedFrame
 from repro.data.dataset import Dataset
 from repro.exceptions import StoreError
@@ -42,6 +42,9 @@ from repro.store.format import (
 
 _CHUNK = 1 << 20
 
+#: "Not loaded yet" marker for cached optionals (a loaded value may be None).
+_UNSET = object()
+
 
 def _numpy_or_none():
     try:
@@ -54,12 +57,19 @@ def _numpy_or_none():
 class DatasetStore:
     """A read-only view over one packed store file."""
 
-    def __init__(self, path: str, header: dict, *, mmap: bool) -> None:
+    def __init__(
+        self, path: str, header: dict, *, mmap: bool, crc: str = "eager"
+    ) -> None:
         self.path = path
         self.format_version: int = header["format_version"]
         self._header = header
         self._np = _numpy_or_none()
         self._mmap = bool(mmap) and self._np is not None
+        self._crc_mode = crc
+        # Sections whose checksum has been confirmed; in lazy mode each is
+        # verified on its first touch and remembered here.
+        self._verified: set[str] = set()
+        self._lazy_verify = False
         self._sections = {
             name: SectionSpec.from_json(name, payload, path=path)
             for name, payload in header["sections"].items()
@@ -68,22 +78,36 @@ class DatasetStore:
         self._lock = threading.RLock()  # dataset() -> frame() re-enters
         self._frame = None
         self._survivors = None
+        self._row_ids = _UNSET
         self._dataset = None
 
     # ------------------------------------------------------------------ #
     # Opening
     # ------------------------------------------------------------------ #
     @classmethod
-    def open(cls, path, *, mmap: bool | str | None = None, verify: bool = True) -> "DatasetStore":
+    def open(
+        cls,
+        path,
+        *,
+        mmap: bool | str | None = None,
+        verify: bool = True,
+        crc: str | None = None,
+    ) -> "DatasetStore":
         """Open ``path``, validate magic/version/checksums, return a store.
 
         ``mmap`` follows :func:`repro.config.resolve_mmap_mode` (explicit
-        argument > ``REPRO_MMAP`` > on when NumPy is available); checksum
-        verification reads every section once, which doubles as a page-cache
-        warm-up for the mmap path.
+        argument > ``REPRO_MMAP`` > on when NumPy is available).  ``crc``
+        follows :func:`repro.config.resolve_crc_mode`: ``"eager"`` (default)
+        verifies every section checksum here — reading each section once,
+        which doubles as a page-cache warm-up for the mmap path — while
+        ``"lazy"`` only bounds-checks the layout at open and defers each
+        section's checksum to its first touch (replica cold start below the
+        CRC pass).  ``verify=False`` skips checksums entirely (pool workers
+        re-opening a file the parent already verified).
         """
         path = os.fspath(path)
         use_mmap = resolve_mmap_mode(mmap)
+        crc_mode = resolve_crc_mode(crc)
         try:
             handle = open(path, "rb")
         except OSError as exc:
@@ -133,10 +157,25 @@ class DatasetStore:
                         f"store '{path}' header is missing its {key!r} entry "
                         f"(expected format version {FORMAT_VERSION})"
                     )
-            store = cls(path, header, mmap=use_mmap)
-            if verify:
+            store = cls(path, header, mmap=use_mmap, crc=crc_mode)
+            if verify and crc_mode == "eager":
                 store._verify_checksums(handle, file_size)
+            elif verify:
+                store._check_bounds(file_size)
+                store._lazy_verify = True
         return store
+
+    def _check_bounds(self, file_size: int) -> None:
+        """Cheap layout validation (no section reads): every section fits."""
+        for spec in self._sections.values():
+            if spec.offset + spec.nbytes > file_size:
+                raise StoreError(
+                    f"store '{self.path}' is truncated: section "
+                    f"{spec.name!r} needs bytes "
+                    f"[{spec.offset}, {spec.offset + spec.nbytes}) but the "
+                    f"file has {file_size} "
+                    f"(expected format version {FORMAT_VERSION})"
+                )
 
     def _verify_checksums(self, handle, file_size: int) -> None:
         for spec in self._sections.values():
@@ -148,21 +187,49 @@ class DatasetStore:
                     f"file has {file_size} "
                     f"(expected format version {FORMAT_VERSION})"
                 )
-            handle.seek(spec.offset)
-            remaining = spec.nbytes
-            crc = 0
-            while remaining:
-                chunk = handle.read(min(_CHUNK, remaining))
-                if not chunk:
-                    break
-                crc = zlib.crc32(chunk, crc)
-                remaining -= len(chunk)
-            if remaining or (crc & 0xFFFFFFFF) != spec.crc32:
-                raise StoreError(
-                    f"store '{self.path}' failed its checksum for section "
-                    f"{spec.name!r}: the file is corrupt — re-pack the "
-                    f"dataset with 'repro pack'"
-                )
+            self._stream_verify(handle, spec)
+            self._verified.add(spec.name)
+
+    def _stream_verify(self, handle, spec: SectionSpec) -> None:
+        handle.seek(spec.offset)
+        remaining = spec.nbytes
+        crc = 0
+        while remaining:
+            chunk = handle.read(min(_CHUNK, remaining))
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+            remaining -= len(chunk)
+        if remaining or (crc & 0xFFFFFFFF) != spec.crc32:
+            raise StoreError(
+                f"store '{self.path}' failed its checksum for section "
+                f"{spec.name!r}: the file is corrupt — re-pack the "
+                f"dataset with 'repro pack'"
+            )
+
+    def _touch(self, spec: SectionSpec, data: bytes | None = None) -> None:
+        """Lazy-mode first-touch checksum of one section (no-op otherwise).
+
+        ``data`` passes the bytes a caller already read, so the load path
+        verifies with zero extra IO; the mmap path streams the section from
+        the file once (warming exactly the pages about to be mapped).
+        """
+        if not self._lazy_verify:
+            return
+        with self._lock:
+            if spec.name in self._verified:
+                return
+            if data is not None:
+                if (zlib.crc32(data) & 0xFFFFFFFF) != spec.crc32:
+                    raise StoreError(
+                        f"store '{self.path}' failed its checksum for section "
+                        f"{spec.name!r}: the file is corrupt — re-pack the "
+                        f"dataset with 'repro pack'"
+                    )
+            else:
+                with open(self.path, "rb") as handle:
+                    self._stream_verify(handle, spec)
+            self._verified.add(spec.name)
 
     # ------------------------------------------------------------------ #
     # Header facts
@@ -170,6 +237,15 @@ class DatasetStore:
     @property
     def uses_mmap(self) -> bool:
         return self._mmap
+
+    @property
+    def generation(self) -> int:
+        """Monotone compaction counter (0 for stores packed before deltas)."""
+        return int(self._header.get("generation", 0))
+
+    @property
+    def crc_mode(self) -> str:
+        return self._crc_mode
 
     @property
     def num_rows(self) -> int:
@@ -199,7 +275,9 @@ class DatasetStore:
         return {
             "path": self.path,
             "format_version": self.format_version,
+            "generation": self.generation,
             "mmap": self._mmap,
+            "crc": self._crc_mode,
             "rows": self.num_rows,
             "survivors": self.num_survivors,
             "base_mapping": self.has_base_mapping,
@@ -227,6 +305,7 @@ class DatasetStore:
         np = self._np
         dtype = np.dtype(spec.dtype)
         if self._mmap and spec.nbytes:
+            self._touch(spec)
             return np.memmap(
                 self.path, dtype=dtype, mode="r", offset=spec.offset, shape=spec.shape
             )
@@ -243,6 +322,7 @@ class DatasetStore:
                 f"store '{self.path}' is truncated: section {spec.name!r} "
                 f"ended early (expected format version {FORMAT_VERSION})"
             )
+        self._touch(spec, data)
         return data
 
     def _unpack(self, name: str):
@@ -291,6 +371,24 @@ class DatasetStore:
                 else:
                     self._survivors = [int(row) for row in self._unpack("survivors")]
             return list(self._survivors)
+
+    def row_ids(self) -> list[int] | None:
+        """The stable ``row -> record id`` mapping, or ``None`` (= identity).
+
+        Written by delta-plane compaction (:func:`~repro.store.writer.
+        pack_frame` with ``row_ids``) so surviving records keep the ids
+        clients hold across compactions; stores packed straight from a
+        dataset omit the section.
+        """
+        with self._lock:
+            if self._row_ids is _UNSET:
+                if "row_ids" not in self._sections:
+                    self._row_ids = None
+                elif self._np is not None:
+                    self._row_ids = [int(i) for i in self._array("row_ids")]
+                else:
+                    self._row_ids = [int(i) for i in self._unpack("row_ids")]
+            return None if self._row_ids is None else list(self._row_ids)
 
     def base_mapping(self, encodings=None):
         """The packed base-preference TSS mapping, rebuilt without re-mapping.

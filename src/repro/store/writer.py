@@ -89,15 +89,40 @@ def pack_dataset(
     :class:`~repro.exceptions.StoreError` for schemas whose PO domains are
     not JSON-serializable (e.g. frozenset lattices).
     """
-    schema = dataset.schema
+    return pack_frame(
+        EncodedFrame.from_dataset(dataset),
+        path,
+        kernel=kernel,
+        max_entries=max_entries,
+    )
+
+
+def pack_frame(
+    frame: EncodedFrame,
+    path,
+    *,
+    kernel=None,
+    max_entries: int = 32,
+    row_ids=None,
+    generation: int = 0,
+) -> dict:
+    """Prefilter, map, bulk-load and write an encoded frame to ``path``.
+
+    The frame-first entry point :func:`pack_dataset` delegates to — and the
+    one delta-plane compaction uses, since a compacted live frame has no
+    record dataset behind it.  ``row_ids`` optionally persists a stable
+    ``row -> record id`` mapping (omitted = identity) and ``generation`` a
+    monotone compaction counter; both are backward-compatible additions
+    readers may ignore.
+    """
+    schema = frame.schema
     schema_spec = encode_schema(schema)
     kernel = resolve_kernel(kernel)
     if max_entries < 4:
         raise StoreError(f"max_entries must be at least 4, got {max_entries}")
 
-    frame = EncodedFrame.from_dataset(dataset)
-    survivors = prefilter_survivors(schema, dataset, frame, kernel)
-    n = len(dataset)
+    survivors = prefilter_survivors(schema, None, frame, kernel)
+    n = len(frame)
     reduced = frame if len(survivors) == n else frame.take(survivors)
 
     sections: list[tuple[str, str, tuple[int, ...], bytes]] = [
@@ -115,6 +140,13 @@ def pack_dataset(
         ),
         ("survivors", "<i8", (len(survivors),), _vector_bytes(survivors, "<i8")),
     ]
+    if row_ids is not None:
+        row_ids = [int(record_id) for record_id in row_ids]
+        if len(row_ids) != n:
+            raise StoreError(
+                f"row_ids has {len(row_ids)} entries for a {n}-row frame"
+            )
+        sections.append(("row_ids", "<i8", (n,), _vector_bytes(row_ids, "<i8")))
 
     base: dict = {
         "max_entries": max_entries,
@@ -202,6 +234,7 @@ def pack_dataset(
     def header_json(placed: list[dict]) -> bytes:
         header = {
             "format_version": FORMAT_VERSION,
+            "generation": int(generation),
             "schema": schema_spec,
             "counts": {
                 "rows": n,
@@ -248,6 +281,7 @@ def pack_dataset(
     return {
         "path": out_path,
         "format_version": FORMAT_VERSION,
+        "generation": int(generation),
         "bytes": total_bytes,
         "page_size": PAGE_SIZE,
         "rows": n,

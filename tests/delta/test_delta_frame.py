@@ -1,0 +1,138 @@
+"""Unit tests: the append-only DeltaFrame's id stability and live views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.columns import EncodedFrame
+from repro.data.dataset import Dataset
+from repro.data.schema import PartialOrderAttribute, Schema, TotalOrderAttribute
+from repro.delta.frame import DeltaFrame, as_record_dataset, dataset_from_frame
+from repro.exceptions import QueryError
+from repro.order.builders import chain
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            TotalOrderAttribute("price"),
+            TotalOrderAttribute("stops", best="max"),
+            PartialOrderAttribute("airline", chain(("a", "b", "c"))),
+        ]
+    )
+
+
+@pytest.fixture
+def base(schema):
+    rows = [(10.0, 1, "a"), (20.0, 2, "b"), (30.0, 0, "c"), (15.0, 3, "a")]
+    return EncodedFrame.from_dataset(Dataset(schema, rows))
+
+
+class TestIdStability:
+    def test_inserts_number_from_next_id(self, base):
+        delta = DeltaFrame(base)
+        assert delta.next_id == len(base)
+        ids = delta.insert_rows([(5.0, 4, "b"), (6.0, 5, "c")])
+        assert ids == [4, 5]
+        assert delta.next_id == 6
+
+    def test_ids_never_reused_after_delete(self, base):
+        delta = DeltaFrame(base)
+        (first,) = delta.insert_rows([(5.0, 4, "b")])
+        delta.delete_ids([first])
+        (second,) = delta.insert_rows([(5.0, 4, "b")])
+        assert second == first + 1
+
+    def test_base_ids_remap(self, base):
+        delta = DeltaFrame(base, base_ids=[10, 20, 30, 40])
+        assert delta.stable_id_of_base_row(2) == 30
+        assert delta.next_id == 41
+        assert delta.insert_rows([(1.0, 1, "a")]) == [41]
+        removed, base_rows = delta.delete_ids([20])
+        assert removed == [20] and base_rows == [1]
+
+    def test_insert_id_collision_raises(self, base):
+        delta = DeltaFrame(base)
+        with pytest.raises(QueryError, match="already exists"):
+            delta.replay_insert(0, (1.0, 1.0), (0,))
+
+
+class TestDeletes:
+    def test_delete_is_idempotent(self, base):
+        delta = DeltaFrame(base)
+        assert delta.delete_ids([1])[0] == [1]
+        assert delta.delete_ids([1])[0] == []
+
+    def test_delete_unknown_id_raises(self, base):
+        delta = DeltaFrame(base)
+        with pytest.raises(QueryError, match="unknown record id"):
+            delta.delete_ids([99])
+
+    def test_dead_ids_covers_base_and_inserts(self, base):
+        delta = DeltaFrame(base)
+        ids = delta.insert_rows([(5.0, 4, "b"), (6.0, 5, "c")])
+        delta.delete_ids([2, ids[1]])
+        assert delta.dead_ids() == [2, ids[1]]
+        assert not delta.is_live(2) and delta.is_live(ids[0])
+
+
+class TestLiveViews:
+    def test_live_frame_and_ids_roundtrip(self, base, schema):
+        delta = DeltaFrame(base)
+        delta.insert_rows([(5.0, 4, "b")])
+        delta.delete_ids([0])
+        frame, ids = delta.live_frame_and_ids()
+        assert ids == [1, 2, 3, 4]
+        assert len(frame) == 4
+        dataset, dataset_ids = delta.live_dataset_and_ids()
+        assert dataset_ids == ids
+        assert dataset.records[-1].values == (5.0, 4, "b")
+
+    def test_insert_entries_cursor(self, base):
+        delta = DeltaFrame(base)
+        delta.insert_rows([(5.0, 4, "b")])
+        delta.insert_rows([(6.0, 5, "c")])
+        entries = delta.insert_entries(1)
+        assert len(entries) == 1
+        record_id, to_values, po_values = entries[0]
+        assert record_id == 5 and po_values == ("c",)
+        # Canonical TO: "stops" is a max-attribute, so it is negated.
+        assert to_values == (6.0, -5.0)
+
+    def test_decode_roundtrips_max_attributes(self, base, schema):
+        dataset = dataset_from_frame(base)
+        assert dataset.records[1].values == (20.0, 2, "b")
+
+    def test_as_record_dataset_normalizes_all_sources(self, base, schema):
+        plain = Dataset(schema, [(1.0, 1, "a")])
+        assert as_record_dataset(plain) == (plain, None)
+        from_frame, ids = as_record_dataset(base)
+        assert ids is None and len(from_frame) == len(base)
+        delta = DeltaFrame(base)
+        delta.delete_ids([0])
+        records, stable = as_record_dataset(delta)
+        assert stable == [1, 2, 3] and len(records) == 3
+        with pytest.raises(QueryError, match="expected a Dataset"):
+            as_record_dataset(object())
+
+
+class TestCompactionFolding:
+    def test_mutation_counters_and_version(self, base):
+        delta = DeltaFrame(base)
+        assert delta.mutations == 0 and delta.version == 0
+        delta.insert_rows([(5.0, 4, "b")])
+        delta.delete_ids([0])
+        assert delta.mutations == 2 and delta.version == 2
+        assert delta.num_live == len(base)  # one in, one out
+
+    def test_folded_frame_preserves_ids_through_second_delta(self, base):
+        delta = DeltaFrame(base)
+        delta.insert_rows([(5.0, 4, "b")])
+        delta.delete_ids([1])
+        frame, ids = delta.live_frame_and_ids()
+        second = DeltaFrame(frame, base_ids=ids)
+        assert second.next_id == 5
+        assert second.stable_id_of_base_row(len(frame) - 1) == 4
+        removed, _ = second.delete_ids([4])
+        assert removed == [4]

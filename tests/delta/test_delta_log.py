@@ -1,0 +1,99 @@
+"""Unit tests: the crash-safe DeltaLog sidecar (torn tails, generations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.store.delta import LOG_MAGIC, DeltaLog, delta_log_path
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    return str(tmp_path / "catalog.rpro.delta")
+
+
+def _write_sample(path, generation=1):
+    log = DeltaLog.create(path, generation)
+    log.append_inserts([7, 8], [(1.0, 2.0), (3.0, 4.0)], [(0,), (1,)])
+    log.append_deletes([3])
+    return log
+
+
+class TestRoundtrip:
+    def test_missing_file_loads_as_none(self, log_path):
+        assert DeltaLog.load(log_path) is None
+
+    def test_create_then_load(self, log_path):
+        _write_sample(log_path, generation=5)
+        log = DeltaLog.load(log_path)
+        assert log is not None and log.generation == 5
+        kinds = [entry[0] for entry in log.entries]
+        assert kinds == ["insert", "delete"]
+        _, ids, to_rows, code_rows = log.entries[0]
+        assert ids == [7, 8]
+        assert to_rows == [(1.0, 2.0), (3.0, 4.0)]
+        assert code_rows == [(0,), (1,)]
+        assert log.entries[1][1] == [3]
+
+    def test_bad_magic_raises(self, log_path):
+        with open(log_path, "wb") as handle:
+            handle.write(b"NOTALOG!" + bytes(8))
+        with pytest.raises(StoreError, match="delta log"):
+            DeltaLog.load(log_path)
+
+    def test_delta_log_path_suffix(self):
+        assert delta_log_path("/x/catalog.rpro") == "/x/catalog.rpro.delta"
+
+
+class TestTornTail:
+    def test_truncated_frame_keeps_valid_prefix(self, log_path):
+        _write_sample(log_path)
+        payload = open(log_path, "rb").read()
+        # Chop into the middle of the final (delete) frame.
+        with open(log_path, "wb") as handle:
+            handle.write(payload[:-5])
+        log = DeltaLog.load(log_path)
+        assert [entry[0] for entry in log.entries] == ["insert"]
+
+    def test_corrupt_crc_stops_the_scan(self, log_path):
+        _write_sample(log_path)
+        payload = bytearray(open(log_path, "rb").read())
+        payload[-1] ^= 0xFF  # flip a payload byte of the last frame
+        with open(log_path, "wb") as handle:
+            handle.write(bytes(payload))
+        log = DeltaLog.load(log_path)
+        assert [entry[0] for entry in log.entries] == ["insert"]
+
+    def test_append_after_torn_tail_overwrites_garbage(self, log_path):
+        _write_sample(log_path)
+        payload = open(log_path, "rb").read()
+        with open(log_path, "wb") as handle:
+            handle.write(payload[:-5])
+        log = DeltaLog.load(log_path)
+        log.append_deletes([9])
+        reloaded = DeltaLog.load(log_path)
+        assert [entry[0] for entry in reloaded.entries] == ["insert", "delete"]
+        assert reloaded.entries[1][1] == [9]
+
+
+class TestGenerations:
+    def test_ensure_keeps_matching_generation(self, log_path):
+        _write_sample(log_path, generation=2)
+        log = DeltaLog.ensure(log_path, 2)
+        assert len(log.entries) == 2
+
+    def test_ensure_discards_stale_generation(self, log_path):
+        _write_sample(log_path, generation=2)
+        log = DeltaLog.ensure(log_path, 3)
+        assert log.generation == 3 and log.entries == []
+        # The stale entries are gone from disk too.
+        assert DeltaLog.load(log_path).entries == []
+
+    def test_reset_bumps_generation_and_clears(self, log_path):
+        log = _write_sample(log_path, generation=1)
+        log.reset(2)
+        reloaded = DeltaLog.load(log_path)
+        assert reloaded.generation == 2 and reloaded.entries == []
+        header = open(log_path, "rb").read(8)
+        assert header == LOG_MAGIC

@@ -1,0 +1,202 @@
+"""The dynamic plane over columnar sources and live deltas.
+
+Pins the two contracts that anchor Figures 12-14 on the delta plane:
+
+* building dTSS / SDC+ / fully-dynamic over an :class:`EncodedFrame` or an
+  identity :class:`DeltaFrame` answers exactly like the record path; and
+* incremental maintenance (:meth:`DTSSIndex.sync` rebuilding only dirty
+  PO-value groups) answers exactly like a from-scratch rebuild after every
+  step of an interleaved insert/delete sequence.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.runner import DynamicRunner
+from repro.data.columns import EncodedFrame
+from repro.data.dataset import Dataset
+from repro.data.workloads import WorkloadSpec
+from repro.delta.frame import DeltaFrame
+from repro.dynamic import (
+    DTSSIndex,
+    FullyDynamicEngine,
+    fully_dynamic_skyline,
+    sdc_plus_dynamic_skyline,
+)
+from repro.exceptions import QueryError
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return WorkloadSpec(
+        name="dynamic-delta-test",
+        cardinality=120,
+        num_total_order=2,
+        num_partial_order=2,
+        dag_height=3,
+        dag_density=0.8,
+        to_domain_size=20,
+        seed=23,
+    )
+
+
+@pytest.fixture(scope="module")
+def runner(spec):
+    return DynamicRunner(spec, io_cost_seconds=0.0)
+
+
+def _queries(runner, seeds=(1, 2, 3)):
+    return [runner.query_mapping(seed) for seed in seeds]
+
+
+def _random_row(schema, rng):
+    dags = [a.dag for a in schema.partial_order_attributes]
+    return tuple(float(rng.randint(0, 12)) for _ in range(schema.num_total_order)) + tuple(
+        rng.choice(dag.values) for dag in dags
+    )
+
+
+class TestColumnarSourceParity:
+    def test_dtss_identical_over_all_three_sources(self, spec, runner):
+        _, dataset = spec.build()
+        frame = EncodedFrame.from_dataset(dataset)
+        by_source = [
+            DTSSIndex(source, disk=None) for source in (dataset, frame, DeltaFrame(frame))
+        ]
+        for partial_orders in _queries(runner):
+            expected = by_source[0].query(partial_orders).skyline_ids
+            for index in by_source[1:]:
+                assert index.query(partial_orders).skyline_ids == expected
+
+    def test_sdc_dynamic_identical_over_identity_delta(self, spec, runner):
+        _, dataset = spec.build()
+        delta = DeltaFrame(EncodedFrame.from_dataset(dataset))
+        for partial_orders in _queries(runner):
+            record_path = sdc_plus_dynamic_skyline(dataset, partial_orders)
+            delta_path = sdc_plus_dynamic_skyline(delta, partial_orders)
+            assert delta_path.skyline_ids == record_path.skyline_ids
+
+    def test_fully_dynamic_identical_over_identity_delta(self, spec, runner):
+        schema, dataset = spec.build()
+        delta = DeltaFrame(EncodedFrame.from_dataset(dataset))
+        ideals = {a.name: 5.0 for a in schema.total_order_attributes}
+        partial_orders = _queries(runner, seeds=(4,))[0]
+        record_path = fully_dynamic_skyline(dataset, partial_orders, ideals)
+        delta_path = fully_dynamic_skyline(delta, partial_orders, ideals)
+        assert delta_path.skyline_ids == record_path.skyline_ids
+
+
+class TestStableIdsThroughMutations:
+    def _mutated_delta(self, spec, steps=12, seed=5):
+        schema, dataset = spec.build()
+        delta = DeltaFrame(EncodedFrame.from_dataset(dataset))
+        rng = random.Random(seed)
+        live = {record.id: tuple(record.values) for record in dataset.records}
+        for _ in range(steps):
+            if rng.random() < 0.5:
+                row = _random_row(schema, rng)
+                (new_id,) = delta.insert_rows([row])
+                live[new_id] = row
+            else:
+                victim = rng.choice(sorted(live))
+                delta.delete_ids([victim])
+                del live[victim]
+        return schema, delta, live
+
+    def test_sdc_dynamic_returns_stable_ids(self, spec, runner):
+        schema, delta, live = self._mutated_delta(spec)
+        ordered = sorted(live)
+        reference_data = Dataset(schema, [live[i] for i in ordered])
+        for partial_orders in _queries(runner):
+            remapped = sdc_plus_dynamic_skyline(delta, partial_orders).skyline_ids
+            rebuilt = sdc_plus_dynamic_skyline(reference_data, partial_orders).skyline_ids
+            assert remapped == [ordered[p] for p in rebuilt]
+
+    def test_fully_dynamic_returns_stable_ids(self, spec, runner):
+        schema, delta, live = self._mutated_delta(spec)
+        ordered = sorted(live)
+        reference_data = Dataset(schema, [live[i] for i in ordered])
+        ideals = {a.name: 4.0 for a in schema.total_order_attributes}
+        partial_orders = _queries(runner, seeds=(6,))[0]
+        remapped = fully_dynamic_skyline(delta, partial_orders, ideals).skyline_ids
+        rebuilt = fully_dynamic_skyline(reference_data, partial_orders, ideals).skyline_ids
+        assert remapped == [ordered[p] for p in rebuilt]
+
+
+class TestIncrementalSync:
+    def test_sync_matches_rebuild_after_every_step(self, spec, runner):
+        schema, dataset = spec.build()
+        delta = DeltaFrame(EncodedFrame.from_dataset(dataset))
+        incremental = DTSSIndex(delta)
+        rng = random.Random(99)
+        queries = _queries(runner)
+        for step in range(15):
+            if rng.random() < 0.55:
+                delta.insert_rows([_random_row(schema, rng)])
+            else:
+                live_ids = [i for i in range(delta.next_id) if delta.is_live(i)]
+                delta.delete_ids([rng.choice(live_ids)])
+            applied = incremental.sync()
+            assert applied["inserts"] + applied["deletes"] == 1
+            rebuilt = DTSSIndex(delta)
+            for partial_orders in queries:
+                assert (
+                    incremental.query(partial_orders).skyline_ids
+                    == rebuilt.query(partial_orders).skyline_ids
+                ), f"divergence at step {step}"
+
+    def test_sync_skips_inserts_tombstoned_before_first_sync(self, spec):
+        schema, dataset = spec.build()
+        delta = DeltaFrame(EncodedFrame.from_dataset(dataset))
+        index = DTSSIndex(delta)
+        rng = random.Random(3)
+        (doomed,) = delta.insert_rows([_random_row(schema, rng)])
+        delta.delete_ids([doomed])
+        applied = index.sync()
+        assert applied["inserts"] == 0 and applied["deletes"] == 0
+        # A second sync with nothing new is a no-op.
+        assert index.sync()["groups_rebuilt"] == 0
+
+    def test_sync_requires_a_delta_source(self, spec):
+        _, dataset = spec.build()
+        index = DTSSIndex(dataset)
+        with pytest.raises(QueryError, match="DeltaFrame"):
+            index.sync()
+
+
+class TestFullyDynamicEngineInvalidation:
+    def test_mutation_invalidates_cache(self, spec, runner):
+        schema, dataset = spec.build()
+        delta = DeltaFrame(EncodedFrame.from_dataset(dataset))
+        engine = FullyDynamicEngine(delta)
+        ideals = {a.name: 5.0 for a in schema.total_order_attributes}
+        partial_orders = _queries(runner, seeds=(8,))[0]
+        engine.query(partial_orders, ideals)
+        engine.query(partial_orders, ideals)
+        assert engine.hits == 1
+        rng = random.Random(11)
+        delta.insert_rows([_random_row(schema, rng)])
+        engine.query(partial_orders, ideals)
+        assert engine.hits == 1 and engine.misses == 2
+
+
+class TestDynamicRunnerMutations:
+    def test_methods_agree_after_runner_mutations(self, spec):
+        runner = DynamicRunner(spec, io_cost_seconds=0.0)
+        rng = random.Random(41)
+        rows = [_random_row(runner.schema, rng) for _ in range(3)]
+        new_ids = runner.mutate(inserts=rows, deletes=[0, 1])
+        assert new_ids == [120, 121, 122]
+        for seed in (1, 2):
+            partial_orders = runner.query_mapping(seed)
+            tss = runner.dtss_index.query(partial_orders).skyline_ids
+            sdc = sdc_plus_dynamic_skyline(runner.delta, partial_orders).skyline_ids
+            assert sorted(tss) == sorted(sdc)
+            assert 0 not in sdc and 1 not in sdc
+            # And the measured wrapper sees the same post-mutation skyline.
+            for method in DynamicRunner.METHODS:
+                run = runner.run(method, query_seed=seed)
+                assert run.skyline_size == len(sdc)

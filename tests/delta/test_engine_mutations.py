@@ -1,0 +1,159 @@
+"""Unit tests: BatchQueryEngine live mutations, caching and compaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import pack
+from repro.data.workloads import WorkloadSpec
+from repro.engine.batch import BatchQuery, BatchQueryEngine, random_query_preferences
+from repro.exceptions import QueryError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    spec = WorkloadSpec(
+        name="mutation-test",
+        cardinality=250,
+        num_total_order=2,
+        num_partial_order=1,
+        dag_height=4,
+        dag_density=0.8,
+        to_domain_size=40,
+        seed=13,
+    )
+    return spec.build()
+
+
+def _dominant_row(dataset):
+    """A row beating everything on the TO attributes (PO from record 0)."""
+    row = list(dataset.records[0].values)
+    row[0] = -1.0
+    row[1] = -1.0
+    return tuple(row)
+
+
+@pytest.mark.parametrize("use_frame", [True, False])
+class TestMutationSemantics:
+    def test_insert_allocates_fresh_ids_and_changes_results(self, workload, use_frame):
+        _, dataset = workload
+        with BatchQueryEngine(dataset, use_frame=use_frame) as engine:
+            before = engine.run_query(BatchQuery("base")).skyline_ids
+            ids = engine.insert([_dominant_row(dataset)])
+            assert ids == [len(dataset)]
+            after = engine.run_query(BatchQuery("base")).skyline_ids
+            assert ids[0] in after and after != before
+            assert engine.mutations_applied == 1
+
+    def test_delete_removes_and_reports_only_live_ids(self, workload, use_frame):
+        _, dataset = workload
+        with BatchQueryEngine(dataset, use_frame=use_frame) as engine:
+            base = engine.run_query(BatchQuery("base")).skyline_ids
+            victim = base[0]
+            assert engine.delete([victim, victim]) == [victim]
+            assert victim not in engine.run_query(BatchQuery("base")).skyline_ids
+            with pytest.raises(QueryError, match="unknown record id"):
+                engine.delete([10**6])
+
+    def test_result_cache_invalidated_on_mutation(self, workload, use_frame):
+        schema, dataset = workload
+        with BatchQueryEngine(dataset, use_frame=use_frame) as engine:
+            query = BatchQuery("q", dag_overrides=random_query_preferences(schema, 3))
+            engine.run_query(query)
+            assert engine.run_query(query).from_cache
+            engine.insert([_dominant_row(dataset)])
+            refreshed = engine.run_query(query)
+            assert not refreshed.from_cache
+            assert len(dataset) in refreshed.skyline_ids
+
+
+class TestCompaction:
+    def test_compact_is_noop_without_mutations(self, workload):
+        _, dataset = workload
+        with BatchQueryEngine(dataset) as engine:
+            summary = engine.compact()
+            assert summary["compacted"] is False
+            assert engine.compactions == 0
+
+    def test_explicit_compact_preserves_results_and_ids(self, workload):
+        schema, dataset = workload
+        with BatchQueryEngine(dataset) as engine:
+            new_id = engine.insert([_dominant_row(dataset)])[0]
+            engine.delete([0, 1])
+            before = engine.run_query(BatchQuery("base")).skyline_ids
+            summary = engine.compact()
+            assert summary["compacted"] is True
+            assert summary["rows"] == len(dataset) - 1  # +1 insert, -2 deletes
+            assert engine.run_query(BatchQuery("base")).skyline_ids == before
+            assert engine.summary()["delta"] is None
+            # Stable ids survive the fold: the insert keeps its id, and
+            # further mutations see it.
+            assert engine.delete([new_id]) == [new_id]
+
+    def test_threshold_triggers_auto_compaction(self, workload):
+        _, dataset = workload
+        with BatchQueryEngine(dataset, compact_threshold=3) as engine:
+            engine.insert([_dominant_row(dataset)])
+            engine.delete([0])
+            assert engine.compactions == 0
+            engine.delete([1])  # third mutation crosses the threshold
+            assert engine.compactions == 1
+            assert engine.summary()["delta"] is None
+
+    def test_zero_threshold_disables_auto_compaction(self, workload):
+        _, dataset = workload
+        with BatchQueryEngine(dataset, compact_threshold=0) as engine:
+            for record_id in range(10):
+                engine.delete([record_id])
+            assert engine.compactions == 0
+            assert engine.summary()["delta"]["pending_mutations"] == 10
+
+    def test_record_path_engine_compacts_too(self, workload):
+        _, dataset = workload
+        with BatchQueryEngine(dataset, use_frame=False) as engine:
+            engine.insert([_dominant_row(dataset)])
+            before = engine.run_query(BatchQuery("base")).skyline_ids
+            assert engine.compact()["compacted"] is True
+            assert engine.run_query(BatchQuery("base")).skyline_ids == before
+
+
+class TestStoreBackedMutations:
+    def test_mutations_persist_via_delta_log(self, workload, tmp_path):
+        _, dataset = workload
+        path = str(tmp_path / "catalog.rpro")
+        pack(dataset, path)
+        with BatchQueryEngine(path, compact_threshold=0) as engine:
+            new_id = engine.insert([_dominant_row(dataset)])[0]
+            engine.delete([0])
+            expected = engine.run_query(BatchQuery("base")).skyline_ids
+        with BatchQueryEngine(path, compact_threshold=0) as reopened:
+            assert reopened.summary()["delta"]["pending_mutations"] == 2
+            assert reopened.run_query(BatchQuery("base")).skyline_ids == expected
+            assert new_id in reopened.run_query(BatchQuery("base")).skyline_ids
+
+    def test_compaction_rewrites_store_and_resets_log(self, workload, tmp_path):
+        _, dataset = workload
+        path = str(tmp_path / "catalog.rpro")
+        pack(dataset, path)
+        with BatchQueryEngine(path, compact_threshold=0) as engine:
+            engine.insert([_dominant_row(dataset)])
+            engine.delete([0])
+            expected = engine.run_query(BatchQuery("base")).skyline_ids
+            summary = engine.compact()
+            assert summary["compacted"] is True and summary["generation"] == 1
+            assert engine.run_query(BatchQuery("base")).skyline_ids == expected
+        with BatchQueryEngine(path) as reopened:
+            assert reopened.summary()["delta"] is None
+            assert reopened.summary()["store"]["generation"] == 1
+            assert reopened.run_query(BatchQuery("base")).skyline_ids == expected
+
+    def test_summary_reports_delta_state(self, workload, tmp_path):
+        _, dataset = workload
+        path = str(tmp_path / "catalog.rpro")
+        pack(dataset, path)
+        with BatchQueryEngine(path, compact_threshold=0) as engine:
+            engine.insert([_dominant_row(dataset)])
+            delta = engine.summary()["delta"]
+            assert delta["inserts"] == 1 and delta["live_inserts"] == 1
+            assert delta["pending_mutations"] == 1
+            assert delta["live_rows"] == len(dataset) + 1

@@ -1,0 +1,126 @@
+"""Lazy per-section CRC: corruption is caught on first touch, not at open.
+
+``crc="eager"`` (the default) verifies every section checksum inside
+:meth:`DatasetStore.open` — the safest mode, but the whole file is read
+before the first query.  ``crc="lazy"`` defers each section's checksum to
+its first touch: cold start skips the CRC pass, yet no corrupt byte is ever
+*served* — the touch fails with the same typed :class:`StoreError` the
+eager pass would have raised.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.config import resolve_crc_mode
+from repro.data.workloads import WorkloadSpec
+from repro.exceptions import ExperimentError, StoreError
+from repro.store import MAGIC, DatasetStore, pack_dataset
+
+
+@pytest.fixture(scope="module")
+def packed_bytes(tmp_path_factory):
+    spec = WorkloadSpec(
+        name="lazy-crc",
+        cardinality=80,
+        num_total_order=2,
+        num_partial_order=1,
+        dag_height=3,
+        dag_density=0.8,
+        to_domain_size=20,
+        seed=4,
+    )
+    _, dataset = spec.build()
+    path = tmp_path_factory.mktemp("store") / "intact.rpro"
+    pack_dataset(dataset, path)
+    return path.read_bytes()
+
+
+def _header(payload: bytes) -> dict:
+    (length,) = struct.unpack("<Q", payload[len(MAGIC) : len(MAGIC) + 8])
+    return json.loads(payload[len(MAGIC) + 8 : len(MAGIC) + 8 + length])
+
+
+@pytest.fixture
+def corrupted(tmp_path, packed_bytes):
+    """Flip one byte in the middle of a named section; returns the path."""
+
+    def write(section: str):
+        spec = _header(packed_bytes)["sections"][section]
+        mutated = bytearray(packed_bytes)
+        mutated[spec["offset"] + spec["nbytes"] // 2] ^= 0xFF
+        path = tmp_path / "damaged.rpro"
+        path.write_bytes(bytes(mutated))
+        return path
+
+    return write
+
+
+@pytest.mark.parametrize("mmap_mode", [True, False], ids=["mmap", "load"])
+class TestLazyDefersToFirstTouch:
+    def test_eager_fails_at_open_lazy_at_first_touch(self, corrupted, mmap_mode):
+        path = corrupted("frame_to")
+        with pytest.raises(StoreError, match="checksum"):
+            DatasetStore.open(path, mmap=mmap_mode, crc="eager")
+        store = DatasetStore.open(path, mmap=mmap_mode, crc="lazy")
+        assert store.crc_mode == "lazy"
+        with pytest.raises(StoreError, match="frame_to"):
+            store.frame()
+
+    def test_untouched_corruption_does_not_block_other_sections(
+        self, corrupted, mmap_mode
+    ):
+        # Damage the survivor ids; the frame itself still reads.
+        path = corrupted("survivors")
+        store = DatasetStore.open(path, mmap=mmap_mode, crc="lazy")
+        frame = store.frame()
+        assert len(frame) == store.num_rows
+
+    def test_clean_store_touches_verify_once_then_serve(
+        self, tmp_path, packed_bytes, mmap_mode
+    ):
+        path = tmp_path / "intact.rpro"
+        path.write_bytes(packed_bytes)
+        store = DatasetStore.open(path, mmap=mmap_mode, crc="lazy")
+        first = store.frame()
+        second = store.frame()
+        assert len(first) == len(second) == store.num_rows
+        assert "frame_to" in store._verified
+
+    def test_engine_query_over_corrupt_section_fails_loudly(
+        self, corrupted, mmap_mode
+    ):
+        from repro.engine.batch import BatchQuery, BatchQueryEngine
+
+        path = corrupted("frame_to")
+        with pytest.raises(StoreError, match="checksum"):
+            with BatchQueryEngine(path, mmap=mmap_mode, crc="lazy") as engine:
+                engine.run_query(BatchQuery("base"))
+
+
+class TestCrcModeResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CRC", "lazy")
+        assert resolve_crc_mode("eager") == "eager"
+
+    def test_environment_variable_consulted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CRC", "LAZY")
+        assert resolve_crc_mode() == "lazy"
+        monkeypatch.delenv("REPRO_CRC")
+        assert resolve_crc_mode() == "eager"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ExperimentError, match="eager"):
+            resolve_crc_mode("sometimes")
+
+    def test_runtime_config_carries_crc(self):
+        from repro.api import RuntimeConfig
+
+        assert RuntimeConfig.resolve(crc="lazy").crc == "lazy"
+        assert RuntimeConfig.resolve().crc == "eager"
+        assert "crc" in RuntimeConfig.resolve(crc="lazy").engine_options()
+        with pytest.raises(ExperimentError):
+            RuntimeConfig.resolve(crc="nope")
