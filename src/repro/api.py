@@ -21,6 +21,7 @@ persists a dataset's encoded artifacts into the single-file store format
 from __future__ import annotations
 
 import os
+from typing import Any
 
 from repro.config import RuntimeConfig
 from repro.data.dataset import Dataset
@@ -28,7 +29,9 @@ from repro.engine.batch import BatchQueryEngine
 from repro.exceptions import ExperimentError
 
 
-def _resolve_config(config: RuntimeConfig | None, overrides: dict) -> RuntimeConfig:
+def _resolve_config(
+    config: RuntimeConfig | None, overrides: dict[str, Any]
+) -> RuntimeConfig:
     if config is None:
         return RuntimeConfig.resolve(**overrides)
     if overrides:
@@ -37,10 +40,10 @@ def _resolve_config(config: RuntimeConfig | None, overrides: dict) -> RuntimeCon
 
 
 def open_dataset(
-    source: "Dataset | object | str | os.PathLike | None" = None,
+    source: "Dataset | object | str | os.PathLike[str] | None" = None,
     *,
     config: RuntimeConfig | None = None,
-    **overrides,
+    **overrides: Any,
 ) -> BatchQueryEngine:
     """Open a dataset, store or store path as a ready-to-query engine.
 
@@ -68,11 +71,11 @@ def open_dataset(
 
 def pack(
     dataset: Dataset,
-    out_path: "str | os.PathLike",
+    out_path: "str | os.PathLike[str]",
     *,
     config: RuntimeConfig | None = None,
-    **overrides,
-) -> dict:
+    **overrides: Any,
+) -> dict[str, Any]:
     """Pack ``dataset`` into a single mmap-able store file at ``out_path``.
 
     The config's ``kernel`` runs the pack-time prefilter and its

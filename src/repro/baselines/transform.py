@@ -183,18 +183,13 @@ class BaselineMapping:
         else:
             selected = [self.points[i] for i in point_indices]
         if resolve_index(index) == "flat":
-            import numpy as np
-
             from repro.index.flat import FlatRTree
 
-            coords = np.array([p.coords for p in selected], dtype=np.float64).reshape(
-                len(selected), self.dimensions
-            )
-            payloads = np.fromiter(
-                (p.index for p in selected), dtype=np.int64, count=len(selected)
-            )
-            return FlatRTree.bulk_load(
-                self.dimensions, coords, payloads, max_entries=max_entries, disk=disk
+            return FlatRTree.bulk_load_pairs(
+                self.dimensions,
+                ((p.coords, p.index) for p in selected),
+                max_entries=max_entries,
+                disk=disk,
             )
         return RTree.bulk_load(
             self.dimensions,

@@ -22,6 +22,9 @@ Subcommands
     for instant cold starts (``--store`` on batch-query/serve).
 ``kernels``
     List the available dominance kernel backends.
+``lint``
+    Run the ``reprolint`` architectural-invariant checks (``tools/reprolint``)
+    over the source tree — see README "Static analysis & invariants".
 
 Examples
 --------
@@ -700,6 +703,35 @@ def pack_main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
+def lint_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``lint`` subcommand — delegates to tools/reprolint.
+
+    The linter is a dev tool shipped in the source checkout (not the wheel);
+    it is importable either directly (``PYTHONPATH=tools``) or by resolving
+    ``tools/`` relative to this file / the working directory.
+    """
+    try:
+        from reprolint.cli import main as reprolint_main
+    except ImportError:
+        import pathlib
+
+        for base in (pathlib.Path(__file__).resolve().parents[2], pathlib.Path.cwd()):
+            candidate = base / "tools"
+            if (candidate / "reprolint" / "__init__.py").is_file():
+                sys.path.insert(0, str(candidate))
+                break
+        try:
+            from reprolint.cli import main as reprolint_main
+        except ImportError:
+            print(
+                "error: reprolint not found — 'repro lint' needs the "
+                "tools/reprolint package of a source checkout",
+                file=sys.stderr,
+            )
+            return 2
+    return reprolint_main(list(argv) if argv is not None else [])
+
+
 def kernels_main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``kernels`` subcommand."""
     argparse.ArgumentParser(
@@ -731,6 +763,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return pack_main(arguments[1:])
     if arguments and arguments[0] == "kernels":
         return kernels_main(arguments[1:])
+    if arguments and arguments[0] == "lint":
+        return lint_main(arguments[1:])
     if arguments and arguments[0] == "run":
         arguments = arguments[1:]
 

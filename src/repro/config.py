@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
+from typing import Any
 
 from repro.exceptions import ExperimentError
 
@@ -164,7 +165,9 @@ def resolve_merge_strategy(strategy: str | None = None) -> str:
     return strategy
 
 
-def _resolve_switch(mode, variable: str, *, default: bool, what: str) -> bool:
+def _resolve_switch(
+    mode: bool | str | None, variable: str, *, default: bool, what: str
+) -> bool:
     """Shared on/off resolver: explicit bool > env words > ``default``."""
     source = ""
     if mode is None:
@@ -318,7 +321,7 @@ class RuntimeConfig:
         prefilter: bool = True,
         cache_size: int | None = None,
         max_entries: int = 32,
-        store: str | os.PathLike | None = None,
+        store: str | os.PathLike[str] | None = None,
         mmap: bool | str | None = None,
         crc: str | None = None,
         compact_threshold: int | str | None = None,
@@ -345,13 +348,13 @@ class RuntimeConfig:
             compact_threshold=resolve_compact_threshold(compact_threshold),
         )
 
-    def with_overrides(self, **changes) -> "RuntimeConfig":
+    def with_overrides(self, **changes: Any) -> "RuntimeConfig":
         """A copy with the given fields replaced (facade keyword overrides)."""
         return replace(self, **changes)
 
-    def engine_options(self) -> dict:
+    def engine_options(self) -> dict[str, Any]:
         """Keyword arguments for :class:`~repro.engine.batch.BatchQueryEngine`."""
-        options: dict = {
+        options: dict[str, Any] = {
             "kernel": self.kernel,
             "index": self.index,
             "use_frame": self.frame,

@@ -15,7 +15,7 @@ from repro.baselines.sdc import sdc_skyline
 from repro.baselines.sdc_plus import sdc_plus_skyline
 from repro.core.stss import stss_skyline
 from repro.data.dataset import Dataset, Record
-from repro.exceptions import ReproError
+from repro.exceptions import QueryError
 from repro.skyline.base import SkylineResult
 from repro.skyline.bbs import bbs_skyline
 from repro.skyline.bnl import bnl_skyline
@@ -69,7 +69,7 @@ def compute_skyline(dataset: Dataset, *, algorithm: str = "auto", **options) -> 
     try:
         implementation = ALGORITHMS[algorithm.lower()]
     except KeyError as exc:
-        raise ReproError(
+        raise QueryError(
             f"unknown skyline algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
         ) from exc
     return implementation(dataset, **options)

@@ -88,6 +88,26 @@ def group_rows(matrix) -> tuple[object, list]:
     return unique[by_first], np.split(rows_by_group, boundaries)
 
 
+def ordered_rows(keys, tiebreak=None, *, uses_numpy: bool) -> list[int]:
+    """Row positions sorted ascending by ``keys`` (stable), as a plain list.
+
+    ``tiebreak`` optionally breaks key ties by a second integer sequence —
+    the SFS merge phase orders equal monotone keys by stable record id.  The
+    NumPy branch is bitwise-faithful to the historical call sites
+    (``np.argsort(..., kind="stable")`` / ``np.lexsort``), and keeping it
+    here keeps the numpy import inside the frame plane
+    (reprolint: numpy-containment).
+    """
+    np = _numpy_or_none()
+    if uses_numpy and np is not None:
+        if tiebreak is None:
+            return np.argsort(keys, kind="stable").tolist()
+        return np.lexsort((np.asarray(tiebreak), keys)).tolist()
+    if tiebreak is None:
+        return sorted(range(len(keys)), key=keys.__getitem__)
+    return sorted(range(len(keys)), key=lambda i: (keys[i], tiebreak[i]))
+
+
 class ColumnCodec:
     """The value<->code tables of one schema's PO attributes.
 
@@ -197,7 +217,9 @@ class EncodedFrame:
             codes.flags.writeable = False
             return cls(schema, codec, to, codes, length)
         to_rows = tuple(
-            schema.canonical_to_values(record.values) for record in dataset.records
+            schema.canonical_to_values(record.values)
+            # Ingest boundary: records are encoded into a frame exactly once.
+            for record in dataset.records  # reprolint: disable=no-record-hot-path -- ingest boundary
         )
         code_columns = [
             codec.encode_column(attr_index, dataset.column(name))

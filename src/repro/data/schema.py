@@ -15,8 +15,9 @@ algorithm can assume "smaller is better" on every totally ordered dimension.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable, Sequence
+from collections.abc import Hashable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
+from typing import cast
 
 from repro.exceptions import SchemaError
 from repro.order.dag import PartialOrderDAG
@@ -101,7 +102,7 @@ class Schema:
     def __len__(self) -> int:
         return len(self._attributes)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Attribute]:
         return iter(self._attributes)
 
     def __getitem__(self, name: str) -> Attribute:
@@ -165,7 +166,7 @@ class Schema:
                 f"row has {len(row)} values but the schema has {len(self._attributes)} attributes"
             )
         for attribute, value in zip(self._attributes, row):
-            if attribute.is_partial:
+            if isinstance(attribute, PartialOrderAttribute):
                 attribute.validate(value)
             else:
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -176,7 +177,7 @@ class Schema:
     def canonical_to_values(self, row: Sequence[Value]) -> tuple[float, ...]:
         """The totally ordered values of ``row``, mapped so smaller is better."""
         return tuple(
-            self._attributes[i].canonical(row[i])  # type: ignore[union-attr]
+            cast(TotalOrderAttribute, self._attributes[i]).canonical(cast(float, row[i]))
             for i in self.total_order_positions
         )
 

@@ -21,15 +21,16 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from collections.abc import Hashable, Iterator
-from typing import Generic, TypeVar
+from typing import Any, Generic, TypeVar, cast, overload
 
 from repro.exceptions import QueryError
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
+D = TypeVar("D")
 
 #: Private miss marker: distinct from every storable value, including ``None``.
-_MISSING = object()
+_MISSING: Any = object()
 
 
 class LRUDict(Generic[K, V]):
@@ -45,7 +46,13 @@ class LRUDict(Generic[K, V]):
         self._entries: OrderedDict[K, V] = OrderedDict()
         self._lock = threading.RLock()
 
-    def get(self, key: K, default=None):
+    @overload
+    def get(self, key: K) -> V | None: ...
+
+    @overload
+    def get(self, key: K, default: D) -> V | D: ...
+
+    def get(self, key: K, default: D | None = None) -> V | D | None:
         """Look a key up, refreshing its recency on a hit.
 
         A stored value is returned even when it equals ``default`` — only a
@@ -57,7 +64,7 @@ class LRUDict(Generic[K, V]):
             if value is _MISSING:
                 return default
             self._entries.move_to_end(key)
-            return value
+            return cast(V, value)
 
     def __getitem__(self, key: K) -> V:
         with self._lock:
@@ -75,7 +82,13 @@ class LRUDict(Generic[K, V]):
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
-    def pop(self, key: K, default=_MISSING):
+    @overload
+    def pop(self, key: K) -> V: ...
+
+    @overload
+    def pop(self, key: K, default: D) -> V | D: ...
+
+    def pop(self, key: K, default: D = _MISSING) -> V | D:
         """Remove and return a stored value; ``KeyError`` without a default."""
         with self._lock:
             value = self._entries.pop(key, _MISSING)
@@ -83,7 +96,7 @@ class LRUDict(Generic[K, V]):
                 if default is _MISSING:
                     raise KeyError(key)
                 return default
-            return value
+            return cast(V, value)
 
     def setdefault(self, key: K, value: V) -> V:
         """Insert ``value`` unless the key is present; return the stored value.
@@ -96,7 +109,7 @@ class LRUDict(Generic[K, V]):
             stored = self._entries.get(key, _MISSING)
             if stored is not _MISSING:
                 self._entries.move_to_end(key)
-                return stored
+                return cast(V, stored)
             self[key] = value
             return value
 

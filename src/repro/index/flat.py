@@ -148,6 +148,36 @@ class FlatRTree:
         raise IndexError_("use FlatRTree.bulk_load; the flat tree is bulk-load only")
 
     @classmethod
+    def bulk_load_pairs(
+        cls,
+        dimensions: int,
+        pairs,
+        *,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        disk: DiskSimulator | None = None,
+    ) -> "FlatRTree":
+        """Build from ``(coords, payload)`` pairs — ``RTree.bulk_load``'s shape.
+
+        Keeps NumPy-free callers (the baseline transform) off the matrix
+        staging: the coordinate matrix is assembled here, inside the
+        NumPy-required module.
+        """
+        coords_list: list[tuple[float, ...]] = []
+        payload_list: list[int] = []
+        for coords, payload in pairs:
+            coords_list.append(coords)
+            payload_list.append(payload)
+        matrix = np.asarray(coords_list, dtype=np.float64).reshape(
+            len(coords_list), dimensions
+        )
+        payloads = np.fromiter(
+            payload_list, dtype=np.int64, count=len(payload_list)
+        )
+        return cls.bulk_load(
+            dimensions, matrix, payloads, max_entries=max_entries, disk=disk
+        )
+
+    @classmethod
     def bulk_load(
         cls,
         dimensions: int,

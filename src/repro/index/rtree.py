@@ -339,12 +339,15 @@ class RTree:
                     return True
             return False
         for child in node.children:
-            if child.mbr is not None and child.mbr.contains_rect(rect):
-                if self._delete_recursive(child, rect, payload):
-                    if child.size() == 0:
-                        node.children.remove(child)
-                    node.recompute_mbr()
-                    return True
+            if (
+                child.mbr is not None
+                and child.mbr.contains_rect(rect)
+                and self._delete_recursive(child, rect, payload)
+            ):
+                if child.size() == 0:
+                    node.children.remove(child)
+                node.recompute_mbr()
+                return True
         return False
 
     # ------------------------------------------------------------------ #

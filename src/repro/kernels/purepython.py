@@ -94,9 +94,10 @@ class PureVectorStore(VectorStore):
         try:
             for row in self._rows[start:] if start else self._rows:
                 checks += 1
-                if all(a <= b for a, b in zip(row, corner)):
-                    if not exclude_equal or row != corner:
-                        return True
+                if all(a <= b for a, b in zip(row, corner)) and (
+                    not exclude_equal or row != corner
+                ):
+                    return True
             return False
         finally:
             charge(counter, checks)

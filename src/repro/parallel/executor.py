@@ -59,7 +59,7 @@ from repro.config import MERGE_ENV_VAR, MERGE_STRATEGIES, WORKERS_ENV_VAR  # noq
 from repro.config import resolve_merge_strategy as _resolve_merge_strategy
 from repro.config import resolve_workers as _resolve_workers
 from repro.core.stss import stss_skyline
-from repro.data.columns import EncodedFrame, resolve_frame_mode
+from repro.data.columns import EncodedFrame, ordered_rows, resolve_frame_mode
 from repro.data.dataset import Dataset
 from repro.data.schema import Schema
 from repro.engine.encodings import (
@@ -535,7 +535,9 @@ class ShardedExecutor:
     def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown guard
         try:
             self.close()
-        except Exception:
+        # During interpreter shutdown pool/module state is half-torn-down;
+        # any failure here is unreportable by design.
+        except Exception:  # reprolint: disable=typed-errors -- shutdown guard
             pass
 
     # ------------------------------------------------------------------ #
@@ -813,14 +815,7 @@ class ShardedExecutor:
         sub = frame.take(stream_ids)
         codes = sub.remap_codes(artifacts.code_maps)
         keys = sub.monotone_keys(artifacts.depths)
-        if sub.uses_numpy:
-            import numpy as np
-
-            order = np.lexsort((np.asarray(stream_ids), keys)).tolist()
-        else:
-            order = sorted(
-                range(len(stream_ids)), key=lambda i: (keys[i], stream_ids[i])
-            )
+        order = ordered_rows(keys, stream_ids, uses_numpy=sub.uses_numpy)
         window = self.kernel.record_store(artifacts.tables)
         survivors: list[int] = []
         batches = 0

@@ -31,7 +31,7 @@ from repro.engine.batch import (
     BatchQueryEngine,
     random_query_preferences,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import QueryError, ReproError
 from repro.service import protocol
 
 #: Refuse request lines larger than this (1 MB covers any sane DAG override).
@@ -219,10 +219,10 @@ class QueryService:
         seed = request.get("seed")
         overrides_payload = request.get("overrides")
         if seed is not None and overrides_payload is not None:
-            raise ReproError("a query takes 'seed' or 'overrides', not both")
+            raise QueryError("a query takes 'seed' or 'overrides', not both")
         if seed is not None:
             if not isinstance(seed, int):
-                raise ReproError("'seed' must be an integer")
+                raise QueryError("'seed' must be an integer")
             overrides = random_query_preferences(self.schema, seed)
             default_name = f"q{seed}"
         else:
@@ -230,7 +230,7 @@ class QueryService:
             default_name = "query" if overrides else "base"
         name = request.get("name")
         if name is not None and not isinstance(name, str):
-            raise ReproError("'name' must be a string")
+            raise QueryError("'name' must be a string")
         return BatchQuery(name=name or default_name, dag_overrides=overrides)
 
     async def _run_query(self, request: dict[str, object]) -> dict[str, object]:

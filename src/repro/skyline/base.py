@@ -12,6 +12,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.exceptions import QueryError
 from repro.index.pager import DEFAULT_IO_COST_SECONDS, DiskSimulator
 
 
@@ -91,7 +92,7 @@ class SkylineResult:
         results had been output; ``fraction=1.0`` equals the total time.
         """
         if not 0.0 <= fraction <= 1.0:
-            raise ValueError("fraction must be in [0, 1]")
+            raise QueryError("fraction must be in [0, 1]")
         if not self.progress or fraction == 0.0:
             return 0.0
         needed = max(1, int(round(fraction * len(self.progress))))

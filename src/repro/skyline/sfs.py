@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Hashable
 
-from repro.data.columns import EncodedFrame, resolve_frame_mode
+from repro.data.columns import EncodedFrame, ordered_rows, resolve_frame_mode
 from repro.data.dataset import Dataset, Record
 from repro.data.schema import Schema
 from repro.exceptions import DatasetError
@@ -92,13 +92,7 @@ def _sfs_frame(schema: Schema, frame: EncodedFrame, kernel, rows=None) -> Skylin
     tables = RecordTables.from_schema(schema)
     codes = frame.remap_codes([table.code_of for table in tables.attributes], rows)
     keys = frame.monotone_keys(depth_columns(schema, frame), rows)
-    length = len(frame) if rows is None else len(rows)
-    if frame.uses_numpy:
-        import numpy as np
-
-        order = np.argsort(keys, kind="stable").tolist()
-    else:
-        order = sorted(range(length), key=keys.__getitem__)
+    order = ordered_rows(keys, uses_numpy=frame.uses_numpy)
     store = resolve_kernel(kernel).record_store(tables)
     to = frame.gather_to(rows)
     skyline_ids: list[int] = []

@@ -105,7 +105,7 @@ class DeltaLog:
         """
         path = os.fspath(path)
         try:
-            handle = open(path, "rb")
+            handle = open(path, "rb")  # noqa: SIM115 -- entered via `with handle:` below
         except FileNotFoundError:
             return None
         with handle:

@@ -29,8 +29,10 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 from dataclasses import dataclass
+from typing import Any
 
 from repro.data.schema import (
+    Attribute,
     PartialOrderAttribute,
     Schema,
     TotalOrderAttribute,
@@ -73,7 +75,7 @@ class SectionSpec:
     nbytes: int
     crc32: int
 
-    def to_json(self) -> dict:
+    def to_json(self) -> dict[str, Any]:
         return {
             "dtype": self.dtype,
             "shape": list(self.shape),
@@ -83,7 +85,7 @@ class SectionSpec:
         }
 
     @classmethod
-    def from_json(cls, name: str, payload: dict, *, path: str) -> "SectionSpec":
+    def from_json(cls, name: str, payload: dict[str, Any], *, path: str) -> "SectionSpec":
         try:
             dtype = payload["dtype"]
             shape = tuple(int(n) for n in payload["shape"])
@@ -115,7 +117,7 @@ class SectionSpec:
 # --------------------------------------------------------------------- #
 # Domain-value codec (tagged JSON pairs)
 # --------------------------------------------------------------------- #
-def encode_value(value: Value) -> list:
+def encode_value(value: Value) -> list[Any]:
     """One JSON-safe ``[tag, payload]`` pair for a PO domain value."""
     if isinstance(value, bool):  # before int: bool is an int subclass
         return ["b", value]
@@ -132,7 +134,7 @@ def encode_value(value: Value) -> list:
     )
 
 
-def decode_value(pair: list) -> Value:
+def decode_value(pair: list[Any]) -> Value:
     try:
         tag, payload = pair
     except (TypeError, ValueError):
@@ -151,11 +153,11 @@ def decode_value(pair: list) -> Value:
 # --------------------------------------------------------------------- #
 # Schema codec
 # --------------------------------------------------------------------- #
-def encode_schema(schema: Schema) -> list[dict]:
+def encode_schema(schema: Schema) -> list[dict[str, Any]]:
     """The schema as a JSON-safe attribute list (order-preserving)."""
-    spec: list[dict] = []
+    spec: list[dict[str, Any]] = []
     for attribute in schema.attributes:
-        if attribute.is_partial:
+        if isinstance(attribute, PartialOrderAttribute):
             dag = attribute.dag
             spec.append(
                 {
@@ -175,8 +177,8 @@ def encode_schema(schema: Schema) -> list[dict]:
     return spec
 
 
-def decode_schema(spec: list[dict], *, path: str) -> Schema:
-    attributes = []
+def decode_schema(spec: list[dict[str, Any]], *, path: str) -> Schema:
+    attributes: list[Attribute] = []
     try:
         for entry in spec:
             if entry["kind"] == "to":

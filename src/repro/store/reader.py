@@ -109,7 +109,7 @@ class DatasetStore:
         use_mmap = resolve_mmap_mode(mmap)
         crc_mode = resolve_crc_mode(crc)
         try:
-            handle = open(path, "rb")
+            handle = open(path, "rb")  # noqa: SIM115 -- entered via `with handle:` below
         except OSError as exc:
             raise StoreError(
                 f"cannot open store '{path}': {exc.strerror or exc} "

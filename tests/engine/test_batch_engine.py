@@ -355,9 +355,11 @@ class TestColumnarEngine:
     def test_frame_engine_sharded_matches_record_engine(self, workload):
         schema, dataset = workload
         queries = [BatchQuery("base")] + queries_from_seeds(schema, range(3))
-        with BatchQueryEngine(dataset, num_shards=3, use_frame=True) as columnar:
-            with BatchQueryEngine(dataset, num_shards=3, use_frame=False) as record:
-                for frame_result, record_result in zip(
-                    columnar.run(queries), record.run(queries)
-                ):
-                    assert frame_result.skyline_set == record_result.skyline_set
+        with (
+            BatchQueryEngine(dataset, num_shards=3, use_frame=True) as columnar,
+            BatchQueryEngine(dataset, num_shards=3, use_frame=False) as record,
+        ):
+            for frame_result, record_result in zip(
+                columnar.run(queries), record.run(queries)
+            ):
+                assert frame_result.skyline_set == record_result.skyline_set

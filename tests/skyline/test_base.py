@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.exceptions import QueryError
 from repro.index.pager import DiskSimulator
 from repro.skyline.base import ProgressEvent, RunClock, SkylineResult, SkylineStats
 
@@ -48,7 +49,7 @@ class TestSkylineResult:
         assert result.time_to_fraction(1.0) == pytest.approx(4.0)
 
     def test_time_to_fraction_validates_input(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(QueryError):
             self.make_result().time_to_fraction(1.5)
 
     def test_time_to_fraction_without_progress(self):

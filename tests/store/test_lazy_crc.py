@@ -96,9 +96,11 @@ class TestLazyDefersToFirstTouch:
         from repro.engine.batch import BatchQuery, BatchQueryEngine
 
         path = corrupted("frame_to")
-        with pytest.raises(StoreError, match="checksum"):
-            with BatchQueryEngine(path, mmap=mmap_mode, crc="lazy") as engine:
-                engine.run_query(BatchQuery("base"))
+        with (
+            pytest.raises(StoreError, match="checksum"),
+            BatchQueryEngine(path, mmap=mmap_mode, crc="lazy") as engine,
+        ):
+            engine.run_query(BatchQuery("base"))
 
 
 class TestCrcModeResolution:

@@ -134,16 +134,23 @@ class TestDeprecationShims:
         assert columns.FRAME_ENV_VAR == FRAME_ENV_VAR
 
     def test_env_reads_live_only_in_config(self):
-        """The library funnels every REPRO_* read through repro.config."""
+        """The library funnels every REPRO_* read through repro.config.
+
+        Asserted through the reprolint ``env-gateway`` rule, which sees the
+        AST (``from os import environ`` aliases included) rather than a
+        substring scan.
+        """
         import pathlib
+        import sys
 
         import repro
 
         package_root = pathlib.Path(repro.__file__).parent
-        offenders = [
-            path
-            for path in package_root.rglob("*.py")
-            if path.name != "config.py"
-            and 'os.environ' in path.read_text(encoding="utf-8")
-        ]
-        assert offenders == []
+        tools_dir = package_root.parents[1] / "tools"
+        if str(tools_dir) not in sys.path:
+            sys.path.insert(0, str(tools_dir))
+        from reprolint import run_paths
+
+        report = run_paths([package_root], rules=["env-gateway"])
+        assert [f.render() for f in report.findings] == []
+        assert report.modules_checked > 50

@@ -1,0 +1,91 @@
+"""Command-line entry point: ``python -m reprolint`` / ``repro lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from reprolint.engine import lint_modules, load_modules
+from reprolint.rules import ALL_RULES, get_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="architectural-invariant checks for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings waived by # reprolint: disable comments",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+    try:
+        rules = get_rules(args.rules)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        modules = load_modules(args.paths)
+    except (OSError, SyntaxError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not modules:
+        print("error: no python files found", file=sys.stderr)
+        return 2
+    report = lint_modules(modules, rules)
+    if args.format == "json":
+        print(json.dumps(report.as_json(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        if args.show_suppressed:
+            for finding in report.suppressed:
+                print(f"{finding.render()} [suppressed]")
+        summary = (
+            f"{len(report.findings)} finding(s), "
+            f"{len(report.suppressed)} suppressed, "
+            f"{report.modules_checked} module(s), "
+            f"rules: {', '.join(report.rules_run)}"
+        )
+        print(summary, file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,189 @@
+"""Core machinery: module loading, suppression parsing, rule running, reports.
+
+A *rule* is a named check over parsed modules.  Per-module rules see one
+:class:`Module` at a time; project rules (e.g. the lock-order analyzer) see
+the whole module set at once so they can reason across files.  Findings are
+plain data — the CLI renders them ruff-style (``path:line:col: rule message``)
+or as JSON.
+
+Suppressions are explicit and line-anchored: a ``# reprolint:
+disable=<rule>[,<rule>...]`` comment on the finding's line waives exactly the
+named rules (``disable=all`` waives every rule for that line).  Suppressed
+findings are counted, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SUPPRESSION_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source line."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Module:
+    """One parsed source file plus everything rules need to inspect it."""
+
+    path: Path
+    relpath: str
+    name: str  # dotted module name, e.g. "repro.engine.batch"
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, frozenset[str]]  # line -> waived rule names
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        waived = self.suppressions.get(line)
+        return waived is not None and (rule in waived or "all" in waived)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named check.  Exactly one of ``check`` / ``project_check`` is set."""
+
+    name: str
+    description: str
+    check: Callable[[Module], Iterable[Finding]] | None = None
+    project_check: Callable[[Sequence[Module]], Iterable[Finding]] | None = None
+
+
+@dataclass
+class LintReport:
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    modules_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_json(self) -> dict[str, object]:
+        return {
+            "ok": self.ok,
+            "modules_checked": self.modules_checked,
+            "rules": list(self.rules_run),
+            "findings": [f.as_json() for f in self.findings],
+            "suppressed": [f.as_json() for f in self.suppressed],
+        }
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, rooted at the nearest ``src`` dir.
+
+    ``src/repro/engine/batch.py`` -> ``repro.engine.batch``;
+    ``repro/config.py`` (no src segment) -> ``repro.config``;
+    a bare fixture file -> its stem.
+    """
+    parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    elif "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = [path.name]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    suppressions: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        # An optional " -- justification" trailer follows the rule list.
+        rule_list = match.group(1).split("--")[0]
+        names = frozenset(
+            token.strip() for token in rule_list.split(",") if token.strip()
+        )
+        if names:
+            suppressions[lineno] = names
+    return suppressions
+
+
+def load_module(path: Path, root: Path | None = None) -> Module:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    relpath = str(path.relative_to(root)) if root is not None else str(path)
+    return Module(
+        path=path,
+        relpath=relpath,
+        name=module_name_for(path),
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+
+
+def iter_source_files(paths: Iterable[Path | str]) -> Iterable[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py") if "__pycache__" not in p.parts
+            )
+        else:
+            yield path
+
+
+def load_modules(paths: Iterable[Path | str]) -> list[Module]:
+    return [load_module(path) for path in iter_source_files(paths)]
+
+
+def lint_modules(modules: Sequence[Module], rules: Sequence[Rule]) -> LintReport:
+    report = LintReport(
+        modules_checked=len(modules), rules_run=tuple(rule.name for rule in rules)
+    )
+    by_relpath = {module.relpath: module for module in modules}
+    raw: list[Finding] = []
+    for rule in rules:
+        if rule.check is not None:
+            for module in modules:
+                raw.extend(rule.check(module))
+        if rule.project_check is not None:
+            raw.extend(rule.project_check(modules))
+    for finding in sorted(set(raw)):
+        module = by_relpath.get(finding.path)
+        if module is not None and module.is_suppressed(finding.rule, finding.line):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    return report

@@ -1,0 +1,35 @@
+"""Rule registry.  Adding a rule = write a module exposing ``RULE``, list it here."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from reprolint.engine import Rule
+from reprolint.rules.env_gateway import RULE as ENV_GATEWAY
+from reprolint.rules.lock_order import RULE as LOCK_ORDER
+from reprolint.rules.numpy_containment import RULE as NUMPY_CONTAINMENT
+from reprolint.rules.record_hot_path import RULE as RECORD_HOT_PATH
+from reprolint.rules.typed_errors import RULE as TYPED_ERRORS
+
+ALL_RULES: tuple[Rule, ...] = (
+    ENV_GATEWAY,
+    NUMPY_CONTAINMENT,
+    TYPED_ERRORS,
+    RECORD_HOT_PATH,
+    LOCK_ORDER,
+)
+
+_BY_NAME = {rule.name: rule for rule in ALL_RULES}
+
+
+def get_rules(names: Iterable[str] | None = None) -> Sequence[Rule]:
+    """The rules matching ``names`` (default: every registered rule)."""
+    if names is None:
+        return ALL_RULES
+    selected = []
+    for name in names:
+        if name not in _BY_NAME:
+            known = ", ".join(sorted(_BY_NAME))
+            raise KeyError(f"unknown rule {name!r} (known rules: {known})")
+        selected.append(_BY_NAME[name])
+    return tuple(selected)

@@ -1,0 +1,53 @@
+"""env-gateway: every environment read goes through ``repro.config``.
+
+``RuntimeConfig`` resolves every ``REPRO_*`` knob with a single documented
+precedence (explicit arg > CLI flag > env var), and the service/CLI error
+messages name the variable they came from.  A stray ``os.environ`` read
+anywhere else silently bypasses that precedence, so the whole ``os`` env
+surface (``environ``, ``environb``, ``getenv``, ``putenv``, ``unsetenv``) is
+confined to the one gateway module.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from reprolint.engine import Finding, Module, Rule
+
+ALLOWED_MODULES = frozenset({"repro.config"})
+ENV_ATTRIBUTES = frozenset({"environ", "environb", "getenv", "putenv", "unsetenv"})
+
+
+def check(module: Module) -> Iterable[Finding]:
+    if module.name in ALLOWED_MODULES:
+        return
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr in ENV_ATTRIBUTES
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "os"
+        ):
+            yield module.finding(
+                RULE.name,
+                node,
+                f"os.{node.attr} outside repro/config.py — go through "
+                "repro.config (RuntimeConfig / env_text)",
+            )
+        elif isinstance(node, ast.ImportFrom) and node.module == "os":
+            for alias in node.names:
+                if alias.name in ENV_ATTRIBUTES:
+                    yield module.finding(
+                        RULE.name,
+                        node,
+                        f"from os import {alias.name} outside repro/config.py — "
+                        "go through repro.config (RuntimeConfig / env_text)",
+                    )
+
+
+RULE = Rule(
+    name="env-gateway",
+    description="os.environ/os.getenv only inside repro/config.py",
+    check=check,
+)

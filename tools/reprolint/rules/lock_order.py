@@ -1,0 +1,478 @@
+"""lock-order: the cross-module lock graph is consistent and non-blocking.
+
+The concurrent planes (engine, LRU caches, sharded executor, store reader,
+service) hold locks across calls into each other, so a deadlock needs no
+single bad function — only two call chains that acquire the same two locks
+in opposite orders.  This analyzer extracts the *lock-acquisition graph*
+statically and checks it globally:
+
+1. **Lock discovery** — ``self.X = threading.Lock()/RLock()`` (and
+   ``asyncio.Lock()``) attribute assignments and module-level ``X = Lock()``
+   bindings define named locks; a ``with``-ed local whose name ends in
+   ``_lock`` (the engine's per-topology ``query_lock``) defines an anonymous
+   per-call-site lock.
+2. **Intra-procedural pass** — per function, a held-lock stack is threaded
+   through ``with`` / ``async with`` blocks and paired
+   ``.acquire()``/``.release()`` calls; each acquisition under held locks
+   contributes ordered edges, and call/blocking sites record what was held.
+3. **Inter-procedural propagation** — attribute types are inferred from
+   ``self.attr = ClassName(...)`` constructor assignments (resolved through
+   module-scope imports), then the set of locks each function may acquire —
+   and whether it may block — is propagated to a fixed point over the call
+   graph.  A call made while holding lock ``A`` into code that acquires
+   ``B`` yields the edge ``A -> B``.
+4. **Reporting** — a pair acquired in both orders is an inconsistency
+   (deadlock candidate); re-acquiring a non-reentrant lock is a
+   self-deadlock; and a *blocking* operation (file I/O, pool submits,
+   ``compute()``-style bulk kernel work, sleeps, socket ops) made while a
+   state lock is held is flagged.  Locks in :data:`IO_GUARD_LOCKS` exist to
+   serialize I/O and are exempt from the blocking check; ``asyncio`` locks
+   are ordered but not blocking-checked (event-loop analysis is a ROADMAP
+   follow-up).
+
+The analysis is sound for the patterns this codebase uses (attribute locks,
+``with`` acquisition, constructor-assigned collaborators) and is
+deliberately conservative elsewhere: locks reached through containers other
+than ``*_lock`` locals or calls behind function-scope imports are out of
+scope and documented as such.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from reprolint.engine import Finding, Module, Rule
+
+#: Locks whose job is to serialize I/O on a shared handle; holding them
+#: across reads *is* the design, so the blocking-call check skips them.
+IO_GUARD_LOCKS = frozenset({"repro.store.reader.DatasetStore._lock"})
+
+_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+_BLOCKING_NAME_CALLS = frozenset({"open"})
+_BLOCKING_OS_CALLS = frozenset(
+    {"replace", "remove", "unlink", "rename", "fsync", "rmtree", "sleep"}
+)
+_BLOCKING_METHOD_CALLS = frozenset(
+    {
+        "submit",
+        "apply_async",
+        "map_async",
+        "imap",
+        "imap_unordered",
+        "starmap_async",
+        "compute",
+        "recv",
+        "send",
+        "sendall",
+        "accept",
+        "connect",
+        "fsync",
+        "flush",
+    }
+)
+
+
+@dataclass(frozen=True)
+class LockDef:
+    lock_id: str
+    reentrant: bool = False
+    is_async: bool = False
+    anonymous: bool = False
+
+    @property
+    def state_lock(self) -> bool:
+        """Whether the blocking-call check applies while this lock is held."""
+        return (
+            not self.anonymous
+            and not self.is_async
+            and self.lock_id not in IO_GUARD_LOCKS
+        )
+
+
+@dataclass
+class _Function:
+    key: tuple[str, str | None, str]
+    module: Module
+    acquires: set[str] = field(default_factory=set)
+    edges: list[tuple[str, str, ast.AST]] = field(default_factory=list)
+    calls: list[tuple[tuple[str, str | None, str], tuple[str, ...], ast.AST]] = field(
+        default_factory=list
+    )
+    blocking: list[tuple[str, tuple[str, ...], ast.AST]] = field(default_factory=list)
+
+
+class _ModuleIndex:
+    """Per-module symbol tables: imports, classes, lock attrs, attr types."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.imports: dict[str, str] = {}  # local name -> dotted target
+        self.classes: dict[str, ast.ClassDef] = {}
+        self.functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        self.locks: dict[tuple[str | None, str], LockDef] = {}
+        self.attr_types: dict[tuple[str, str], str] = {}  # (class, attr) -> local cls
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(stmt, ast.ImportFrom) and stmt.module and not stmt.level:
+                for alias in stmt.names:
+                    self.imports[alias.asname or alias.name] = (
+                        f"{stmt.module}.{alias.name}"
+                    )
+            elif isinstance(stmt, ast.ClassDef):
+                self.classes[stmt.name] = stmt
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[stmt.name] = stmt
+            elif isinstance(stmt, ast.Assign):
+                self._scan_lock_assign(stmt, class_name=None)
+        for cls in self.classes.values():
+            for item in ast.walk(cls):
+                if isinstance(item, ast.Assign):
+                    self._scan_lock_assign(item, class_name=cls.name)
+
+    def _scan_lock_assign(self, stmt: ast.Assign, class_name: str | None) -> None:
+        value = stmt.value
+        if not isinstance(value, ast.Call):
+            return
+        factory = _call_name(value.func)
+        if factory is None:
+            return
+        head, _, tail = factory.rpartition(".")
+        for target in stmt.targets:
+            attr: str | None = None
+            if (
+                class_name is not None
+                and isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                attr = target.attr
+            elif class_name is None and isinstance(target, ast.Name):
+                attr = target.id
+            if attr is None:
+                continue
+            if tail in _LOCK_FACTORIES:
+                qualifier = f"{class_name}." if class_name else ""
+                self.locks[(class_name, attr)] = LockDef(
+                    lock_id=f"{self.module.name}.{qualifier}{attr}",
+                    reentrant=tail == "RLock",
+                    is_async=head == "asyncio"
+                    or self.imports.get(head, head).startswith("asyncio"),
+                )
+            elif class_name is not None and tail[:1].isupper():
+                self.attr_types[(class_name, attr)] = tail
+
+
+def _call_name(func: ast.expr) -> str | None:
+    """``a.b.C`` -> "a.b.C" for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _FunctionPass:
+    """Walks one function body threading the held-lock stack."""
+
+    def __init__(
+        self,
+        index: _ModuleIndex,
+        indexes: dict[str, _ModuleIndex],
+        class_name: str | None,
+        info: _Function,
+        anonymous: dict[str, LockDef],
+    ) -> None:
+        self.index = index
+        self.indexes = indexes
+        self.class_name = class_name
+        self.info = info
+        self.anonymous = anonymous
+        self.lock_defs: dict[str, LockDef] = {}
+
+    # -- lock expression resolution ------------------------------------- #
+    def resolve_lock(self, expr: ast.expr) -> LockDef | None:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            lock = self.index.locks.get((self.class_name, expr.attr))
+            if lock is None and expr.attr.endswith("_lock"):
+                # A with-ed self attribute named like a lock but with no
+                # visible factory assignment: treat as a named lock anyway.
+                qualifier = f"{self.class_name}." if self.class_name else ""
+                lock = LockDef(f"{self.index.module.name}.{qualifier}{expr.attr}")
+            return lock
+        if isinstance(expr, ast.Name):
+            lock = self.index.locks.get((None, expr.id))
+            if lock is not None:
+                return lock
+            if expr.id.endswith("_lock"):
+                key = f"{self.index.module.name}.<{expr.id}>"
+                if key not in self.anonymous:
+                    self.anonymous[key] = LockDef(key, anonymous=True)
+                return self.anonymous[key]
+        return None
+
+    def _record(self, lock: LockDef, held: list[LockDef], node: ast.AST) -> None:
+        self.lock_defs[lock.lock_id] = lock
+        self.info.acquires.add(lock.lock_id)
+        for holder in held:
+            self.info.edges.append((holder.lock_id, lock.lock_id, node))
+
+    # -- statement walking ---------------------------------------------- #
+    def walk(self, body: Sequence[ast.stmt], held: list[LockDef]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: list[LockDef] = []
+                for item in stmt.items:
+                    lock = self.resolve_lock(item.context_expr)
+                    if lock is not None:
+                        self._record(lock, held, item.context_expr)
+                        held.append(lock)
+                        acquired.append(lock)
+                    else:
+                        self.scan_calls(item.context_expr, held)
+                self.walk(stmt.body, held)
+                for lock in acquired:
+                    held.remove(lock)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes analyzed on their own
+            elif isinstance(stmt, ast.Try):
+                self.walk(stmt.body, held)
+                for handler in stmt.handlers:
+                    self.walk(handler.body, held)
+                self.walk(stmt.orelse, held)
+                self.walk(stmt.finalbody, held)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                self.scan_calls(stmt.test, held)
+                self.walk(stmt.body, held)
+                self.walk(stmt.orelse, held)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self.scan_calls(stmt.iter, held)
+                self.walk(stmt.body, held)
+                self.walk(stmt.orelse, held)
+            else:
+                self.scan_calls(stmt, held)
+
+    # -- expression scanning -------------------------------------------- #
+    def scan_calls(self, node: ast.AST, held: list[LockDef]) -> None:
+        for call in [n for n in ast.walk(node) if isinstance(n, ast.Call)]:
+            func = call.func
+            if isinstance(func, ast.Attribute) and func.attr in ("acquire", "release"):
+                lock = self.resolve_lock(func.value)
+                if lock is not None:
+                    if func.attr == "acquire":
+                        self._record(lock, held, call)
+                        held.append(lock)
+                    elif lock in held:
+                        held.remove(lock)
+                    continue
+            callee = self._resolve_callee(func)
+            if callee is not None:
+                self.info.calls.append(
+                    (callee, tuple(lock.lock_id for lock in held), call)
+                )
+            blocking = self._blocking_desc(func)
+            if blocking is not None:
+                self.info.blocking.append(
+                    (blocking, tuple(lock.lock_id for lock in held), call)
+                )
+
+    def _resolve_callee(self, func: ast.expr) -> tuple[str, str | None, str] | None:
+        if isinstance(func, ast.Name):
+            if func.id in self.index.functions:
+                return (self.index.module.name, None, func.id)
+            target = self.index.imports.get(func.id)
+            if target is not None and "." in target:
+                mod, _, name = target.rpartition(".")
+                if mod in self.indexes and name in self.indexes[mod].functions:
+                    return (mod, None, name)
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        base = func.value
+        if isinstance(base, ast.Name) and base.id == "self":
+            if self.class_name is not None:
+                return (self.index.module.name, self.class_name, func.attr)
+            return None
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+            and self.class_name is not None
+        ):
+            cls = self.index.attr_types.get((self.class_name, base.attr))
+            if cls is None:
+                return None
+            if cls in self.index.classes:
+                return (self.index.module.name, cls, func.attr)
+            target = self.index.imports.get(cls)
+            if target is not None and "." in target:
+                mod, _, name = target.rpartition(".")
+                if mod in self.indexes and name in self.indexes[mod].classes:
+                    return (mod, name, func.attr)
+        return None
+
+    def _blocking_desc(self, func: ast.expr) -> str | None:
+        name = _call_name(func)
+        if name is None:
+            return None
+        if name in _BLOCKING_NAME_CALLS:
+            return f"{name}()"
+        head, _, tail = name.rpartition(".")
+        if head in ("os", "shutil", "time") and tail in _BLOCKING_OS_CALLS:
+            return f"{name}()"
+        if tail in _BLOCKING_METHOD_CALLS and head not in ("", "self"):
+            return f".{tail}()"
+        if tail in _BLOCKING_METHOD_CALLS and head == "self":
+            return None  # handled through the call graph if self.X blocks
+        return None
+
+
+def _collect_functions(
+    indexes: dict[str, _ModuleIndex],
+) -> dict[tuple[str, str | None, str], _Function]:
+    functions: dict[tuple[str, str | None, str], _Function] = {}
+    for index in indexes.values():
+        anonymous: dict[str, LockDef] = {}
+        scopes: list[tuple[str | None, ast.FunctionDef | ast.AsyncFunctionDef]] = [
+            (None, fn) for fn in index.functions.values()
+        ]
+        for cls in index.classes.values():
+            for item in cls.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    scopes.append((cls.name, item))
+        for class_name, fn in scopes:
+            key = (index.module.name, class_name, fn.name)
+            info = _Function(key=key, module=index.module)
+            walker = _FunctionPass(index, indexes, class_name, info, anonymous)
+            walker.walk(fn.body, [])
+            functions[key] = info
+    return functions
+
+
+def _fixed_point(
+    functions: dict[tuple[str, str | None, str], _Function],
+) -> tuple[dict, dict]:
+    """Transitive lock-acquisition and may-block sets per function."""
+    acquires = {key: set(fn.acquires) for key, fn in functions.items()}
+    blocks = {key: {desc for desc, _, _ in fn.blocking} for key, fn in functions.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, fn in functions.items():
+            for callee, _, _ in fn.calls:
+                if callee not in functions:
+                    continue
+                if not acquires[callee] <= acquires[key]:
+                    acquires[key] |= acquires[callee]
+                    changed = True
+                if not blocks[callee] <= blocks[key]:
+                    blocks[key] |= blocks[callee]
+                    changed = True
+    return acquires, blocks
+
+
+def project_check(modules: Sequence[Module]) -> Iterable[Finding]:
+    indexes = {module.name: _ModuleIndex(module) for module in modules}
+    lock_defs: dict[str, LockDef] = {}
+    for index in indexes.values():
+        for lock in index.locks.values():
+            lock_defs[lock.lock_id] = lock
+    functions = _collect_functions(indexes)
+    acquires, blocks = _fixed_point(functions)
+
+    def lookup(lock_id: str) -> LockDef:
+        return lock_defs.get(lock_id, LockDef(lock_id, anonymous="<" in lock_id))
+
+    # Gather every ordered edge with a witness site.
+    edges: dict[tuple[str, str], tuple[Module, ast.AST]] = {}
+    findings: list[Finding] = []
+    for fn in functions.values():
+        for holder, acquired_id, node in fn.edges:
+            if holder == acquired_id:
+                if not lookup(holder).reentrant:
+                    findings.append(
+                        fn.module.finding(
+                            RULE.name,
+                            node,
+                            f"non-reentrant lock {holder} acquired while "
+                            "already held (self-deadlock)",
+                        )
+                    )
+                continue
+            edges.setdefault((holder, acquired_id), (fn.module, node))
+        for callee, held, node in fn.calls:
+            if callee not in functions:
+                continue
+            for acquired_id in acquires[callee]:
+                for holder in held:
+                    if holder == acquired_id:
+                        lock = lookup(holder)
+                        if not lock.reentrant and not lock.anonymous:
+                            findings.append(
+                                fn.module.finding(
+                                    RULE.name,
+                                    node,
+                                    f"call into {'.'.join(p for p in callee if p)} "
+                                    f"may re-acquire non-reentrant lock {holder} "
+                                    "already held (self-deadlock)",
+                                )
+                            )
+                        continue
+                    edges.setdefault((holder, acquired_id), (fn.module, node))
+            callee_blocks = blocks[callee]
+            if callee_blocks:
+                for holder in held:
+                    if lookup(holder).state_lock:
+                        desc = ", ".join(sorted(callee_blocks))
+                        findings.append(
+                            fn.module.finding(
+                                RULE.name,
+                                node,
+                                f"call into {'.'.join(p for p in callee if p)} "
+                                f"(which may block: {desc}) while holding "
+                                f"state lock {holder}",
+                            )
+                        )
+        for desc, held, node in fn.blocking:
+            for holder in held:
+                if lookup(holder).state_lock:
+                    findings.append(
+                        fn.module.finding(
+                            RULE.name,
+                            node,
+                            f"blocking call {desc} while holding state lock "
+                            f"{holder}",
+                        )
+                    )
+
+    for (a, b), (module, node) in sorted(edges.items()):
+        if a < b and (b, a) in edges:
+            other_module, other_node = edges[(b, a)]
+            findings.append(
+                module.finding(
+                    RULE.name,
+                    node,
+                    f"inconsistent lock order: {a} -> {b} here but "
+                    f"{b} -> {a} at {other_module.relpath}:"
+                    f"{getattr(other_node, 'lineno', '?')} (deadlock candidate)",
+                )
+            )
+    return findings
+
+
+RULE = Rule(
+    name="lock-order",
+    description="consistent cross-module lock acquisition; no blocking under state locks",
+    project_check=project_check,
+)
