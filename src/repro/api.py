@@ -54,10 +54,13 @@ def open_dataset(
     runtime knobs; keyword overrides (the :meth:`RuntimeConfig.resolve
     <repro.config.RuntimeConfig.resolve>` fields — ``kernel``, ``index``,
     ``frame``, ``workers``, ``shards``, ``partitioner``, ``merge``,
-    ``prefilter``, ``cache_size``, ``max_entries``, ``store``, ``mmap``)
-    win over both.
+    ``prefilter``, ``cache_size``, ``max_entries``, ``store``, ``mmap``,
+    ``faults``) win over both.
     """
     config = _resolve_config(config, overrides)
+    # Arm fault injection (``faults=`` / REPRO_FAULTS) before the engine
+    # opens anything, so even the store-open path is injectable.
+    config.install_faults()
     if source is None:
         if config.store is None:
             raise ExperimentError(

@@ -181,6 +181,14 @@ def _add_sharding_options(parser: argparse.ArgumentParser) -> None:
         "mutations; 0 disables auto-compaction (default: "
         "REPRO_COMPACT_THRESHOLD env var, else 8192)",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault-injection spec, e.g. "
+        "'store.section_read:raise' or 'pool.worker_task:delay:ms=50' "
+        "(chaos testing; default: REPRO_FAULTS env var, else off)",
+    )
 
 
 def _add_workload_options(parser: argparse.ArgumentParser) -> None:
@@ -252,6 +260,7 @@ def _runtime_config(args) -> RuntimeConfig:
         mmap=args.mmap,
         crc=args.crc,
         compact_threshold=args.compact_threshold,
+        faults=args.faults,
     )
 
 
@@ -415,6 +424,9 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
 
     async def _serve() -> None:
         service = QueryService(_open_engine(args, "serve"))
+        # SIGTERM/SIGINT drain in-flight requests and close the pool, then
+        # exit 0 — the same path a client 'shutdown' op takes.
+        service.install_signal_handlers()
         host, port = await service.start(
             args.host if args.host is not None else DEFAULT_HOST,
             args.port if args.port is not None else DEFAULT_PORT,
@@ -470,6 +482,21 @@ def build_query_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--repeat", type=int, default=1, help="send the query this many times (exercises the cache)"
     )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request server-side deadline in milliseconds (expiry "
+        "answers a typed deadline_exceeded error, never partial results)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="transport-failure retries for idempotent requests (default 2)",
+    )
     parser.add_argument("--json", default=None, help="write the raw response(s) to this file")
     what = parser.add_mutually_exclusive_group()
     what.add_argument(
@@ -512,7 +539,9 @@ def query_main(argv: Sequence[str] | None = None) -> int:
         if args.wait > 0:
             wait_for_service(host, port, timeout=args.wait)
         responses: list[dict] = []
-        with ServiceClient(host, port, timeout=args.timeout) as client:
+        with ServiceClient(
+            host, port, timeout=args.timeout, retries=args.retries
+        ) as client:
             if args.ping:
                 responses.append(client.ping())
                 print(f"pong (protocol {responses[-1]['protocol']})")
@@ -529,6 +558,8 @@ def query_main(argv: Sequence[str] | None = None) -> int:
                     payload["seed"] = args.seed
                 elif overrides is not None:
                     payload["overrides"] = overrides
+                if args.deadline_ms is not None:
+                    payload["deadline_ms"] = args.deadline_ms
                 for _ in range(max(1, args.repeat)):
                     response = client.checked_request(payload)
                     responses.append(response)
@@ -575,6 +606,13 @@ def build_mutate_parser() -> argparse.ArgumentParser:
         default=60.0,
         metavar="SECONDS",
         help="per-response socket timeout (raise it for big compactions)",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        metavar="TOKEN",
+        help="idempotency token: makes --insert-json/--delete retry-safe "
+        "(the server replays the remembered response on re-delivery)",
     )
     parser.add_argument("--json", default=None, help="write the raw response(s) to this file")
     what = parser.add_mutually_exclusive_group(required=True)
@@ -623,12 +661,17 @@ def mutate_main(argv: Sequence[str] | None = None) -> int:
         if args.wait > 0:
             wait_for_service(host, port, timeout=args.wait)
         with ServiceClient(host, port, timeout=args.timeout) as client:
+            token = {"token": args.token} if args.token else {}
             if rows is not None:
-                response = client.checked_request({"op": "insert", "rows": rows})
+                response = client.checked_request(
+                    {"op": "insert", "rows": rows, **token}
+                )
                 ids = response["ids"]
                 print(f"inserted {response['inserted']} rows -> ids {ids}")
             elif args.delete is not None:
-                response = client.checked_request({"op": "delete", "ids": args.delete})
+                response = client.checked_request(
+                    {"op": "delete", "ids": args.delete, **token}
+                )
                 print(f"deleted {response['deleted']} of {len(args.delete)} ids")
             else:
                 response = client.checked_request({"op": "compact"})

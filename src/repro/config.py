@@ -36,6 +36,7 @@ __all__ = [
     "CRC_ENV_VAR",
     "CRC_MODES",
     "DEFAULT_COMPACT_THRESHOLD",
+    "FAULTS_ENV_VAR",
     "FRAME_ENV_VAR",
     "INDEX_ENV_VAR",
     "KERNEL_ENV_VAR",
@@ -48,6 +49,7 @@ __all__ = [
     "env_text",
     "resolve_compact_threshold",
     "resolve_crc_mode",
+    "resolve_faults",
     "resolve_frame_mode",
     "resolve_merge_strategy",
     "resolve_mmap_mode",
@@ -83,6 +85,9 @@ COMPACT_THRESHOLD_ENV_VAR = "REPRO_COMPACT_THRESHOLD"
 
 #: Environment variable selecting eager vs. lazy store checksum verification.
 CRC_ENV_VAR = "REPRO_CRC"
+
+#: Environment variable carrying a fault-injection spec (see :mod:`repro.faults`).
+FAULTS_ENV_VAR = "REPRO_FAULTS"
 
 #: The recognized cross-shard merge strategies.
 MERGE_STRATEGIES = ("sort-merge", "all-pairs")
@@ -261,6 +266,33 @@ def resolve_crc_mode(mode: str | None = None) -> str:
     return mode
 
 
+def resolve_faults(spec: str | None = None) -> str | None:
+    """Coerce a fault-injection spec (``None`` falls back to ``REPRO_FAULTS``).
+
+    Returns the validated spec string (or ``None`` when fault injection is
+    off).  Validation delegates to :func:`repro.faults.parse_faults_spec`,
+    which raises :class:`~repro.exceptions.ExperimentError` on malformed
+    clauses — so a typo in ``REPRO_FAULTS`` fails loudly at resolve time
+    instead of silently running fault-free.
+    """
+    source = ""
+    if spec is None:
+        spec = env_text(FAULTS_ENV_VAR)
+        if spec is None:
+            return None
+        source = f" (from the {FAULTS_ENV_VAR} environment variable)"
+    spec = spec.strip()
+    if not spec:
+        return None
+    from repro.faults.registry import parse_faults_spec
+
+    try:
+        parse_faults_spec(spec)
+    except ExperimentError as error:
+        raise ExperimentError(f"{error}{source}") from None
+    return spec
+
+
 def env_kernel_name() -> str | None:
     """The ``REPRO_KERNEL`` override, or ``None`` (kernel registry hook)."""
     return env_text(KERNEL_ENV_VAR)
@@ -306,6 +338,7 @@ class RuntimeConfig:
     mmap: bool = True
     crc: str = "eager"
     compact_threshold: int = DEFAULT_COMPACT_THRESHOLD
+    faults: str | None = None
 
     @classmethod
     def resolve(
@@ -325,6 +358,7 @@ class RuntimeConfig:
         mmap: bool | str | None = None,
         crc: str | None = None,
         compact_threshold: int | str | None = None,
+        faults: str | None = None,
     ) -> "RuntimeConfig":
         """Resolve every knob: explicit arguments win, then ``REPRO_*`` vars,
         then defaults.  Raises :class:`~repro.exceptions.ExperimentError` on
@@ -346,7 +380,20 @@ class RuntimeConfig:
             mmap=resolve_mmap_mode(mmap),
             crc=resolve_crc_mode(crc),
             compact_threshold=resolve_compact_threshold(compact_threshold),
+            faults=resolve_faults(faults),
         )
+
+    def install_faults(self) -> None:
+        """Install this config's fault spec into :mod:`repro.faults`.
+
+        A no-op when :attr:`faults` is ``None`` (the registry keeps lazily
+        resolving ``REPRO_FAULTS`` itself), so config-built engines without an
+        explicit spec behave identically to direct construction.
+        """
+        if self.faults is not None:
+            from repro.faults.registry import install
+
+            install(self.faults)
 
     def with_overrides(self, **changes: Any) -> "RuntimeConfig":
         """A copy with the given fields replaced (facade keyword overrides)."""

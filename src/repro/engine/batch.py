@@ -81,7 +81,8 @@ from repro.engine.encodings import (
     validate_override_domains,
 )
 from repro.engine.lru import LRUDict
-from repro.exceptions import QueryError
+from repro.exceptions import DeadlineExceededError, QueryError
+from repro.faults.registry import trip as _fault_trip
 from repro.kernels import resolve_kernel
 from repro.kernels.tables import RecordTables
 from repro.order.dag import PartialOrderDAG
@@ -350,6 +351,9 @@ class BatchQueryEngine:
         self._delta: DeltaFrame | None = None
         self._tracker: BaseCandidateTracker | None = None
         self._log = None
+        # Set when the sidecar log needed quarantine at open (see
+        # :meth:`DeltaLog.recover <repro.store.delta.DeltaLog.recover>`).
+        self._delta_recovery: dict | None = None
         self._mutation_frame: EncodedFrame | None = None
         self._executor = None
         if store is not None:
@@ -564,7 +568,13 @@ class BatchQueryEngine:
             return self.schema.replace_partial_order(dict(query.dag_overrides))
         return self.schema
 
-    def _base_skyline_rows(self, query: BatchQuery, key: TopologyKey):
+    def _base_skyline_rows(
+        self,
+        query: BatchQuery,
+        key: TopologyKey,
+        *,
+        deadline: float | None = None,
+    ):
         """The base-side skyline as frame rows, via the per-topology cache.
 
         Returns ``(rows, stats, sharded_result, timers)`` where ``timers`` is
@@ -578,7 +588,9 @@ class BatchQueryEngine:
         sharded = None
         build_seconds = index_build_seconds = query_seconds = merge_seconds = 0.0
         if self._executor is not None:
-            sharded = self._executor.query(query.dag_overrides, name=query.name)
+            sharded = self._executor.query(
+                query.dag_overrides, name=query.name, deadline=deadline
+            )
             reduced_ids = sharded.skyline_ids
             query_seconds = sharded.seconds_local
             merge_seconds = sharded.seconds_merge
@@ -704,7 +716,22 @@ class BatchQueryEngine:
         )
         return sorted(ids)
 
-    def run_query(self, query: BatchQuery) -> BatchQueryResult:
+    @staticmethod
+    def _check_deadline(deadline: float | None, phase: str) -> None:
+        """Raise when the caller's absolute-monotonic deadline has passed.
+
+        Called between query phases so a deadlined query stops burning CPU
+        (and releases its topology lock and read latch) at the next phase
+        boundary instead of running to completion for nobody.
+        """
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError(
+                f"query deadline exceeded before the {phase} phase"
+            )
+
+    def run_query(
+        self, query: BatchQuery, *, deadline: float | None = None
+    ) -> BatchQueryResult:
         """Answer one query (possibly from the per-topology cache).
 
         Thread-safe: concurrent callers over distinct topologies proceed in
@@ -712,6 +739,12 @@ class BatchQueryEngine:
         per-``dag_signature`` lock, where all but the first are then served
         by the result cache the winner filled.  Mutations never interleave
         with an in-flight query (read/write latch).
+
+        ``deadline`` is an absolute :func:`time.monotonic` timestamp; the
+        engine re-checks it between phases (base skyline, delta merge) and
+        raises :class:`~repro.exceptions.DeadlineExceededError` — results are
+        still all-or-nothing, a deadlined query never returns a partial
+        skyline.
         """
         started = time.perf_counter()
         key = self.topology_key(query)
@@ -726,14 +759,16 @@ class BatchQueryEngine:
             hit = self._cached_result(query, key, started)
             if hit is not None:
                 return hit
+            self._check_deadline(deadline, "base-skyline")
             self._latch.acquire_read()
             try:
                 base_rows, stats, sharded, timers = self._base_skyline_rows(
-                    query, key
+                    query, key, deadline=deadline
                 )
                 build_seconds, index_build_seconds, query_seconds, merge_seconds = (
                     timers
                 )
+                self._check_deadline(deadline, "delta-merge")
                 delta = self._delta
                 if delta is not None and delta.live_insert_count:
                     merge_started = time.perf_counter()
@@ -811,12 +846,18 @@ class BatchQueryEngine:
         Only a log written against this very store generation applies; a
         stale one (compaction landed, crash before the log reset) is left to
         be discarded by the first mutation's :meth:`DeltaLog.ensure
-        <repro.store.delta.DeltaLog.ensure>`.
+        <repro.store.delta.DeltaLog.ensure>`.  A log corrupted beyond the
+        torn-tail rule is quarantined by :meth:`DeltaLog.recover
+        <repro.store.delta.DeltaLog.recover>` (never a refusal to open); the
+        recovery report surfaces through :meth:`summary`.
         """
         from repro.store.delta import DeltaLog, delta_log_path
 
-        log = DeltaLog.load(delta_log_path(self._store.path))
-        if log is None or log.generation != self._store.generation:
+        log, report = DeltaLog.recover(
+            delta_log_path(self._store.path), self._store.generation
+        )
+        self._delta_recovery = report
+        if log is None:
             return
         self._log = log
         if not log.entries:
@@ -961,8 +1002,11 @@ class BatchQueryEngine:
             # The commit point: readers see either the old store (+ the old
             # log, still at the old generation) or the new one.  A crash
             # after the replace but before the log reset leaves a stale-
-            # generation log, which every loader discards.
+            # generation log, which every loader discards.  Fault stages
+            # bracket exactly that window for the crash-matrix tests.
+            _fault_trip("delta.compact_replace", stage="pre")
             os.replace(tmp_path, store.path)
+            _fault_trip("delta.compact_replace", stage="post")
             if self._log is not None:
                 self._log.reset(generation)
             else:
@@ -1048,6 +1092,7 @@ class BatchQueryEngine:
                     "generation": self._store.generation,
                     "mmap": self._store.uses_mmap,
                     "crc": self._store.crc_mode,
+                    "degraded_sections": list(self._store.degraded_sections),
                 }
                 if self._store is not None
                 else None
@@ -1069,6 +1114,7 @@ class BatchQueryEngine:
             "compact_threshold": self._compact_threshold,
             "mutations_applied": mutations_applied,
             "compactions": compactions,
+            "delta_log_recovery": self._delta_recovery,
             "delta": (
                 None
                 if delta is None

@@ -48,6 +48,37 @@ class ServiceError(ReproError):
     """A query-service request failed (connection, protocol or server side)."""
 
 
+class DeadlineExceededError(ReproError):
+    """A request's deadline elapsed before the work completed.
+
+    Raised by the engine between query phases, by the service when the
+    per-request ``deadline_ms`` budget runs out server-side, and surfaced to
+    :class:`~repro.service.client.ServiceClient` callers as the same type, so
+    one ``except DeadlineExceededError`` covers local and remote execution.
+    """
+
+
+class RetryExhaustedError(ServiceError):
+    """Every retry attempt of an idempotent service request failed.
+
+    Carries the per-attempt failure history in :attr:`attempts` (one message
+    per attempt, in order) so callers and logs can see what each try hit.
+    """
+
+    def __init__(self, message: str, attempts: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic fault injected by :mod:`repro.faults` fired.
+
+    Only ever raised when a ``REPRO_FAULTS`` spec (or an explicit
+    :func:`repro.faults.install`) is active; production paths without fault
+    injection never see it.
+    """
+
+
 class StoreError(ReproError):
     """A persisted dataset store is unreadable, corrupt or incompatible.
 

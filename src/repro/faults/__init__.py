@@ -1,0 +1,37 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+Named fault points are compiled into the hot paths (store section reads,
+delta-log appends, compaction swaps, pool worker tasks, service handlers,
+client sockets) and stay dormant — a single ``None`` check — until a
+``REPRO_FAULTS`` spec is installed, either explicitly via :func:`install`
+or resolved from the environment through :class:`repro.config.RuntimeConfig`.
+See :mod:`repro.faults.registry` for the spec grammar and semantics.
+"""
+
+from repro.faults.registry import (
+    FAULT_POINTS,
+    FaultRegistry,
+    FaultSpec,
+    describe,
+    install,
+    installed_registry,
+    parse_faults_spec,
+    reset,
+    trip,
+    trip_async,
+    uninstall,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultRegistry",
+    "FaultSpec",
+    "describe",
+    "install",
+    "installed_registry",
+    "parse_faults_spec",
+    "reset",
+    "trip",
+    "trip_async",
+    "uninstall",
+]

@@ -1,0 +1,369 @@
+"""The fault-injection registry behind :mod:`repro.faults`.
+
+Spec grammar (the value of ``REPRO_FAULTS`` / ``--faults``)::
+
+    spec    := clause (";" clause)*
+    clause  := point ":" mode (":" option ("," option)*)?
+    option  := key "=" value
+
+``point`` is one of :data:`FAULT_POINTS`; ``mode`` is ``raise`` (raise the
+site's exception type, default :class:`~repro.exceptions.InjectedFaultError`),
+``delay`` (sleep ``ms`` milliseconds at the site), ``corrupt`` (flip one
+deterministic byte of the site's payload; sites with no payload treat it as
+``raise``) or ``exit`` (``os._exit`` — process-death simulation for the pool
+worker and crash-matrix tests).  Options:
+
+``prob``   fire probability per hit (default ``1.0``)
+``seed``   seed for the per-clause RNG deciding probabilistic fires and the
+           corrupted byte (default ``0``) — same seed, same decisions
+``ms``     delay duration in milliseconds (default ``10``)
+``times``  maximum number of fires, then the clause goes dormant (default
+           unlimited)
+``after``  number of matching hits to skip before the clause may fire
+           (default ``0``)
+``stage``  only match trips declaring this stage (e.g. the ``pre``/``post``
+           sides of an fsync or ``os.replace``)
+
+Example::
+
+    REPRO_FAULTS="pool.worker_task:raise:times=1;client.socket:delay:ms=50,prob=0.5,seed=7"
+
+Every decision is a pure function of the spec, its seed, and the per-process
+hit counter, so a seeded chaos run replays exactly.  When nothing is
+installed, :func:`trip` is one global load and one ``if`` — zero overhead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import threading
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import ExperimentError, InjectedFaultError
+
+__all__ = [
+    "FAULT_MODES",
+    "FAULT_POINTS",
+    "FaultRegistry",
+    "FaultSpec",
+    "describe",
+    "install",
+    "installed_registry",
+    "parse_faults_spec",
+    "reset",
+    "trip",
+    "trip_async",
+    "uninstall",
+]
+
+#: The named fault points compiled into the serving stack.
+FAULT_POINTS = (
+    "store.section_read",
+    "delta.log_append",
+    "delta.compact_replace",
+    "pool.worker_task",
+    "service.handler",
+    "client.socket",
+)
+
+#: The recognized fault modes.
+FAULT_MODES = ("raise", "delay", "corrupt", "exit")
+
+#: Exit status used by ``exit``-mode faults (recognizable in waitpid output).
+FAULT_EXIT_CODE = 117
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed clause of a ``REPRO_FAULTS`` spec."""
+
+    point: str
+    mode: str
+    probability: float = 1.0
+    seed: int = 0
+    delay_ms: float = 10.0
+    times: int | None = None
+    after: int = 0
+    stage: str | None = None
+
+
+class _ClauseState:
+    """Mutable per-process counters for one spec clause."""
+
+    __slots__ = ("fires", "hits", "rng", "spec")
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.hits = 0
+        self.fires = 0
+
+    def decide(self) -> bool:
+        """Record one matching hit; True when the clause fires on it."""
+        self.hits += 1
+        if self.hits <= self.spec.after:
+            return False
+        if self.spec.times is not None and self.fires >= self.spec.times:
+            return False
+        if self.spec.probability < 1.0 and self.rng.random() >= self.spec.probability:
+            return False
+        self.fires += 1
+        return True
+
+
+class FaultRegistry:
+    """A set of fault clauses with deterministic per-process counters."""
+
+    def __init__(self, specs: Sequence[FaultSpec]) -> None:
+        for spec in specs:
+            _validate_spec(spec)
+        self._states = [_ClauseState(spec) for spec in specs]
+        self._by_point: dict[str, list[_ClauseState]] = {}
+        for state in self._states:
+            self._by_point.setdefault(state.spec.point, []).append(state)
+        self._lock = threading.Lock()
+
+    @property
+    def specs(self) -> tuple[FaultSpec, ...]:
+        return tuple(state.spec for state in self._states)
+
+    def hit(self, point: str, stage: str | None = None) -> FaultSpec | None:
+        """Record a hit at ``point``; the firing clause's spec, or ``None``."""
+        states = self._by_point.get(point)
+        if not states:
+            return None
+        fired: FaultSpec | None = None
+        with self._lock:
+            for state in states:
+                want = state.spec.stage
+                if want is not None and want != stage:
+                    continue
+                if state.decide() and fired is None:
+                    fired = state.spec
+        return fired
+
+    def corrupt_bytes(self, spec: FaultSpec, data: bytes) -> bytes:
+        """``data`` with one byte flipped, chosen by the clause's seed."""
+        if not data:
+            return data
+        position = random.Random(spec.seed * 1_000_003 + len(data)).randrange(len(data))
+        mutated = bytearray(data)
+        mutated[position] ^= 0xFF
+        return bytes(mutated)
+
+    def describe(self) -> list[dict[str, object]]:
+        """Per-clause counters (for tests, ``stats`` ops and summaries)."""
+        with self._lock:
+            return [
+                {
+                    "point": state.spec.point,
+                    "mode": state.spec.mode,
+                    "stage": state.spec.stage,
+                    "hits": state.hits,
+                    "fires": state.fires,
+                }
+                for state in self._states
+            ]
+
+
+def _validate_spec(spec: FaultSpec) -> None:
+    if spec.point not in FAULT_POINTS:
+        known = ", ".join(FAULT_POINTS)
+        raise ExperimentError(
+            f"unknown fault point {spec.point!r}; fault points are {known}"
+        )
+    if spec.mode not in FAULT_MODES:
+        raise ExperimentError(
+            f"unknown fault mode {spec.mode!r} for {spec.point}; "
+            f"modes are {', '.join(FAULT_MODES)}"
+        )
+    if not 0.0 <= spec.probability <= 1.0:
+        raise ExperimentError(
+            f"fault probability must be in [0, 1], got {spec.probability}"
+        )
+
+
+def parse_faults_spec(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a ``REPRO_FAULTS`` spec string into clause tuples.
+
+    Raises :class:`~repro.exceptions.ExperimentError` on malformed input,
+    naming the offending clause.
+    """
+    specs: list[FaultSpec] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        parts = clause.split(":", 2)
+        if len(parts) < 2:
+            raise ExperimentError(
+                f"malformed fault clause {clause!r}: expected "
+                "point:mode[:key=value,...]"
+            )
+        point, mode = parts[0].strip(), parts[1].strip().lower()
+        options: dict[str, str] = {}
+        if len(parts) == 3 and parts[2].strip():
+            for item in parts[2].split(","):
+                key, separator, value = item.partition("=")
+                if not separator or not key.strip():
+                    raise ExperimentError(
+                        f"malformed fault option {item!r} in clause {clause!r}: "
+                        "expected key=value"
+                    )
+                options[key.strip().lower()] = value.strip()
+        times_raw = options.pop("times", None)
+        try:
+            spec = FaultSpec(
+                point=point,
+                mode=mode,
+                probability=float(options.pop("prob", 1.0)),
+                seed=int(options.pop("seed", 0)),
+                delay_ms=float(options.pop("ms", 10.0)),
+                times=None if times_raw is None else int(times_raw),
+                after=int(options.pop("after", 0)),
+                stage=options.pop("stage", None),
+            )
+        except ValueError:
+            raise ExperimentError(
+                f"malformed numeric option in fault clause {clause!r}"
+            ) from None
+        if options:
+            unknown = ", ".join(sorted(options))
+            raise ExperimentError(
+                f"unknown fault option(s) {unknown} in clause {clause!r}; "
+                "options are prob, seed, ms, times, after, stage"
+            )
+        _validate_spec(spec)
+        specs.append(spec)
+    return tuple(specs)
+
+
+# The installed registry.  ``None`` + ``_env_resolved`` False means the
+# environment has not been consulted yet; ``None`` + True means faults are
+# genuinely off, making the disabled path one load and one ``if``.
+_registry: FaultRegistry | None = None
+_env_resolved = False
+_install_lock = threading.Lock()
+
+
+def _resolve_from_env() -> FaultRegistry | None:
+    global _registry, _env_resolved
+    with _install_lock:
+        if _env_resolved:
+            return _registry
+        from repro.config import resolve_faults
+
+        text = resolve_faults()
+        _registry = FaultRegistry(parse_faults_spec(text)) if text else None
+        _env_resolved = True
+        return _registry
+
+
+def install(spec: str | Sequence[FaultSpec] | FaultRegistry | None) -> None:
+    """Install a fault spec for this process (overriding the environment).
+
+    Accepts a spec string, parsed clauses, a prebuilt registry, or ``None``
+    (equivalent to :func:`uninstall`).
+    """
+    global _registry, _env_resolved
+    if isinstance(spec, str):
+        registry: FaultRegistry | None = FaultRegistry(parse_faults_spec(spec))
+    elif isinstance(spec, FaultRegistry) or spec is None:
+        registry = spec
+    else:
+        registry = FaultRegistry(spec)
+    with _install_lock:
+        _registry = registry
+        _env_resolved = True
+
+
+def uninstall() -> None:
+    """Disable fault injection for this process (environment stays ignored)."""
+    install(None)
+
+
+def reset() -> None:
+    """Forget the installed registry *and* re-arm environment resolution."""
+    global _registry, _env_resolved
+    with _install_lock:
+        _registry = None
+        _env_resolved = False
+
+
+def installed_registry() -> FaultRegistry | None:
+    """The active registry (resolving ``REPRO_FAULTS`` once), or ``None``."""
+    if _env_resolved:
+        return _registry
+    return _resolve_from_env()
+
+
+def describe() -> list[dict[str, object]]:
+    """Per-clause hit/fire counters of the active registry (``[]`` if off)."""
+    registry = installed_registry()
+    return [] if registry is None else registry.describe()
+
+
+def _apply(
+    registry: FaultRegistry,
+    spec: FaultSpec,
+    point: str,
+    exc: Callable[[str], BaseException] | None,
+    data: bytes | None,
+) -> bytes | None:
+    if spec.mode == "delay":
+        time.sleep(spec.delay_ms / 1000.0)
+        return data
+    if spec.mode == "corrupt" and data is not None:
+        return registry.corrupt_bytes(spec, data)
+    if spec.mode == "exit":
+        os._exit(FAULT_EXIT_CODE)
+    if exc is not None:
+        raise exc(point)
+    raise InjectedFaultError(f"injected fault at {point}")
+
+
+def trip(
+    point: str,
+    *,
+    stage: str | None = None,
+    exc: Callable[[str], BaseException] | None = None,
+    data: bytes | None = None,
+) -> bytes | None:
+    """One fault point: may raise, sleep, or corrupt ``data``.
+
+    Returns ``data`` (corrupted when a ``corrupt`` clause fired, otherwise
+    unchanged) so payload sites can write ``payload = trip(..., data=payload)``.
+    ``exc`` lets a site substitute a realistic exception type (e.g. a socket
+    error) for ``raise``-mode clauses; ``corrupt`` clauses at payload-less
+    sites degrade to ``raise`` so no mode is ever silently ignored.
+    """
+    registry = _registry if _env_resolved else _resolve_from_env()
+    if registry is None:
+        return data
+    spec = registry.hit(point, stage)
+    if spec is None:
+        return data
+    return _apply(registry, spec, point, exc, data)
+
+
+async def trip_async(
+    point: str,
+    *,
+    stage: str | None = None,
+    exc: Callable[[str], BaseException] | None = None,
+) -> None:
+    """:func:`trip` for coroutine sites: ``delay`` awaits instead of sleeping."""
+    registry = _registry if _env_resolved else _resolve_from_env()
+    if registry is None:
+        return
+    spec = registry.hit(point, stage)
+    if spec is None:
+        return
+    if spec.mode == "delay":
+        await asyncio.sleep(spec.delay_ms / 1000.0)
+        return
+    _apply(registry, spec, point, exc, None)

@@ -69,7 +69,8 @@ from repro.engine.encodings import (
     validate_override_domains,
 )
 from repro.engine.lru import LRUDict
-from repro.exceptions import ExperimentError, QueryError
+from repro.exceptions import DeadlineExceededError, ExperimentError, QueryError
+from repro.faults.registry import trip as _fault_trip
 from repro.index.registry import resolve_index
 from repro.kernels import resolve_kernel
 from repro.kernels.tables import RecordTables
@@ -236,8 +237,16 @@ def _worker_local_skyline(
     task: tuple[int, dict[str, PartialOrderDAG]],
 ) -> tuple[int, list[int]]:
     shard_index, overrides = task
+    # Inside the pool worker: ``raise`` surfaces through apply_async as the
+    # remote exception, ``exit`` kills this very process — both feed the
+    # parent's self-healing ladder (respawn once, then inline).
+    _fault_trip("pool.worker_task")
     assert _WORKER_STATE is not None, "worker pool used before initialization"
     return shard_index, _WORKER_STATE.local_skyline(shard_index, overrides)
+
+
+class _PoolFailure(Exception):
+    """Internal signal: a pool worker died or failed (triggers self-healing)."""
 
 
 # ---------------------------------------------------------------------- #
@@ -429,6 +438,16 @@ class ShardedExecutor:
         # concurrent queries interleave freely.
         self._lock = threading.Lock()
         self._pools: list[multiprocessing.pool.Pool] | None = None
+        self._worker_pids: list[int] = []
+        # Self-healing ladder (see :meth:`local_phase`): one pool respawn is
+        # allowed per executor lifetime; the next failure degrades queries to
+        # inline single-process execution permanently (counters below).
+        self._heal_lock = threading.Lock()
+        self._respawned = False
+        self._degraded = False
+        self.pool_respawns = 0
+        self.inline_fallbacks = 0
+        self.last_pool_failure: str | None = None
         self._inline_state: _WorkerState | None = None
         self._merge_tables: LRUDict[tuple[DagKey, ...], _MergeArtifacts]
         self._merge_tables = LRUDict(encoding_cache_size)
@@ -509,6 +528,10 @@ class ShardedExecutor:
                         )
                     )
                 self._pools = pools
+                # Remember each worker's pid: a pool whose process has a new
+                # pid (or an exit code) lost its worker — the race-free death
+                # signal the health check keys on.
+                self._worker_pids = [pool._pool[0].pid for pool in pools]
         return self
 
     def close(self) -> None:
@@ -548,48 +571,151 @@ class ShardedExecutor:
         # up-front check is the cheap equivalent.
         validate_override_domains(self.schema.partial_order_attributes, overrides)
 
-    def local_phase(self, overrides: dict[str, PartialOrderDAG]) -> list[list[int]]:
+    def local_phase(
+        self,
+        overrides: dict[str, PartialOrderDAG],
+        *,
+        deadline: float | None = None,
+    ) -> list[list[int]]:
         """Per shard: parent-dataset ids of the shard's local skyline.
 
         Thread-safe and lock-free over the immutable shards — the query
         service runs several queries' local phases concurrently and only
         synchronizes later, at the merge and cache boundaries.
+
+        Worker failures self-heal instead of failing the query: a remote
+        exception or a dead worker process respawns the pools once
+        (``pool_respawns``); a failure after that degrades this executor to
+        inline single-process execution for good (``inline_fallbacks``, both
+        surfaced by :meth:`summary`) — the query still gets its correct
+        skyline.  Task timeouts and caller deadlines are *not* healed: they
+        raise :class:`~repro.exceptions.QueryError` /
+        :class:`~repro.exceptions.DeadlineExceededError` as ever.
         """
         tasks = [
             (index, overrides) for index, shard in enumerate(self.shards) if len(shard)
         ]
-        if self.workers >= 1:
+        if self.workers >= 1 and not self._degraded:
             self.start()
-            pools = self._pools
-            assert pools is not None
-            pending = [
-                pools[self._owner_of(index)].apply_async(
-                    _worker_local_skyline, ((index, overrides),)
-                )
-                for index, overrides in tasks
-            ]
             try:
-                outcomes = [result.get(self.task_timeout) for result in pending]
-            except multiprocessing.TimeoutError:
-                raise QueryError(
-                    f"sharded local phase did not finish within "
-                    f"{self.task_timeout:.0f}s (crashed or overloaded worker?)"
-                ) from None
+                outcomes = self._pool_outcomes(tasks, deadline)
+            except (DeadlineExceededError, QueryError):
+                raise
+            except Exception as error:  # the pool boundary: remote failures
+                # arrive untyped (whatever the worker raised, or our death
+                # signal) — all of them feed the healing ladder.
+                outcomes = self._heal_and_retry(tasks, deadline, error)
         else:
-            with self._lock:
-                if self._inline_state is None:
-                    self._inline_state = _WorkerState(
-                        *self._worker_initargs(range(len(self.shards)))
-                    )
-                state = self._inline_state
-            outcomes = [
-                (index, state.local_skyline(index, overrides)) for index, _ in tasks
-            ]
+            outcomes = self._inline_outcomes(tasks)
         local_ids: list[list[int]] = [[] for _ in self.shards]
         for shard_index, positions in outcomes:
             record_ids = self.shards[shard_index].record_ids
             local_ids[shard_index] = [record_ids[position] for position in positions]
         return local_ids
+
+    def _pool_outcomes(self, tasks, deadline: float | None):
+        """Submit ``tasks`` to the pools and gather results, watching health.
+
+        Polls with a short timeout so a dead worker (whose task would
+        otherwise hang until ``task_timeout``) is noticed within ~50ms via
+        the pid/exit-code check and surfaces as :class:`_PoolFailure`.
+        """
+        pools = self._pools
+        assert pools is not None
+        pids = list(self._worker_pids)
+        pending = [
+            pools[self._owner_of(index)].apply_async(
+                _worker_local_skyline, ((index, task_overrides),)
+            )
+            for index, task_overrides in tasks
+        ]
+        timeout_at = (
+            None
+            if self.task_timeout is None
+            else time.monotonic() + self.task_timeout
+        )
+        outcomes = []
+        for result in pending:
+            while True:
+                try:
+                    outcomes.append(result.get(0.05))
+                    break
+                except multiprocessing.TimeoutError:
+                    self._check_pool_health(pools, pids)
+                    now = time.monotonic()
+                    if deadline is not None and now >= deadline:
+                        raise DeadlineExceededError(
+                            "query deadline exceeded during the sharded "
+                            "local phase"
+                        ) from None
+                    if timeout_at is not None and now >= timeout_at:
+                        raise QueryError(
+                            f"sharded local phase did not finish within "
+                            f"{self.task_timeout:.0f}s (crashed or "
+                            f"overloaded worker?)"
+                        ) from None
+        return outcomes
+
+    @staticmethod
+    def _check_pool_health(pools, pids: list[int]) -> None:
+        for index, pool in enumerate(pools):
+            processes = list(pool._pool)
+            alive = [
+                process
+                for process in processes
+                if process.exitcode is None
+                and (index >= len(pids) or process.pid == pids[index])
+            ]
+            if not alive:
+                raise _PoolFailure(
+                    f"worker process for pool {index} died "
+                    f"(exit codes: {[p.exitcode for p in processes]})"
+                )
+
+    def _heal_and_retry(self, tasks, deadline: float | None, error: Exception):
+        """The self-healing ladder after a pool failure.
+
+        First failure: terminate and respawn the pools, retry the tasks.
+        Any failure beyond that: close the pools for good and answer this
+        (and every later) query inline — degraded but correct.
+        """
+        with self._heal_lock:
+            self.last_pool_failure = f"{type(error).__name__}: {error}"
+            if not self._degraded:
+                respawn = False
+                with self._lock:
+                    if not self._respawned:
+                        self._respawned = respawn = True
+                        self.pool_respawns += 1
+                if respawn:
+                    self.close()
+                    self.start()
+                    try:
+                        return self._pool_outcomes(tasks, deadline)
+                    except DeadlineExceededError:
+                        raise
+                    except Exception as retry_error:
+                        # Respawn did not help — record why and degrade below.
+                        self.last_pool_failure = (
+                            f"{type(retry_error).__name__}: {retry_error}"
+                        )
+                with self._lock:
+                    self._degraded = True
+                    self.inline_fallbacks += 1
+                self.close()
+        return self._inline_outcomes(tasks)
+
+    def _inline_outcomes(self, tasks):
+        with self._lock:
+            if self._inline_state is None:
+                self._inline_state = _WorkerState(
+                    *self._worker_initargs(range(len(self.shards)))
+                )
+            state = self._inline_state
+        return [
+            (index, state.local_skyline(index, task_overrides))
+            for index, task_overrides in tasks
+        ]
 
     def _merge_artifacts(
         self, overrides: dict[str, PartialOrderDAG]
@@ -861,19 +987,26 @@ class ShardedExecutor:
         *,
         name: str = "query",
         merge_strategy: str | None = None,
+        deadline: float | None = None,
     ) -> ShardedQueryResult:
         """Compute the skyline under (possibly overridden) preferences.
 
         Returns parent-dataset record ids, identical to what a single-process
-        sTSS run over the whole dataset would report.
+        sTSS run over the whole dataset would report.  ``deadline`` is an
+        absolute :func:`time.monotonic` timestamp checked during the local
+        phase's pool wait and again at the merge boundary.
         """
         overrides = dict(dag_overrides or {})
         self._validate_overrides(overrides)
         started = time.perf_counter()
         local_started = time.monotonic()
-        local_ids = self.local_phase(overrides)
+        local_ids = self.local_phase(overrides, deadline=deadline)
         local_done = time.perf_counter()
         local_window = (local_started, time.monotonic())
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError(
+                "query deadline exceeded before the cross-shard merge phase"
+            )
         counter = _MergeCounter()
         strategy = (
             self.merge_strategy
@@ -916,4 +1049,8 @@ class ShardedExecutor:
             "frame": self._frame is not None,
             "queries_answered": self.queries_answered,
             "pool_running": self._pools is not None,
+            "pool_respawns": self.pool_respawns,
+            "inline_fallbacks": self.inline_fallbacks,
+            "degraded_to_inline": self._degraded,
+            "last_pool_failure": self.last_pool_failure,
         }

@@ -1,25 +1,58 @@
-"""A blocking JSON-lines client for the query service.
+"""A blocking JSON-lines client for the query service, with typed retries.
 
 Used by the ``repro query`` CLI subcommand, the integration tests and the CI
 smoke test.  One :class:`ServiceClient` holds one TCP connection; requests
 and responses are matched one-to-one, so a client instance must not be shared
 across threads (open one per thread — the server multiplexes connections).
+
+Fault tolerance:
+
+* Transport failures (connect refused, read timeout, connection reset) are
+  retried with exponential backoff plus jitter — but only for requests that
+  are safe to re-deliver: the read-only ops (``ping``/``stats``/``query``)
+  always, mutations (``insert``/``delete``) **only** when the caller attached
+  an idempotency ``token`` (the server replays the remembered response
+  instead of re-applying).  A token-less mutation fails on the first
+  transport error, because the client cannot know whether it was applied.
+* When every attempt fails, :class:`~repro.exceptions.RetryExhaustedError`
+  carries the per-attempt failure history; every transport error message
+  names ``host:port`` and distinguishes a timeout from a connection reset.
+* A server-side deadline failure (``error_kind`` =
+  :data:`~repro.service.protocol.ERROR_KIND_DEADLINE`) raises
+  :class:`~repro.exceptions.DeadlineExceededError` instead of a generic
+  :class:`~repro.exceptions.ServiceError` — deadline expiry is an answer,
+  not a transport failure, and is therefore never retried.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 from collections.abc import Mapping
 
-from repro.exceptions import ServiceError
+from repro.exceptions import (
+    DeadlineExceededError,
+    RetryExhaustedError,
+    ServiceError,
+)
+from repro.faults.registry import trip as _fault_trip
 from repro.order.dag import PartialOrderDAG
 from repro.service import protocol
 
 DEFAULT_HOST = "127.0.0.1"
 #: Default TCP port of ``repro serve`` (unassigned range, mnemonic: ICDE'09).
 DEFAULT_PORT = 7409
+
+#: Ops safe to re-deliver unconditionally (they change no server state).
+IDEMPOTENT_OPS = frozenset({"ping", "stats", "query"})
+
+
+def _injected_reset(point: str) -> ConnectionResetError:
+    # The injected failure mode of the client transport: a reset, so the
+    # normal classification/retry path handles it like the real thing.
+    return ConnectionResetError(f"injected fault at {point}")
 
 
 class ServiceClient:
@@ -31,46 +64,146 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         *,
         timeout: float = 60.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_max: float = 1.0,
     ) -> None:
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as error:
-            raise ServiceError(f"cannot connect to {host}:{port}: {error}") from error
-        self._file = self._sock.makefile("rwb")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        #: Extra attempts after the first failure (0 disables retrying).
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self._jitter = random.Random()
+        self._sock: socket.socket | None = None
+        self._file = None
+        # Connect eagerly so an unreachable service fails fast at
+        # construction; later transport failures reconnect lazily.
+        self._connect()
 
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
-    def request(self, payload: Mapping[str, object]) -> dict[str, object]:
-        """Send one request object, return the raw response object."""
+    def _connect(self) -> None:
         try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except socket.timeout as error:
+            raise ServiceError(
+                f"connect to {self.host}:{self.port} timed out "
+                f"after {self.timeout:g}s"
+            ) from error
+        except OSError as error:
+            raise ServiceError(
+                f"cannot connect to {self.host}:{self.port}: {error}"
+            ) from error
+        self._file = self._sock.makefile("rwb")
+
+    def _close_transport(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - close of a dead socket
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close of a dead socket
+                pass
+            self._sock = None
+
+    def _transport_error(self, error: OSError) -> ServiceError:
+        """Classify one OS-level failure: timeout vs reset vs the rest."""
+        where = f"{self.host}:{self.port}"
+        if isinstance(error, socket.timeout):
+            return ServiceError(
+                f"request to {where} timed out after {self.timeout:g}s"
+            )
+        if isinstance(error, ConnectionResetError):
+            return ServiceError(f"connection reset by {where}: {error}")
+        return ServiceError(f"request to {where} failed: {error}")
+
+    def _send_and_receive(self, payload: Mapping[str, object]) -> dict[str, object]:
+        """One request/response exchange on the current connection."""
+        if self._file is None:
+            self._connect()
+        assert self._file is not None
+        try:
+            _fault_trip("client.socket", exc=_injected_reset)
             self._file.write(json.dumps(dict(payload)).encode("utf-8") + b"\n")
             self._file.flush()
             line = self._file.readline()
         except OSError as error:
-            raise ServiceError(f"service connection failed: {error}") from error
+            raise self._transport_error(error) from error
         if not line:
-            raise ServiceError("service closed the connection")
+            raise ServiceError(
+                f"service at {self.host}:{self.port} closed the connection"
+            )
         try:
             response = json.loads(line)
         except ValueError as error:
-            raise ServiceError(f"malformed service response: {error}") from error
+            raise ServiceError(
+                f"malformed response from {self.host}:{self.port}: {error}"
+            ) from error
         if not isinstance(response, dict):
-            raise ServiceError("service response is not a JSON object")
+            raise ServiceError(
+                f"response from {self.host}:{self.port} is not a JSON object"
+            )
         return response
 
+    @staticmethod
+    def _retry_safe(payload: Mapping[str, object]) -> bool:
+        """Whether re-delivering this request cannot double-apply anything."""
+        op = payload.get("op", "query")
+        if op in IDEMPOTENT_OPS:
+            return True
+        return op in ("insert", "delete") and bool(payload.get("token"))
+
+    def request(self, payload: Mapping[str, object]) -> dict[str, object]:
+        """Send one request object, return the raw response object.
+
+        Transport failures are retried (with exponential backoff + jitter)
+        only when :meth:`_retry_safe` says re-delivery is harmless; after
+        the last attempt, :class:`~repro.exceptions.RetryExhaustedError`
+        reports every attempt's failure.
+        """
+        attempts = 1 + (self.retries if self._retry_safe(payload) else 0)
+        failures: list[str] = []
+        delay = self.backoff
+        while True:
+            try:
+                return self._send_and_receive(payload)
+            except ServiceError as error:
+                # Drop the (possibly half-written) connection either way; a
+                # retry reconnects lazily in _send_and_receive.
+                self._close_transport()
+                failures.append(str(error))
+                if len(failures) >= attempts:
+                    if len(failures) == 1:
+                        raise
+                    raise RetryExhaustedError(
+                        f"request to {self.host}:{self.port} failed after "
+                        f"{len(failures)} attempts: {error}",
+                        attempts=tuple(failures),
+                    ) from error
+                time.sleep(delay * (0.5 + self._jitter.random()))
+                delay = min(delay * 2.0, self.backoff_max)
+
     def checked_request(self, payload: Mapping[str, object]) -> dict[str, object]:
-        """Like :meth:`request`, but raises :class:`ServiceError` on ``ok: false``."""
+        """Like :meth:`request`, but raises a typed error on ``ok: false``."""
         response = self.request(payload)
         if not response.get("ok"):
-            raise ServiceError(str(response.get("error", "unknown service error")))
+            message = str(response.get("error", "unknown service error"))
+            if response.get("error_kind") == protocol.ERROR_KIND_DEADLINE:
+                raise DeadlineExceededError(message)
+            raise ServiceError(message)
         return response
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._close_transport()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -94,9 +227,12 @@ class ServiceClient:
         overrides: Mapping[str, PartialOrderDAG] | None = None,
         name: str | None = None,
         omit_ids: bool = False,
+        deadline_ms: float | None = None,
     ) -> dict[str, object]:
         """One skyline query: by server-side ``seed``, explicit ``overrides``
-        (encoded for the wire here), or neither for the base preferences."""
+        (encoded for the wire here), or neither for the base preferences.
+        ``deadline_ms`` bounds the server-side evaluation; expiry raises
+        :class:`~repro.exceptions.DeadlineExceededError`."""
         payload: dict[str, object] = {"op": "query"}
         if seed is not None:
             payload["seed"] = seed
@@ -106,21 +242,33 @@ class ServiceClient:
             payload["name"] = name
         if omit_ids:
             payload["omit_ids"] = True
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
         return self.checked_request(payload)
 
-    def insert(self, rows) -> list[int]:
+    def insert(self, rows, *, token: str | None = None) -> list[int]:
         """Insert records (lists of attribute values in schema order);
-        returns their newly allocated stable ids."""
-        response = self.checked_request(
-            {"op": "insert", "rows": [list(row) for row in rows]}
-        )
+        returns their newly allocated stable ids.  Pass an idempotency
+        ``token`` (any unique string) to make the insert retry-safe."""
+        payload: dict[str, object] = {
+            "op": "insert",
+            "rows": [list(row) for row in rows],
+        }
+        if token is not None:
+            payload["token"] = token
+        response = self.checked_request(payload)
         return [int(record_id) for record_id in response["ids"]]
 
-    def delete(self, ids) -> list[int]:
-        """Delete records by stable id; returns the ids actually deleted."""
-        response = self.checked_request(
-            {"op": "delete", "ids": [int(record_id) for record_id in ids]}
-        )
+    def delete(self, ids, *, token: str | None = None) -> list[int]:
+        """Delete records by stable id; returns the ids actually deleted.
+        Pass an idempotency ``token`` to make the delete retry-safe."""
+        payload: dict[str, object] = {
+            "op": "delete",
+            "ids": [int(record_id) for record_id in ids],
+        }
+        if token is not None:
+            payload["token"] = token
+        response = self.checked_request(payload)
         return [int(record_id) for record_id in response["ids"]]
 
     def compact(self) -> dict[str, object]:
@@ -142,12 +290,15 @@ def wait_for_service(
     """Block until a service answers ``ping`` at ``host:port`` (or raise).
 
     The readiness probe used by the CI smoke test and ``repro query --wait``.
+    Probes with ``retries=0``: this loop IS the retry policy.
     """
     deadline = time.monotonic() + timeout
     last_error: Exception | None = None
     while time.monotonic() < deadline:
         try:
-            with ServiceClient(host, port, timeout=min(5.0, timeout)) as client:
+            with ServiceClient(
+                host, port, timeout=min(5.0, timeout), retries=0
+            ) as client:
                 client.ping()
             return
         except ServiceError as error:

@@ -31,6 +31,25 @@ connection down.  PO domain values must be JSON scalars (the synthetic
 workloads use integer bitmasks); an override must keep its attribute's value
 domain — dynamic preference queries re-rank an existing domain, they do not
 change it.
+
+Protocol v3 adds the fault-tolerance fields:
+
+``deadline_ms`` (any op that does work: ``query``/``insert``/``delete``/
+    ``compact``)
+    A per-request time budget in milliseconds.  The server enforces it on
+    the event loop *and* hands the engine an absolute deadline it re-checks
+    between query phases; an expired request answers an error with
+    ``error_kind`` :data:`ERROR_KIND_DEADLINE`, which the client surfaces as
+    :class:`~repro.exceptions.DeadlineExceededError`.  Results stay
+    all-or-nothing — a deadlined request never returns partial data.
+``token`` (``insert``/``delete``)
+    An idempotency token (any non-empty string, unique per logical
+    mutation).  The server remembers each token's successful response and
+    replays it on re-delivery instead of re-applying the mutation, which is
+    what makes client-side mutation retries safe.
+``error_kind`` (responses)
+    Optional machine-readable failure class next to the human ``error``
+    message (currently only :data:`ERROR_KIND_DEADLINE`).
 """
 
 from __future__ import annotations
@@ -42,8 +61,33 @@ from repro.exceptions import QueryError, ReproError
 from repro.order.dag import PartialOrderDAG
 
 #: Protocol revision, reported by ``ping`` and ``stats``.
-#: 2 added the delta-plane mutation ops (``insert``/``delete``/``compact``).
-PROTOCOL_VERSION = 2
+#: 2 added the delta-plane mutation ops (``insert``/``delete``/``compact``);
+#: 3 added ``deadline_ms``, mutation idempotency ``token``s and
+#: ``error_kind`` on failures.
+PROTOCOL_VERSION = 3
+
+#: ``error_kind`` of a response that failed because ``deadline_ms`` elapsed.
+ERROR_KIND_DEADLINE = "deadline_exceeded"
+
+
+def decode_deadline_ms(payload: object) -> float | None:
+    """Parse the optional ``deadline_ms`` field (``None`` when absent)."""
+    if payload is None:
+        return None
+    if isinstance(payload, bool) or not isinstance(payload, (int, float)):
+        raise QueryError("'deadline_ms' must be a number of milliseconds")
+    if payload <= 0:
+        raise QueryError(f"'deadline_ms' must be positive, got {payload}")
+    return float(payload)
+
+
+def decode_token(payload: object) -> str | None:
+    """Parse the optional mutation idempotency ``token`` field."""
+    if payload is None:
+        return None
+    if not isinstance(payload, str) or not payload:
+        raise QueryError("'token' must be a non-empty string")
+    return payload
 
 
 def decode_rows(payload: object, schema: Schema) -> list[tuple]:
@@ -148,5 +192,8 @@ def ok_response(**fields: object) -> dict[str, object]:
     return {"ok": True, **fields}
 
 
-def error_response(message: str) -> dict[str, object]:
-    return {"ok": False, "error": message}
+def error_response(message: str, kind: str | None = None) -> dict[str, object]:
+    response: dict[str, object] = {"ok": False, "error": message}
+    if kind is not None:
+        response["error_kind"] = kind
+    return response

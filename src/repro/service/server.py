@@ -21,7 +21,10 @@ queries before the engine (and its worker pool) is closed.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
+import signal
+import threading
 import time
 
 from repro.data.dataset import Dataset
@@ -31,11 +34,17 @@ from repro.engine.batch import (
     BatchQueryEngine,
     random_query_preferences,
 )
-from repro.exceptions import QueryError, ReproError
+from repro.engine.lru import LRUDict
+from repro.exceptions import DeadlineExceededError, QueryError, ReproError
+from repro.faults.registry import describe as _faults_describe
+from repro.faults.registry import trip_async as _fault_trip_async
 from repro.service import protocol
 
 #: Refuse request lines larger than this (1 MB covers any sane DAG override).
 MAX_REQUEST_BYTES = 1 << 20
+
+#: Remembered mutation idempotency tokens (token -> successful response).
+TOKEN_CACHE_SIZE = 1024
 
 
 class QueryService:
@@ -99,6 +108,13 @@ class QueryService:
         self._shutdown = asyncio.Event()
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
+        # Replay cache for mutation idempotency tokens.  Guarded by a thread
+        # lock (not an asyncio one): the check-run-remember sequence executes
+        # inside worker threads, and holding the lock across the engine call
+        # is what makes "same token, same response, applied once" atomic —
+        # the engine's write latch serializes mutations anyway.
+        self._idempotent: LRUDict[str, dict[str, object]] = LRUDict(TOKEN_CACHE_SIZE)
+        self._token_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -136,6 +152,22 @@ class QueryService:
 
     def request_shutdown(self) -> None:
         self._shutdown.set()
+
+    def install_signal_handlers(self) -> None:
+        """Make SIGTERM/SIGINT trigger the same clean shutdown as the op.
+
+        The handler only sets the shutdown flag; :meth:`serve_until_shutdown`
+        then stops accepting, drains in-flight requests and closes the
+        engine (and its worker pool) exactly as a client ``shutdown`` would.
+        Must run inside the event loop (``asyncio`` signal handlers are
+        loop-bound); a no-op on platforms without ``add_signal_handler``.
+        """
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                break
 
     # ------------------------------------------------------------------ #
     # Connection handling
@@ -194,6 +226,10 @@ class QueryService:
         self.requests_served += 1
         op = request.get("op", "query")
         try:
+            # The fault-injection seam of the whole dispatch path: a raise
+            # here relays as a typed error response, a delay awaits without
+            # blocking the loop (chaos tests drive both).
+            await _fault_trip_async("service.handler")
             if op == "ping":
                 return protocol.ok_response(pong=True, protocol=protocol.PROTOCOL_VERSION)
             if op == "stats":
@@ -207,8 +243,12 @@ class QueryService:
             if op == "delete":
                 return await self._run_delete(request)
             if op == "compact":
-                return await self._run_compact()
+                return await self._run_compact(request)
             return protocol.error_response(f"unknown op {op!r}")
+        except DeadlineExceededError as error:
+            return protocol.error_response(
+                str(error), kind=protocol.ERROR_KIND_DEADLINE
+            )
         except ReproError as error:
             return protocol.error_response(str(error))
 
@@ -233,8 +273,37 @@ class QueryService:
             raise QueryError("'name' must be a string")
         return BatchQuery(name=name or default_name, dag_overrides=overrides)
 
+    @staticmethod
+    def _deadline_of(request: dict[str, object]) -> float | None:
+        """The request's absolute monotonic deadline (``None`` = unbounded)."""
+        deadline_ms = protocol.decode_deadline_ms(request.get("deadline_ms"))
+        if deadline_ms is None:
+            return None
+        return time.monotonic() + deadline_ms / 1000.0
+
+    async def _bounded(self, future: "asyncio.Future", deadline: float | None):
+        """Await ``future``, bounding the wait by the request deadline.
+
+        Belt and braces with the engine's own between-phase deadline checks:
+        the engine aborts *cooperatively* at phase boundaries, while this
+        ``wait_for`` guarantees the *response* deadline even if a phase
+        stalls (a hung pool, an injected delay).  A timed-out worker thread
+        is abandoned — the engine's next deadline check unwinds it.
+        """
+        if deadline is None:
+            return await future
+        try:
+            return await asyncio.wait_for(
+                future, timeout=max(deadline - time.monotonic(), 0.001)
+            )
+        except asyncio.TimeoutError:
+            raise DeadlineExceededError(
+                "request deadline exceeded awaiting the engine"
+            ) from None
+
     async def _run_query(self, request: dict[str, object]) -> dict[str, object]:
         query = self._build_query(request)
+        deadline = self._deadline_of(request)
         loop = asyncio.get_running_loop()
         # No global lock here: the engine's per-topology locks let distinct
         # topologies interleave their shard-local phases across executor
@@ -246,7 +315,15 @@ class QueryService:
                 return protocol.error_response("service is shutting down")
             self._inflight += 1
         try:
-            result = await loop.run_in_executor(None, self.engine.run_query, query)
+            result = await self._bounded(
+                loop.run_in_executor(
+                    None,
+                    functools.partial(
+                        self.engine.run_query, query, deadline=deadline
+                    ),
+                ),
+                deadline,
+            )
         finally:
             async with self._drained:
                 self._inflight -= 1
@@ -263,48 +340,75 @@ class QueryService:
             payload["skyline_ids"] = result.skyline_ids
         return protocol.ok_response(**payload)
 
-    async def _mutate(self, worker) -> dict[str, object]:
+    async def _mutate(self, request: dict[str, object], worker) -> dict[str, object]:
         """Run one blocking mutation off-loop, inflight-counted like queries.
 
         The engine's read/write latch serializes the mutation against every
         in-flight query internally; here we only keep shutdown's drain
         honest and the event loop responsive.
         """
+        deadline = self._deadline_of(request)
         loop = asyncio.get_running_loop()
         async with self._drained:
             if self._shutdown.is_set():
                 return protocol.error_response("service is shutting down")
             self._inflight += 1
         try:
-            return await loop.run_in_executor(None, worker)
+            return await self._bounded(loop.run_in_executor(None, worker), deadline)
         finally:
             async with self._drained:
                 self._inflight -= 1
                 self._drained.notify_all()
 
+    def _idempotent_worker(self, op: str, token: str | None, worker):
+        """Wrap a mutation worker with token replay (retry-safe mutations).
+
+        Check, apply and remember happen atomically under one thread lock,
+        so a retried delivery — the client resending after a lost response —
+        replays the remembered response instead of re-applying the mutation.
+        Only *successful* responses are remembered: a failed mutation may
+        legitimately be retried with the same token.
+        """
+        if token is None:
+            return worker
+        key = f"{op}:{token}"
+
+        def replaying() -> dict[str, object]:
+            with self._token_lock:
+                cached = self._idempotent.get(key)
+                if cached is not None:
+                    return {**cached, "replayed": True}
+                response = worker()
+                self._idempotent[key] = dict(response)
+                return response
+
+        return replaying
+
     async def _run_insert(self, request: dict[str, object]) -> dict[str, object]:
         rows = protocol.decode_rows(request.get("rows"), self.schema)
+        token = protocol.decode_token(request.get("token"))
 
         def worker() -> dict[str, object]:
             ids = self.engine.insert(rows)
             return protocol.ok_response(ids=ids, inserted=len(ids))
 
-        return await self._mutate(worker)
+        return await self._mutate(request, self._idempotent_worker("insert", token, worker))
 
     async def _run_delete(self, request: dict[str, object]) -> dict[str, object]:
         ids = protocol.decode_ids(request.get("ids"))
+        token = protocol.decode_token(request.get("token"))
 
         def worker() -> dict[str, object]:
             deleted = self.engine.delete(ids)
             return protocol.ok_response(ids=deleted, deleted=len(deleted))
 
-        return await self._mutate(worker)
+        return await self._mutate(request, self._idempotent_worker("delete", token, worker))
 
-    async def _run_compact(self) -> dict[str, object]:
+    async def _run_compact(self, request: dict[str, object]) -> dict[str, object]:
         def worker() -> dict[str, object]:
             return protocol.ok_response(compaction=self.engine.compact())
 
-        return await self._mutate(worker)
+        return await self._mutate(request, worker)
 
     def stats(self) -> dict[str, object]:
         """Cache, shard and latency statistics for the ``stats`` op."""
@@ -318,6 +422,8 @@ class QueryService:
             "uptime_seconds": time.time() - self.started_at,
             "connections_served": self.connections_served,
             "requests_served": self.requests_served,
+            "faults": _faults_describe(),
+            "idempotency_tokens_remembered": len(self._idempotent),
             "queries": queries,
             "query_seconds_total": self.query_seconds_total,
             "query_seconds_mean": self.query_seconds_total / queries if queries else 0.0,

@@ -37,6 +37,7 @@ import zlib
 from collections.abc import Sequence
 
 from repro.exceptions import StoreError
+from repro.faults.registry import trip as _fault_trip
 
 LOG_MAGIC = b"RPRODLOG"
 _HEADER = struct.Struct("<8sQ")
@@ -102,6 +103,9 @@ class DeltaLog:
         signature of a crash mid-append — ends the scan silently; everything
         before it is intact (per-entry CRCs).  A malformed *header* raises
         :class:`~repro.exceptions.StoreError`: that is not a crash artifact.
+        For corruption *beyond* the torn-tail rule (a bad entry with valid
+        entries after it) use :meth:`recover`, which quarantines instead of
+        silently dropping the suffix.
         """
         path = os.fspath(path)
         try:
@@ -113,32 +117,122 @@ class DeltaLog:
             if len(raw) < _HEADER.size or raw[: len(LOG_MAGIC)] != LOG_MAGIC:
                 raise StoreError(f"'{path}' is not a delta log (bad magic)")
             _, generation = _HEADER.unpack(raw)
-            entries: list = []
-            valid_end = _HEADER.size
-            while True:
-                frame = handle.read(_FRAME.size)
-                if len(frame) < _FRAME.size:
-                    break
-                kind, crc, length = _FRAME.unpack(frame)
-                payload = handle.read(length)
-                if len(payload) < length:
-                    break
-                if (zlib.crc32(kind + payload) & 0xFFFFFFFF) != crc:
-                    break
-                try:
-                    if kind == b"I":
-                        ids, to_rows, code_rows = _decode_insert_payload(payload)
-                        entries.append(("insert", ids, to_rows, code_rows))
-                    elif kind == b"D":
-                        (count,) = struct.unpack_from("<Q", payload, 0)
-                        ids = list(struct.unpack_from(f"<{count}q", payload, 8))
-                        entries.append(("delete", ids))
-                    else:
-                        break
-                except struct.error:
-                    break
-                valid_end = handle.tell()
+            entries, valid_end, _ = cls._scan_entries(handle)
         return cls(path, generation, entries, valid_end)
+
+    @staticmethod
+    def _scan_entries(handle) -> tuple[list, int, str]:
+        """Scan entries from the current offset: ``(entries, valid_end, stop)``.
+
+        ``stop`` says why the scan ended: ``"eof"`` (clean), ``"torn"`` (an
+        entry cut short — the crash-mid-append signature), or ``"corrupt"``
+        (a complete entry whose checksum fails or whose checksummed content
+        is malformed — not explainable by a torn write alone).
+        """
+        entries: list = []
+        valid_end = handle.tell()
+        stop = "eof"
+        while True:
+            frame = handle.read(_FRAME.size)
+            if not frame:
+                break
+            if len(frame) < _FRAME.size:
+                stop = "torn"
+                break
+            kind, crc, length = _FRAME.unpack(frame)
+            payload = handle.read(length)
+            if len(payload) < length:
+                stop = "torn"
+                break
+            if (zlib.crc32(kind + payload) & 0xFFFFFFFF) != crc:
+                stop = "corrupt" if handle.read(1) else "torn"
+                break
+            try:
+                if kind == b"I":
+                    ids, to_rows, code_rows = _decode_insert_payload(payload)
+                    entries.append(("insert", ids, to_rows, code_rows))
+                elif kind == b"D":
+                    (count,) = struct.unpack_from("<Q", payload, 0)
+                    ids = list(struct.unpack_from(f"<{count}q", payload, 8))
+                    entries.append(("delete", ids))
+                else:
+                    stop = "corrupt"
+                    break
+            except struct.error:
+                stop = "corrupt"
+                break
+            valid_end = handle.tell()
+        return entries, valid_end, stop
+
+    @classmethod
+    def recover(
+        cls, path, generation: int
+    ) -> "tuple[DeltaLog | None, dict | None]":
+        """Load the log for ``generation``, quarantining real corruption.
+
+        Returns ``(log, report)``.  ``log`` is ``None`` when the file is
+        absent or fenced off (stale generation); ``report`` is ``None``
+        unless the file was quarantined.  Three ladders:
+
+        * torn tail → handled by :meth:`load` (silent prefix keep, as ever);
+        * unreadable header, or a corrupt entry *followed by more data*
+          (beyond the torn-tail rule — a crash truncates, it does not
+          rewrite the middle) → the file is renamed to
+          ``<path>.quarantined-<generation>``, a fresh log is written with
+          the CRC-valid prefix re-appended, and the report names what was
+          saved and what was set aside — never a refusal to open, never a
+          silent drop;
+        * stale generation → discarded exactly like :meth:`ensure` does
+          (its mutations already live in the compacted base).
+        """
+        path = os.fspath(path)
+        try:
+            handle = open(path, "rb")  # noqa: SIM115 -- entered via `with handle:` below
+        except FileNotFoundError:
+            return None, None
+        with handle:
+            raw = handle.read(_HEADER.size)
+            header_ok = (
+                len(raw) >= _HEADER.size and raw[: len(LOG_MAGIC)] == LOG_MAGIC
+            )
+            if header_ok:
+                _, log_generation = _HEADER.unpack(raw)
+                entries, valid_end, stop = cls._scan_entries(handle)
+            else:
+                log_generation = None
+                entries, valid_end, stop = [], 0, "corrupt"
+            file_size = os.fstat(handle.fileno()).st_size
+        if stop != "corrupt":
+            log = cls(path, log_generation, entries, valid_end)
+            if log.generation != int(generation):
+                return None, None
+            return log, None
+        # Corruption beyond the torn-tail rule: set the file aside under a
+        # deterministic name, then rebuild a clean log from the recovered
+        # prefix so those mutations stay durable.
+        stamp = int(generation) if log_generation is None else int(log_generation)
+        quarantine_path = f"{path}.quarantined-{stamp}"
+        os.replace(path, quarantine_path)
+        report = {
+            "quarantined": quarantine_path,
+            "reason": "bad header" if not header_ok else "corrupt entry mid-log",
+            "log_generation": log_generation,
+            "entries_recovered": len(entries),
+            "bytes_quarantined": file_size - valid_end,
+        }
+        if log_generation != int(generation):
+            # Stale (or unknown) generation: the recovered prefix is already
+            # folded into the compacted base — nothing to rebuild.
+            report["entries_recovered"] = 0
+            return None, report
+        log = cls.create(path, generation)
+        for entry in entries:
+            if entry[0] == "insert":
+                log.append_inserts(entry[1], entry[2], entry[3])
+            else:
+                log.append_deletes(entry[1])
+        log.entries = entries
+        return log, report
 
     @classmethod
     def create(cls, path, generation: int) -> "DeltaLog":
@@ -173,10 +267,20 @@ class DeltaLog:
     # ------------------------------------------------------------------ #
     # Appending
     # ------------------------------------------------------------------ #
+    def _injected(self, point: str) -> StoreError:
+        return StoreError(f"injected fault at {point} appending to '{self.path}'")
+
     def _append(self, kind: bytes, payload: bytes) -> None:
         frame = _FRAME.pack(
             kind, zlib.crc32(kind + payload) & 0xFFFFFFFF, len(payload)
         )
+        # Fault stages: ``pre`` fails before any byte reaches the file (the
+        # mutation is not durable), ``write`` corrupts the payload *after*
+        # its checksum was computed (what a bad disk write looks like), and
+        # ``post`` fails after the fsync (durable, but the caller sees an
+        # error — the at-least-once window idempotency tokens exist for).
+        _fault_trip("delta.log_append", stage="pre", exc=self._injected)
+        payload = _fault_trip("delta.log_append", stage="write", data=payload)
         with open(self.path, "r+b") as handle:
             handle.seek(self._valid_end)
             handle.write(frame)
@@ -184,6 +288,7 @@ class DeltaLog:
             handle.truncate()
             handle.flush()
             os.fsync(handle.fileno())
+            _fault_trip("delta.log_append", stage="post", exc=self._injected)
             self._valid_end = handle.tell()
 
     def append_inserts(self, ids: Sequence[int], to_rows, code_rows) -> None:

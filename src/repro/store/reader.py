@@ -32,6 +32,7 @@ from repro.config import resolve_crc_mode, resolve_mmap_mode
 from repro.data.columns import ColumnCodec, EncodedFrame
 from repro.data.dataset import Dataset
 from repro.exceptions import StoreError
+from repro.faults.registry import trip as _fault_trip
 from repro.store.format import (
     DTYPES,
     FORMAT_VERSION,
@@ -76,6 +77,9 @@ class DatasetStore:
         }
         self.schema = decode_schema(header["schema"], path=path)
         self._lock = threading.RLock()  # dataset() -> frame() re-enters
+        # Sections served from a copying re-read after a first-touch mmap
+        # checksum failure (degradation ladder: mmap -> load before raising).
+        self._degraded_sections: set[str] = set()
         self._frame = None
         self._survivors = None
         self._row_ids = _UNSET
@@ -270,6 +274,12 @@ class DatasetStore:
     def __len__(self) -> int:
         return self.num_rows
 
+    @property
+    def degraded_sections(self) -> tuple[str, ...]:
+        """Sections served by copying re-read after an mmap-path failure."""
+        with self._lock:
+            return tuple(sorted(self._degraded_sections))
+
     def describe(self) -> dict:
         """A JSON-safe summary for the CLI / service stats."""
         return {
@@ -282,6 +292,7 @@ class DatasetStore:
             "survivors": self.num_survivors,
             "base_mapping": self.has_base_mapping,
             "base_index": self.has_base_index and self._np is not None,
+            "degraded_sections": list(self.degraded_sections),
             "sections": {
                 name: spec.nbytes for name, spec in self._sections.items()
             },
@@ -299,19 +310,51 @@ class DatasetStore:
                 f"(expected format version {FORMAT_VERSION})"
             ) from None
 
+    def _injected(self, point: str) -> StoreError:
+        return StoreError(
+            f"injected fault at {point} reading store '{self.path}' "
+            f"(format version {FORMAT_VERSION})"
+        )
+
     def _array(self, name: str):
         """The section as a read-only NumPy array (memmap or loaded copy)."""
         spec = self._spec(name)
         np = self._np
         dtype = np.dtype(spec.dtype)
         if self._mmap and spec.nbytes:
-            self._touch(spec)
+            try:
+                _fault_trip("store.section_read", exc=self._injected)
+                self._touch(spec)
+            except StoreError:
+                if not self._lazy_verify:
+                    raise
+                # Degradation ladder: the mmap first-touch checksum failed —
+                # before giving up, re-read the section into process memory
+                # and verify the copy; a transient read fault stays an mmap
+                # store, a genuinely corrupt section still raises below.
+                return self._copy_fallback(spec, np, dtype)
             return np.memmap(
                 self.path, dtype=dtype, mode="r", offset=spec.offset, shape=spec.shape
             )
         data = self._read_bytes(spec)
         array = np.frombuffer(data, dtype=dtype).reshape(spec.shape)
         return array
+
+    def _copy_fallback(self, spec: SectionSpec, np, dtype):
+        """Copying re-read of one section after an mmap checksum failure."""
+        with open(self.path, "rb") as handle:
+            handle.seek(spec.offset)
+            data = handle.read(spec.nbytes)
+        if len(data) != spec.nbytes or (zlib.crc32(data) & 0xFFFFFFFF) != spec.crc32:
+            raise StoreError(
+                f"store '{self.path}' failed its checksum for section "
+                f"{spec.name!r}: the file is corrupt — re-pack the "
+                f"dataset with 'repro pack'"
+            )
+        with self._lock:
+            self._verified.add(spec.name)
+            self._degraded_sections.add(spec.name)
+        return np.frombuffer(data, dtype=dtype).reshape(spec.shape)
 
     def _read_bytes(self, spec: SectionSpec) -> bytes:
         with open(self.path, "rb") as handle:
@@ -322,6 +365,7 @@ class DatasetStore:
                 f"store '{self.path}' is truncated: section {spec.name!r} "
                 f"ended early (expected format version {FORMAT_VERSION})"
             )
+        data = _fault_trip("store.section_read", exc=self._injected, data=data)
         self._touch(spec, data)
         return data
 

@@ -137,8 +137,8 @@ class TestMutationErrors:
             bad = client.request({"op": "delete", "ids": [10**9]})
             assert bad["ok"] is False and "unknown record id" in bad["error"]
 
-    def test_protocol_version_is_two(self, running_service):
+    def test_protocol_version_is_three(self, running_service):
         _, host, port = running_service
-        assert PROTOCOL_VERSION == 2
+        assert PROTOCOL_VERSION == 3
         with ServiceClient(host, port) as client:
             assert client.ping()["protocol"] == PROTOCOL_VERSION

@@ -1,0 +1,139 @@
+"""Client retry policy, idempotency tokens and the service-handler fault point."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.exceptions import RetryExhaustedError, ServiceError
+from repro.faults.registry import install
+from repro.service import ServiceClient
+
+
+class TestTransportClassification:
+    def test_connect_refused_names_host_and_port(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        with pytest.raises(ServiceError, match=rf"127\.0\.0\.1:{free_port}"):
+            ServiceClient("127.0.0.1", free_port, retries=0)
+
+    def test_timeout_vs_reset_messages(self, running_service):
+        _, host, port = running_service
+        with ServiceClient(host, port) as client:
+            timeout_error = client._transport_error(socket.timeout("t"))
+            reset_error = client._transport_error(ConnectionResetError("r"))
+            other_error = client._transport_error(OSError("o"))
+        where = f"{host}:{port}"
+        assert "timed out" in str(timeout_error) and where in str(timeout_error)
+        assert "connection reset" in str(reset_error) and where in str(reset_error)
+        assert where in str(other_error)
+        assert "timed out" not in str(reset_error)
+
+
+class TestRetries:
+    def test_transient_socket_fault_is_retried(self, running_service):
+        _, host, port = running_service
+        with ServiceClient(host, port) as client:
+            install("client.socket:raise:times=1")
+            response = client.query(seed=5, omit_ids=True)
+            assert response["ok"] and response["skyline_size"] > 0
+
+    def test_retry_exhaustion_carries_attempt_history(self, running_service):
+        _, host, port = running_service
+        with ServiceClient(host, port, retries=2, backoff=0.01) as client:
+            install("client.socket:raise")  # persistent
+            with pytest.raises(RetryExhaustedError) as excinfo:
+                client.ping()
+        error = excinfo.value
+        assert isinstance(error, ServiceError)  # callers' except clauses hold
+        assert len(error.attempts) == 3
+        assert all("connection reset" in attempt for attempt in error.attempts)
+        assert f"{host}:{port}" in str(error)
+
+    def test_mutation_without_token_is_never_retried(
+        self, running_service, chaos_workload
+    ):
+        _, dataset = chaos_workload
+        _, host, port = running_service
+        row = list(dataset.records[0].values)
+        with ServiceClient(host, port, retries=3, backoff=0.01) as client:
+            install("client.socket:raise:times=1")
+            # times=1: a single retry would succeed — proving no retry ran.
+            with pytest.raises(ServiceError) as excinfo:
+                client.insert([row])
+            assert not isinstance(excinfo.value, RetryExhaustedError)
+            # The fault fired exactly once and was never re-delivered: the
+            # next (idempotent) request consumes no further fires.
+            assert client.ping()["ok"]
+
+    def test_mutation_with_token_is_retried_and_applied_once(
+        self, running_service, chaos_workload
+    ):
+        service, host, port = running_service
+        _, dataset = chaos_workload
+        row = list(dataset.records[0].values)
+        before = service.engine.summary()["mutations_applied"]
+        with ServiceClient(host, port, retries=2, backoff=0.01) as client:
+            install("client.socket:raise:times=1")
+            ids = client.insert([row], token="chaos-insert-1")
+            assert len(ids) == 1
+        assert service.engine.summary()["mutations_applied"] == before + 1
+
+
+class TestIdempotencyTokens:
+    def test_token_replays_the_remembered_response(
+        self, running_service, chaos_workload
+    ):
+        service, host, port = running_service
+        _, dataset = chaos_workload
+        row = list(dataset.records[0].values)
+        payload = {"op": "insert", "rows": [row], "token": "dup-1"}
+        with ServiceClient(host, port) as client:
+            first = client.checked_request(payload)
+            second = client.checked_request(payload)
+        assert second["ids"] == first["ids"]
+        assert second.get("replayed") is True and "replayed" not in first
+        # Applied once: the duplicate delivery changed nothing.
+        assert service.engine.summary()["mutations_applied"] == 1
+
+    def test_distinct_tokens_apply_independently(
+        self, running_service, chaos_workload
+    ):
+        _, dataset = chaos_workload
+        _, host, port = running_service
+        row = list(dataset.records[0].values)
+        with ServiceClient(host, port) as client:
+            ids_a = client.insert([row], token="a")
+            ids_b = client.insert([row], token="b")
+        assert ids_a != ids_b
+
+    def test_malformed_token_is_rejected(self, running_service):
+        _, host, port = running_service
+        with ServiceClient(host, port) as client:
+            with pytest.raises(ServiceError, match="token"):
+                client.checked_request({"op": "delete", "ids": [1], "token": ""})
+
+
+class TestServiceHandlerFaults:
+    def test_handler_raise_relays_typed_and_keeps_connection(
+        self, running_service
+    ):
+        _, host, port = running_service
+        with ServiceClient(host, port, retries=0) as client:
+            install("service.handler:raise:times=1")
+            with pytest.raises(ServiceError, match="service.handler"):
+                client.ping()
+            # Same connection, next request: the handler loop survived.
+            assert client.ping()["ok"]
+
+    def test_handler_delay_does_not_change_results(self, running_service):
+        _, host, port = running_service
+        with ServiceClient(host, port) as client:
+            reference = client.query(seed=6, omit_ids=True)["skyline_size"]
+            install("service.handler:delay:ms=30,times=1")
+            delayed = client.query(seed=7, omit_ids=True)["skyline_size"]
+            baseline = client.query(seed=6, omit_ids=True)["skyline_size"]
+        assert baseline == reference
+        assert delayed > 0

@@ -1,0 +1,205 @@
+"""Unit tests of the fault-injection registry and its spec grammar."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import RuntimeConfig, resolve_faults
+from repro.exceptions import ExperimentError, InjectedFaultError
+from repro.faults.registry import (
+    FAULT_EXIT_CODE,
+    FAULT_MODES,
+    FAULT_POINTS,
+    FaultRegistry,
+    FaultSpec,
+    describe,
+    install,
+    installed_registry,
+    parse_faults_spec,
+    reset,
+    trip,
+    uninstall,
+)
+
+
+class TestParse:
+    def test_minimal_clause(self):
+        (spec,) = parse_faults_spec("pool.worker_task:raise")
+        assert spec == FaultSpec(point="pool.worker_task", mode="raise")
+
+    def test_full_grammar(self):
+        specs = parse_faults_spec(
+            "client.socket:delay:ms=50,prob=0.5,seed=7;"
+            "delta.log_append:raise:stage=post,times=2,after=1"
+        )
+        assert specs[0] == FaultSpec(
+            point="client.socket", mode="delay", probability=0.5, seed=7,
+            delay_ms=50.0,
+        )
+        assert specs[1] == FaultSpec(
+            point="delta.log_append", mode="raise", times=2, after=1,
+            stage="post",
+        )
+
+    def test_empty_clauses_skipped(self):
+        assert parse_faults_spec("; ;") == ()
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "pool.worker_task",  # no mode
+            "nowhere:raise",  # unknown point
+            "pool.worker_task:explode",  # unknown mode
+            "pool.worker_task:raise:bogus",  # option without '='
+            "pool.worker_task:raise:color=red",  # unknown option
+            "pool.worker_task:raise:times=many",  # non-numeric
+            "pool.worker_task:raise:prob=1.5",  # out of range
+        ],
+    )
+    def test_malformed_specs_raise_typed(self, text):
+        with pytest.raises(ExperimentError):
+            parse_faults_spec(text)
+
+    def test_every_point_and_mode_parses(self):
+        for point in FAULT_POINTS:
+            for mode in FAULT_MODES:
+                if mode == "exit":
+                    continue  # parse-only here; behavior tested below
+                assert parse_faults_spec(f"{point}:{mode}")
+
+
+class TestClauseCounters:
+    def _registry(self, text):
+        return FaultRegistry(parse_faults_spec(text))
+
+    def test_times_caps_fires(self):
+        registry = self._registry("service.handler:raise:times=2")
+        fired = [registry.hit("service.handler") is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_after_skips_leading_hits(self):
+        registry = self._registry("service.handler:raise:after=2,times=1")
+        fired = [registry.hit("service.handler") is not None for _ in range(4)]
+        assert fired == [False, False, True, False]
+
+    def test_stage_mismatch_is_not_a_hit(self):
+        registry = self._registry("delta.log_append:raise:stage=post,times=1")
+        assert registry.hit("delta.log_append", stage="pre") is None
+        assert registry.hit("delta.log_append") is None
+        assert registry.hit("delta.log_append", stage="post") is not None
+        assert registry.hit("delta.log_append", stage="post") is None
+
+    def test_unmatched_point_never_fires(self):
+        registry = self._registry("client.socket:raise")
+        assert registry.hit("store.section_read") is None
+
+    def test_probability_is_seed_deterministic(self):
+        pattern_a = [
+            self._registry("service.handler:raise:prob=0.5,seed=42")
+            .hit("service.handler")
+            is not None
+            for _ in range(1)
+        ]
+        registry_b = self._registry("service.handler:raise:prob=0.5,seed=42")
+        registry_c = self._registry("service.handler:raise:prob=0.5,seed=42")
+        pattern_b = [registry_b.hit("service.handler") is not None for _ in range(20)]
+        pattern_c = [registry_c.hit("service.handler") is not None for _ in range(20)]
+        assert pattern_b == pattern_c
+        assert any(pattern_b) and not all(pattern_b)
+        assert pattern_a  # silence the unused-variable hint
+
+    def test_corrupt_bytes_is_deterministic_single_byte_flip(self):
+        registry = self._registry("store.section_read:corrupt:seed=3")
+        spec = registry.specs[0]
+        data = bytes(range(100))
+        mutated_a = registry.corrupt_bytes(spec, data)
+        mutated_b = registry.corrupt_bytes(spec, data)
+        assert mutated_a == mutated_b != data
+        assert len(mutated_a) == len(data)
+        assert sum(a != b for a, b in zip(mutated_a, data)) == 1
+
+    def test_describe_counts_hits_and_fires(self):
+        registry = self._registry("service.handler:raise:times=1")
+        registry.hit("service.handler")
+        registry.hit("service.handler")
+        (clause,) = registry.describe()
+        assert clause["hits"] == 2 and clause["fires"] == 1
+
+
+class TestTrip:
+    def test_disabled_trip_is_a_passthrough(self):
+        assert installed_registry() is None
+        assert trip("store.section_read", data=b"payload") == b"payload"
+        assert trip("store.section_read") is None
+
+    def test_raise_mode_default_error(self):
+        install("service.handler:raise")
+        with pytest.raises(InjectedFaultError, match="service.handler"):
+            trip("service.handler")
+
+    def test_raise_mode_site_exception_substitution(self):
+        install("client.socket:raise")
+        with pytest.raises(ConnectionResetError, match="client.socket"):
+            trip("client.socket", exc=lambda p: ConnectionResetError(p))
+
+    def test_corrupt_mode_flips_payload(self):
+        install("delta.log_append:corrupt")
+        payload = b"x" * 64
+        assert trip("delta.log_append", data=payload) != payload
+
+    def test_corrupt_without_payload_degrades_to_raise(self):
+        install("service.handler:corrupt")
+        with pytest.raises(InjectedFaultError):
+            trip("service.handler")
+
+    def test_uninstall_disables(self):
+        install("service.handler:raise")
+        uninstall()
+        trip("service.handler")  # must not raise
+        assert describe() == []
+
+    def test_exit_mode_kills_the_process(self, tmp_path):
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        script = (
+            "from repro.faults.registry import install, trip\n"
+            "install('pool.worker_task:exit')\n"
+            "trip('pool.worker_task')\n"
+            "print('unreachable')\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            env={**os.environ, "PYTHONPATH": os.path.abspath(src)},
+            capture_output=True,
+            timeout=60,
+        )
+        assert completed.returncode == FAULT_EXIT_CODE
+        assert b"unreachable" not in completed.stdout
+
+
+class TestEnvironmentResolution:
+    def test_env_spec_arms_injection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "service.handler:raise:times=1")
+        reset()
+        with pytest.raises(InjectedFaultError):
+            trip("service.handler")
+        trip("service.handler")  # times=1: second trip passes
+
+    def test_malformed_env_spec_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "bogus")
+        with pytest.raises(ExperimentError, match="REPRO_FAULTS"):
+            resolve_faults()
+
+    def test_runtime_config_resolves_and_installs(self):
+        config = RuntimeConfig.resolve(faults="service.handler:raise")
+        assert config.faults == "service.handler:raise"
+        config.install_faults()
+        with pytest.raises(InjectedFaultError):
+            trip("service.handler")
+
+    def test_runtime_config_rejects_malformed_spec(self):
+        with pytest.raises(ExperimentError):
+            RuntimeConfig.resolve(faults="nope")

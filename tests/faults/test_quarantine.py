@@ -1,0 +1,132 @@
+"""Delta-log quarantine: corruption beyond the torn-tail rule.
+
+A crash truncates a log; it does not rewrite the middle.  A CRC-bad entry
+*followed by more valid data* is therefore real corruption: the file is set
+aside as ``<log>.quarantined-<generation>``, a fresh log is rebuilt from the
+CRC-valid prefix, and the engine reports what was saved and what was set
+aside — never a refusal to open, never a silent drop.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.engine.batch import BatchQuery, BatchQueryEngine
+from repro.exceptions import StoreError
+from repro.store.delta import DeltaLog, delta_log_path
+
+_HEADER_SIZE = 16  # 8-byte magic + <Q generation
+_FRAME = struct.Struct("<cIQ")  # kind, crc32, payload length
+
+
+def _entry_offsets(log_bytes: bytes) -> list[tuple[int, int]]:
+    """``(payload_offset, payload_length)`` for each frame in the log."""
+    offsets = []
+    cursor = _HEADER_SIZE
+    while cursor + _FRAME.size <= len(log_bytes):
+        _, _, length = _FRAME.unpack_from(log_bytes, cursor)
+        offsets.append((cursor + _FRAME.size, length))
+        cursor += _FRAME.size + length
+    return offsets
+
+
+def _flip_payload_byte(log_path: str, entry: int) -> None:
+    with open(log_path, "r+b") as handle:
+        data = handle.read()
+        offset, length = _entry_offsets(data)[entry]
+        assert length > 0
+        handle.seek(offset)
+        handle.write(bytes([data[offset] ^ 0xFF]))
+
+
+def _dominant_row(dataset):
+    row = list(dataset.records[0].values)
+    row[0] = -1.0
+    row[1] = -1.0
+    return tuple(row)
+
+
+@pytest.fixture
+def corrupted_log(packed_store):
+    """A store whose log has 3 entries, the 2nd corrupted mid-log."""
+    path, dataset = packed_store
+    with BatchQueryEngine(path, compact_threshold=0) as engine:
+        first = engine.insert([_dominant_row(dataset)])
+        engine.insert([tuple(dataset.records[1].values)])
+        engine.delete([0])
+    _flip_payload_byte(delta_log_path(path), 1)
+    return path, dataset, first
+
+
+class TestEngineQuarantine:
+    def test_reopen_quarantines_and_replays_the_valid_prefix(
+        self, corrupted_log
+    ):
+        path, _, first_ids = corrupted_log
+        with BatchQueryEngine(path, compact_threshold=0) as engine:
+            report = engine.summary()["delta_log_recovery"]
+            assert report is not None
+            assert report["reason"] == "corrupt entry mid-log"
+            assert report["entries_recovered"] == 1
+            assert report["bytes_quarantined"] > 0
+            assert os.path.exists(report["quarantined"])
+            # Entry 1 (the dominant insert) replayed; entries 2-3 were lost
+            # with the corruption but are preserved in the quarantine file.
+            assert engine.summary()["delta"]["pending_mutations"] == 1
+            skyline = engine.run_query(BatchQuery("base")).skyline_ids
+            assert first_ids[0] in skyline
+
+    def test_rebuilt_log_holds_only_the_recovered_prefix(self, corrupted_log):
+        path, _, _ = corrupted_log
+        with BatchQueryEngine(path, compact_threshold=0):
+            pass
+        rebuilt = DeltaLog.load(delta_log_path(path))
+        assert rebuilt is not None
+        assert rebuilt.generation == 0
+        assert len(rebuilt.entries) == 1
+        assert rebuilt.entries[0][0] == "insert"
+
+    def test_engine_stays_mutable_after_recovery(self, corrupted_log):
+        path, dataset, _ = corrupted_log
+        with BatchQueryEngine(path, compact_threshold=0) as engine:
+            engine.insert([tuple(dataset.records[2].values)])
+            assert engine.summary()["delta"]["pending_mutations"] == 2
+            assert engine.run_query(BatchQuery("base")).skyline_ids
+
+    def test_clean_log_reports_no_recovery(self, packed_store):
+        path, dataset = packed_store
+        with BatchQueryEngine(path, compact_threshold=0) as engine:
+            engine.insert([_dominant_row(dataset)])
+        with BatchQueryEngine(path, compact_threshold=0) as engine:
+            assert engine.summary()["delta_log_recovery"] is None
+            assert engine.summary()["delta"]["pending_mutations"] == 1
+
+
+class TestRecoverClassmethod:
+    def test_stale_generation_recovers_nothing(self, corrupted_log):
+        path, _, _ = corrupted_log
+        log, report = DeltaLog.recover(delta_log_path(path), generation=999)
+        assert log is None
+        assert report is not None
+        assert report["entries_recovered"] == 0
+        assert report["log_generation"] == 0
+        assert os.path.exists(report["quarantined"])
+
+    def test_bad_header_is_quarantined_not_fatal(self, packed_store):
+        path, _ = packed_store
+        log_path = delta_log_path(path)
+        with open(log_path, "wb") as handle:
+            handle.write(b"this is not a delta log at all")
+        # load() refuses a bad header (not a crash artifact) ...
+        with pytest.raises(StoreError, match="bad magic"):
+            DeltaLog.load(log_path)
+        # ... but the engine open ladder quarantines it and keeps going.
+        with BatchQueryEngine(path, compact_threshold=0) as engine:
+            report = engine.summary()["delta_log_recovery"]
+            assert report["reason"] == "bad header"
+            assert report["entries_recovered"] == 0
+            assert engine.run_query(BatchQuery("base")).skyline_ids
+        assert os.path.exists(f"{log_path}.quarantined-0")

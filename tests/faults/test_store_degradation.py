@@ -1,0 +1,85 @@
+"""Store degradation ladder: mmap checksum failure -> copying re-read.
+
+With ``crc="lazy"`` an injected first-touch failure on an mmap section is
+absorbed by re-reading that section into process memory and verifying the
+copy; the store stays usable and reports the section in
+``degraded_sections``.  With ``crc="eager"`` there is no ladder — the open
+fails with a typed :class:`~repro.exceptions.StoreError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.api import open_dataset
+from repro.engine.batch import BatchQuery
+from repro.exceptions import StoreError
+from repro.faults.registry import describe, install
+
+
+def _skyline(path, **options):
+    with open_dataset(path, workers=0, **options) as engine:
+        return engine.run_query(BatchQuery("base")).skyline_ids
+
+
+class TestMmapLazyDegradation:
+    @pytest.mark.parametrize(
+        "clause",
+        [
+            "store.section_read:raise:times=1",
+            # corrupt with no payload at the mmap touch degrades to raise —
+            # the fallback path is identical.
+            "store.section_read:corrupt:times=1",
+        ],
+    )
+    def test_single_fault_degrades_one_section_identically(
+        self, packed_store, clause
+    ):
+        path, _ = packed_store
+        reference = _skyline(path, mmap=True, crc="lazy")
+        install(clause)
+        with open_dataset(path, mmap=True, crc="lazy", workers=0) as engine:
+            result = engine.run_query(BatchQuery("base"))
+            degraded = engine.summary()["store"]["degraded_sections"]
+        assert result.skyline_ids == reference
+        assert len(degraded) == 1
+        assert describe()[0]["fires"] == 1
+
+    def test_persistent_fault_degrades_every_mmap_section(self, packed_store):
+        path, _ = packed_store
+        reference = _skyline(path, mmap=True, crc="lazy")
+        install("store.section_read:raise")
+        with open_dataset(path, mmap=True, crc="lazy", workers=0) as engine:
+            result = engine.run_query(BatchQuery("base"))
+            store_summary = engine.summary()["store"]
+        assert result.skyline_ids == reference
+        assert len(store_summary["degraded_sections"]) >= 1
+        assert store_summary["mmap"] is True  # still an mmap store
+
+    def test_degraded_sections_survive_in_describe(self, packed_store):
+        path, _ = packed_store
+        install("store.section_read:raise:times=1")
+        with open_dataset(path, mmap=True, crc="lazy", workers=0) as engine:
+            engine.run_query(BatchQuery("base"))
+            described = engine.store.describe()
+        assert described["degraded_sections"]
+        assert set(described["degraded_sections"]) <= set(described["sections"])
+
+
+class TestEagerModeFailsClosed:
+    def test_eager_crc_raises_typed_at_open(self, packed_store):
+        path, _ = packed_store
+        install("store.section_read:raise:times=1")
+        with pytest.raises(StoreError, match="injected fault"):
+            _skyline(path, mmap=True, crc="eager")
+
+    def test_nonmmap_load_corruption_raises_typed(self, packed_store):
+        # Without mmap there is no copying fallback: a corrupted section
+        # read is caught by the CRC and surfaces as a typed StoreError
+        # (never a silently wrong answer).
+        path, _ = packed_store
+        install("store.section_read:corrupt:times=1")
+        with pytest.raises(StoreError, match="checksum|corrupt"):
+            _skyline(path, mmap=False, crc="lazy")

@@ -175,12 +175,12 @@ class TestConcurrentClients:
         windows: list[tuple[float, float]] = []
         original = executor.local_phase
 
-        def instrumented(overrides):
+        def instrumented(overrides, **kwargs):
             started = time.monotonic()
             # Rendezvous *inside* the timed window: both windows then contain
             # the barrier-release instant, so they provably overlap.
             rendezvous.wait()
-            local_ids = original(overrides)
+            local_ids = original(overrides, **kwargs)
             windows.append((started, time.monotonic()))
             return local_ids
 

@@ -332,6 +332,55 @@ class TestLockOrder:
         )
         assert any("blocking" in f.message for f in report.findings)
 
+    def test_blocking_call_under_asyncio_lock_is_flagged(self, tmp_path):
+        source = (
+            "import asyncio\n"
+            "import time\n"
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self._lifecycle_lock = asyncio.Lock()\n"
+            "    async def tick(self):\n"
+            "        async with self._lifecycle_lock:\n"
+            "            time.sleep(1.0)\n"
+        )
+        report = lint_sources(
+            tmp_path, {"src/repro/service/server.py": source}, rules=["lock-order"]
+        )
+        assert any("event loop" in f.message for f in report.findings)
+
+    def test_blocking_callee_under_asyncio_lock_is_flagged(self, tmp_path):
+        source = (
+            "import asyncio\n"
+            "import time\n"
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self._lifecycle_lock = asyncio.Lock()\n"
+            "    def _sync_work(self):\n"
+            "        time.sleep(1.0)\n"
+            "    async def tick(self):\n"
+            "        async with self._lifecycle_lock:\n"
+            "            self._sync_work()\n"
+        )
+        report = lint_sources(
+            tmp_path, {"src/repro/service/server.py": source}, rules=["lock-order"]
+        )
+        assert any("event loop" in f.message for f in report.findings)
+
+    def test_awaiting_under_asyncio_lock_is_clean(self, tmp_path):
+        source = (
+            "import asyncio\n"
+            "class Service:\n"
+            "    def __init__(self):\n"
+            "        self._lifecycle_lock = asyncio.Lock()\n"
+            "    async def tick(self):\n"
+            "        async with self._lifecycle_lock:\n"
+            "            await asyncio.sleep(1.0)\n"
+        )
+        report = lint_sources(
+            tmp_path, {"src/repro/service/server.py": source}, rules=["lock-order"]
+        )
+        assert report.findings == []
+
 
 class TestSuppression:
     def test_suppression_waives_and_counts_the_finding(self, tmp_path):

@@ -27,8 +27,10 @@ statically and checks it globally:
    ``compute()``-style bulk kernel work, sleeps, socket ops) made while a
    state lock is held is flagged.  Locks in :data:`IO_GUARD_LOCKS` exist to
    serialize I/O and are exempt from the blocking check; ``asyncio`` locks
-   are ordered but not blocking-checked (event-loop analysis is a ROADMAP
-   follow-up).
+   get the *event-loop starvation* variant of the same check — a blocking
+   call under a held asyncio lock stalls every coroutine on the loop, not
+   just the lock's waiters, so it is flagged even though the lock itself
+   is cooperative.
 
 The analysis is sound for the patterns this codebase uses (attribute locks,
 ``with`` acquisition, constructor-assigned collaborators) and is
@@ -433,8 +435,9 @@ def project_check(modules: Sequence[Module]) -> Iterable[Finding]:
             callee_blocks = blocks[callee]
             if callee_blocks:
                 for holder in held:
-                    if lookup(holder).state_lock:
-                        desc = ", ".join(sorted(callee_blocks))
+                    lock = lookup(holder)
+                    desc = ", ".join(sorted(callee_blocks))
+                    if lock.state_lock:
                         findings.append(
                             fn.module.finding(
                                 RULE.name,
@@ -444,15 +447,38 @@ def project_check(modules: Sequence[Module]) -> Iterable[Finding]:
                                 f"state lock {holder}",
                             )
                         )
+                    elif lock.is_async:
+                        findings.append(
+                            fn.module.finding(
+                                RULE.name,
+                                node,
+                                f"call into {'.'.join(p for p in callee if p)} "
+                                f"(which may block: {desc}) while holding "
+                                f"asyncio lock {holder} — a blocking call "
+                                "under an asyncio lock starves the whole "
+                                "event loop",
+                            )
+                        )
         for desc, held, node in fn.blocking:
             for holder in held:
-                if lookup(holder).state_lock:
+                lock = lookup(holder)
+                if lock.state_lock:
                     findings.append(
                         fn.module.finding(
                             RULE.name,
                             node,
                             f"blocking call {desc} while holding state lock "
                             f"{holder}",
+                        )
+                    )
+                elif lock.is_async:
+                    findings.append(
+                        fn.module.finding(
+                            RULE.name,
+                            node,
+                            f"blocking call {desc} while holding asyncio "
+                            f"lock {holder} — a blocking call under an "
+                            "asyncio lock starves the whole event loop",
                         )
                     )
 

@@ -48,11 +48,24 @@ PLANE_ERRORS: dict[str, frozenset[str]] = {
     # ExperimentError: the registry's bad-backend/REPRO_INDEX errors, matching
     # the kernel registry's contract.
     "repro.index": frozenset({"IndexError_", "ExperimentError"}),
-    # QueryError: malformed query payloads; ServiceError: transport/server.
-    "repro.service": frozenset({"ServiceError", "QueryError"}),
-    "repro.engine": frozenset({"QueryError", "ExperimentError", "StoreError"})
+    # QueryError: malformed query payloads; ServiceError (and its
+    # RetryExhaustedError subclass): transport/server; DeadlineExceededError:
+    # the typed answer of an expired per-request deadline.
+    "repro.service": frozenset(
+        {"ServiceError", "QueryError", "RetryExhaustedError",
+         "DeadlineExceededError"}
+    ),
+    "repro.engine": frozenset(
+        {"QueryError", "ExperimentError", "StoreError", "DeadlineExceededError"}
+    )
     | CROSS_CUTTING,
-    "repro.parallel": frozenset({"QueryError", "ExperimentError"}) | CROSS_CUTTING,
+    "repro.parallel": frozenset(
+        {"QueryError", "ExperimentError", "DeadlineExceededError"}
+    )
+    | CROSS_CUTTING,
+    # InjectedFaultError: the default error of a tripped fault point;
+    # ExperimentError: malformed REPRO_FAULTS specs (config-shaped input).
+    "repro.faults": frozenset({"InjectedFaultError", "ExperimentError"}),
     "repro.skyline": frozenset({"QueryError"}) | CROSS_CUTTING,
     "repro.core": frozenset({"QueryError"}) | CROSS_CUTTING,
     "repro.dynamic": frozenset({"QueryError", "IndexError_"}) | CROSS_CUTTING,
