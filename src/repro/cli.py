@@ -104,8 +104,9 @@ def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--kernel",
         default=None,
-        help="dominance kernel backend (purepython/numpy; default: REPRO_KERNEL "
-        "env var, else numpy when available)",
+        help="dominance kernel backend (purepython/numpy/jit; default: "
+        "REPRO_KERNEL env var, else numpy when available; jit needs the "
+        "[jit] extra and falls back to numpy with a warning without it)",
     )
     parser.add_argument(
         "--index",
@@ -380,7 +381,14 @@ def batch_query_main(argv: Sequence[str] | None = None) -> int:
         total = sum(phases.values())
         rendered = " | ".join(
             f"{name} {phases[name] * 1000:.1f} ms"
-            for name in ("encode", "build", "index_build", "query", "merge")
+            for name in (
+                "kernel_warmup",
+                "encode",
+                "build",
+                "index_build",
+                "query",
+                "merge",
+            )
         )
         print(f"phases: {rendered} | total {total * 1000:.1f} ms")
     if args.json:

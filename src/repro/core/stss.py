@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.core.mapping import TSSMapping
-from repro.core.tdominance import TDominanceChecker
+from repro.core.tdominance import TDominanceChecker, TDominanceWindow
 from repro.core.virtual_rtree import VirtualPointIndex
 from repro.data.dataset import Dataset
 from repro.index.pager import DiskSimulator
@@ -145,6 +145,14 @@ def stss_skyline(
         if virtual_index is not None:
             virtual_index.insert_mapped_point(mapped)
 
+    # Flat trees batch the t-dominance tests over a popped node's children
+    # (one kernel call per expansion, suffix re-check at each child's pop);
+    # the virtual-R-tree optimization answers per-item queries of its own
+    # and keeps the per-item predicates instead.
+    window = None
+    if virtual_index is None and not isinstance(tree, RTree):
+        window = TDominanceWindow(checker, skyline_store)
+
     ordered_points = run_bbs(
         tree,
         dominated_point=dominated_point,
@@ -152,6 +160,7 @@ def stss_skyline(
         on_result=on_result,
         stats=stats,
         clock=clock,
+        window=window,
     )
     clock.finish()
 

@@ -191,36 +191,28 @@ class TDominanceChecker:
         return TDominanceSkylineStore(self)
 
     def store_dominates_point(
-        self, store: "TDominanceSkylineStore", q: MappedPoint, *, counter=None
+        self,
+        store: "TDominanceSkylineStore",
+        q: MappedPoint,
+        *,
+        counter=None,
+        start: int = 0,
     ) -> bool:
         """Batched form of :meth:`point_dominated_by_any` over a store."""
         return store.kernel_store.any_weakly_dominates(
-            q.to_values, store.codes_of(q), counter
+            q.to_values, store.codes_of(q), counter, start=start
         )
 
-    def store_dominates_mbb(
-        self,
-        store: "TDominanceSkylineStore",
-        low: Sequence[float],
-        high: Sequence[float],
-        *,
-        counter=None,
-    ) -> bool:
-        """Batched form of :meth:`mbb_dominated_by_any` over a store.
-
-        Necessary conditions (TO corner, ordinal bound, minimum-bounding-
-        interval containment) are evaluated vectorized over the whole store;
-        only the survivors go through the exact interval-containment matrix
-        of :meth:`DominanceKernel.covers_many
-        <repro.kernels.base.DominanceKernel.covers_many>`.
-        """
+    def _range_sets_and_mbis(
+        self, low: Sequence[float], high: Sequence[float]
+    ) -> tuple[list[IntervalSet], list[tuple[float, float]]]:
+        """Merged range interval sets + their MBIs for one MBB's PO ranges."""
         offset = self.mapping.to_offset
-        num_po = self.mapping.num_partial_order
         range_sets = [
             self.range_interval_set(
                 po_index, int(low[offset + po_index]), int(high[offset + po_index])
             )
-            for po_index in range(num_po)
+            for po_index in range(self.mapping.num_partial_order)
         ]
         range_mbis = [
             (rs.intervals[0].low, rs.intervals[-1].high)
@@ -228,9 +220,15 @@ class TDominanceChecker:
             else (float("inf"), float("-inf"))
             for rs in range_sets
         ]
-        alive = store.kernel_store.mbb_candidates(
-            low[:offset], low[offset:], range_mbis, counter
-        )
+        return range_sets, range_mbis
+
+    def _any_candidate_covers(
+        self,
+        store: "TDominanceSkylineStore",
+        alive: list[int],
+        range_sets: list[IntervalSet],
+    ) -> bool:
+        """Exact phase: does any surviving member cover every range set?"""
         if not alive:
             return False
         tables = store.tables
@@ -245,6 +243,32 @@ class TDominanceChecker:
             if not alive:
                 return False
         return True
+
+    def store_dominates_mbb(
+        self,
+        store: "TDominanceSkylineStore",
+        low: Sequence[float],
+        high: Sequence[float],
+        *,
+        counter=None,
+        start: int = 0,
+    ) -> bool:
+        """Batched form of :meth:`mbb_dominated_by_any` over a store.
+
+        Necessary conditions (TO corner, ordinal bound, minimum-bounding-
+        interval containment) are evaluated vectorized over the whole store;
+        only the survivors go through the exact interval-containment matrix
+        of :meth:`DominanceKernel.covers_many
+        <repro.kernels.base.DominanceKernel.covers_many>`.  ``start``
+        restricts the scan to members appended at or after that index (the
+        windowed sTSS suffix re-check).
+        """
+        offset = self.mapping.to_offset
+        range_sets, range_mbis = self._range_sets_and_mbis(low, high)
+        alive = store.kernel_store.mbb_candidates(
+            low[:offset], low[offset:], range_mbis, counter, start=start
+        )
+        return self._any_candidate_covers(store, alive, range_sets)
 
 
 class TDominanceSkylineStore:
@@ -277,3 +301,81 @@ class TDominanceSkylineStore:
 
     def __len__(self) -> int:
         return len(self.codes)
+
+
+class TDominanceWindow:
+    """Bulk + suffix t-dominance tests for the columnar BBS loop.
+
+    The t-dominance twin of
+    :class:`~repro.index.flat.VectorDominanceWindow`: at a node expansion
+    all children are screened against the skyline store in one kernel call
+    (:meth:`TDominanceStore.mbb_block_candidates
+    <repro.kernels.base.TDominanceStore.mbb_block_candidates>` for MBBs,
+    :meth:`TDominanceStore.block_weakly_dominated
+    <repro.kernels.base.TDominanceStore.block_weakly_dominated>` for leaf
+    points), and each child's own pop re-examines only the members appended
+    since (``start=prefix``).  Verdicts compose because the skyline store is
+    append-only — t-dominance by a member is permanent.
+
+    PO codes are recovered from the mapped coordinates themselves: the
+    ordinal coordinate of a mapped point is its topological position + 1,
+    i.e. ``code + 1`` (see :class:`~repro.kernels.tables.TDominanceTables`),
+    so the window needs no payload lookups.
+    """
+
+    __slots__ = ("checker", "store", "_offset", "_num_po")
+
+    def __init__(self, checker: TDominanceChecker, store: TDominanceSkylineStore) -> None:
+        self.checker = checker
+        self.store = store
+        self._offset = checker.mapping.to_offset
+        self._num_po = checker.mapping.num_partial_order
+
+    def size(self) -> int:
+        return len(self.store)
+
+    def block_points(self, rows, counter) -> list[bool]:
+        """Per leaf point: weakly t-dominated by any current member?"""
+        offset = self._offset
+        to_rows = [row[:offset] for row in rows]
+        code_rows = [tuple(int(v) - 1 for v in row[offset:]) for row in rows]
+        return self.store.kernel_store.block_weakly_dominated(
+            to_rows, code_rows, counter
+        )
+
+    def block_rects(self, lows, highs, counter) -> list[bool]:
+        """Per child MBB: t-dominated by any current member?
+
+        Necessary conditions run batched over (members, children); the exact
+        interval-containment phase runs per child on its survivors only.
+        """
+        checker = self.checker
+        offset = self._offset
+        to_lows = []
+        ordinal_lows = []
+        mbis_list = []
+        range_sets_list = []
+        for low, high in zip(lows, highs):
+            range_sets, range_mbis = checker._range_sets_and_mbis(low, high)
+            range_sets_list.append(range_sets)
+            mbis_list.append(range_mbis)
+            to_lows.append(low[:offset])
+            ordinal_lows.append(low[offset:])
+        candidate_lists = self.store.kernel_store.mbb_block_candidates(
+            to_lows, ordinal_lows, mbis_list, counter
+        )
+        return [
+            checker._any_candidate_covers(self.store, alive, range_sets)
+            for alive, range_sets in zip(candidate_lists, range_sets_list)
+        ]
+
+    def point_suffix(self, point, start: int, counter) -> bool:
+        codes = tuple(int(v) - 1 for v in point[self._offset :])
+        return self.store.kernel_store.any_weakly_dominates(
+            point[: self._offset], codes, counter, start=start
+        )
+
+    def rect_suffix(self, low, high, start: int, counter) -> bool:
+        return self.checker.store_dominates_mbb(
+            self.store, low, high, counter=counter, start=start
+        )

@@ -420,8 +420,13 @@ class VectorDominanceWindow:
     def size(self) -> int:
         return len(self.store)
 
-    def block_rects(self, lows, counter) -> list[bool]:
-        """Per MBB low corner: weakly dominated by any current member?"""
+    def block_rects(self, lows, highs, counter) -> list[bool]:
+        """Per MBB: weakly dominated by any current member?
+
+        Vector dominance only consults the best (low) corner; ``highs`` is
+        part of the shared window protocol for relations — t-dominance —
+        whose MBB verdict needs the full extent.
+        """
         return self.store.mbr_block_dominated(
             lows, counter=counter, exclude_equal=self.exclude_equal
         )
@@ -430,7 +435,7 @@ class VectorDominanceWindow:
         """Per point row: strictly dominated by any current member?"""
         return self.store.block_dominated_mask(rows, counter=counter)
 
-    def rect_suffix(self, low, start: int, counter) -> bool:
+    def rect_suffix(self, low, high, start: int, counter) -> bool:
         return self.store.any_weakly_dominates(
             low, counter, exclude_equal=self.exclude_equal, start=start
         )
@@ -447,7 +452,7 @@ def run_bbs_flat(
     on_result,
     stats,
     clock=None,
-    window: VectorDominanceWindow | None = None,
+    window=None,
 ) -> list[int]:
     """The columnar BBS loop over a :class:`FlatRTree`.
 
@@ -458,7 +463,9 @@ def run_bbs_flat(
     the same tree.
 
     Without a ``window`` the per-item predicates are called exactly like the
-    pointer loop (sTSS and the t-dominance paths use this).  With one, every
+    pointer loop.  With one (:class:`VectorDominanceWindow` for vector
+    dominance, :class:`~repro.core.tdominance.TDominanceWindow` for the
+    paper's exact relation), every
     expansion additionally tests all children in a single kernel bulk call
     and remembers each child's verdict plus the window size it was computed
     at; the child's own pop then consults only the members appended since
@@ -503,7 +510,9 @@ def run_bbs_flat(
                 clock.record_result()
             continue
         if window is not None:
-            if prefix_dominated or window.rect_suffix(node_low[index], prefix, stats):
+            if prefix_dominated or window.rect_suffix(
+                node_low[index], node_high[index], prefix, stats
+            ):
                 continue
         elif dominated_rect(node_low[index], node_high[index]):
             continue
@@ -534,7 +543,9 @@ def run_bbs_flat(
                     )
         else:
             if window is not None:
-                verdicts = window.block_rects(node_low[start:end], stats)
+                verdicts = window.block_rects(
+                    node_low[start:end], node_high[start:end], stats
+                )
                 base = window.size()
                 for child in range(start, end):
                     push(

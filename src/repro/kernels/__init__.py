@@ -1,4 +1,4 @@
-"""Pluggable dominance kernels (pure-Python reference vs NumPy vectorized).
+"""Pluggable dominance kernels (pure-Python reference, NumPy, numba JIT).
 
 Every hot dominance path in the library — tuple dominance in the scan
 algorithms, t-dominance in sTSS/dTSS, m-dominance and cross-examination in
@@ -14,11 +14,17 @@ Backend selection, in decreasing priority:
 3. the ``REPRO_KERNEL`` environment variable,
 4. automatic: ``numpy`` when NumPy is importable, else ``purepython``.
 
-NumPy is an optional dependency; the pure-Python backend is always available
-and defines the semantics the vectorized backend must reproduce.
+NumPy and numba are optional dependencies; the pure-Python backend is always
+available and defines the semantics every other backend must reproduce.
+Requesting ``jit`` without numba installed degrades gracefully: a warning
+names the ``[jit]`` extra and the best available backend (numpy, else
+purepython) is returned, so ``REPRO_KERNEL=jit`` is safe to bake into
+configs that run on heterogeneous machines.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.config import KERNEL_ENV_VAR  # noqa: F401  (historical home)
 from repro.config import env_kernel_name
@@ -53,6 +59,8 @@ _ALIASES = {
     "pure": "purepython",
     "numpy": "numpy",
     "np": "numpy",
+    "jit": "jit",
+    "numba": "jit",
 }
 
 _instances: dict[str, DominanceKernel] = {}
@@ -67,11 +75,26 @@ def _numpy_available() -> bool:
     return True
 
 
+def _numba_available() -> bool:
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
 def available_kernels() -> tuple[str, ...]:
-    """Canonical names of the backends usable in this environment."""
+    """Canonical names of the backends usable in this environment.
+
+    ``jit`` is listed only when it can actually compile (numba + NumPy
+    importable); requesting it anyway falls back with a warning, see
+    :func:`get_kernel`.
+    """
     names = ["purepython"]
     if _numpy_available():
         names.append("numpy")
+        if _numba_available():
+            names.append("jit")
     return tuple(names)
 
 
@@ -96,6 +119,19 @@ def _build(name: str) -> DominanceKernel:
         from repro.kernels.numpy_kernel import NumpyKernel
 
         return NumpyKernel()
+    if name == "jit":
+        if _numpy_available() and _numba_available():
+            from repro.kernels.jit_kernel import JitKernel
+
+            return JitKernel()
+        fallback = "numpy" if _numpy_available() else "purepython"
+        warnings.warn(
+            "the 'jit' dominance kernel requires numba (pip install "
+            f"'repro[jit]'); falling back to the {fallback!r} kernel",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return get_kernel(fallback)
     raise ExperimentError(f"unknown dominance kernel {name!r}")  # pragma: no cover
 
 

@@ -14,9 +14,11 @@ every skyline algorithm in this library:
 Kernels expose *stores* — growing collections queried against one candidate
 at a time (the universal access pattern of skyline loops: a skyline/window
 list grows while candidates stream past it) — plus a few stateless batch
-operations.  Two backends implement the interface:
+operations.  Three backends implement the interface:
 :class:`~repro.kernels.purepython.PurePythonKernel` (reference, always
-available) and :class:`~repro.kernels.numpy_kernel.NumpyKernel` (vectorized).
+available), :class:`~repro.kernels.numpy_kernel.NumpyKernel` (vectorized)
+and :class:`~repro.kernels.jit_kernel.JitKernel` (numba-compiled fused
+loops, falls back to numpy when numba is absent).
 
 Every query takes an optional ``counter`` (any object with a
 ``dominance_checks`` attribute, usually a
@@ -211,14 +213,22 @@ class TDominanceStore(ABC):
 
     @abstractmethod
     def any_weakly_dominates(
-        self, to_values: Sequence[float], po_codes: Sequence[int], counter=None
+        self,
+        to_values: Sequence[float],
+        po_codes: Sequence[int],
+        counter=None,
+        *,
+        start: int = 0,
     ) -> bool:
-        """Is the candidate point weakly t-dominated by any member?
+        """Is the candidate weakly t-dominated by a member at index >= ``start``?
 
         Weak t-dominance (at least as good on TO, t-preferred-or-equal on PO)
         is exact strict t-dominance for distinct value combinations, which the
         duplicate grouping of :class:`~repro.core.mapping.TSSMapping`
-        guarantees.
+        guarantees.  ``start`` lets the windowed sTSS loop re-examine only the
+        skyline points appended after a cached block verdict (the store is
+        append-only, so earlier verdicts stay valid); the default of 0 is the
+        plain whole-store test.
         """
 
     @abstractmethod
@@ -228,18 +238,45 @@ class TDominanceStore(ABC):
         ordinal_low: Sequence[float],
         range_mbis: Sequence[tuple[float, float]],
         counter=None,
+        *,
+        start: int = 0,
     ) -> list[int]:
-        """Member indices that may t-dominate an MBB (necessary conditions).
+        """Member indices >= ``start`` that may t-dominate an MBB.
 
-        A member survives when it is at least as good as the MBB's best
-        corner on every TO dimension, its ordinal does not exceed the MBB's
-        low ordinal per PO attribute, and its interval set's minimum bounding
-        interval contains the MBB range set's MBI per PO attribute
-        (``range_mbis`` holds one ``(low, high)`` pair per attribute; pass
-        ``(inf, -inf)`` to disable the MBI condition for an attribute).  The
+        A member survives the necessary conditions when it is at least as
+        good as the MBB's best corner on every TO dimension, its ordinal does
+        not exceed the MBB's low ordinal per PO attribute, and its interval
+        set's minimum bounding interval contains the MBB range set's MBI per
+        PO attribute (``range_mbis`` holds one ``(low, high)`` pair per
+        attribute; pass ``(inf, -inf)`` to disable the MBI condition for an
+        attribute).  Returned indices are absolute store positions.  The
         exact interval-containment verdict is left to
-        :meth:`DominanceKernel.covers_many` on the survivors.
+        :meth:`DominanceKernel.covers_many` on the survivors.  See
+        :meth:`any_weakly_dominates` for ``start``.
         """
+
+    def mbb_block_candidates(
+        self,
+        to_lows,
+        ordinal_lows,
+        range_mbis_list,
+        counter=None,
+    ) -> list[list[int]]:
+        """Per MBB: the :meth:`mbb_candidates` survivor indices, batched.
+
+        The sTSS expansion primitive: a popped node's children are screened
+        against the whole skyline store in one call (``to_lows``,
+        ``ordinal_lows`` and ``range_mbis_list`` are parallel sequences, one
+        entry per child MBB).  The reference implementation loops
+        :meth:`mbb_candidates`; vectorized backends override it with one
+        members-by-MBBs comparison.
+        """
+        return [
+            self.mbb_candidates(to_low, ordinal_low, range_mbis, counter=counter)
+            for to_low, ordinal_low, range_mbis in zip(
+                to_lows, ordinal_lows, range_mbis_list
+            )
+        ]
 
 
 class DominanceKernel(ABC):
@@ -346,6 +383,17 @@ class DominanceKernel(ABC):
     # ------------------------------------------------------------------ #
     # Shared helpers
     # ------------------------------------------------------------------ #
+    def warmup(self) -> bool:
+        """Prime backend machinery ahead of the first query.
+
+        Compiled tiers override this to trigger JIT compilation (or load a
+        compile cache) so first-query latency is not charged to the query
+        itself; the engine times the call into
+        ``phase_seconds["kernel_warmup"]``.  Returns whether any work was
+        done.  Interpreted backends have nothing to warm.
+        """
+        return False
+
     def bounding_intervals(
         self, sets: Sequence[IntervalSet]
     ) -> list[Interval]:

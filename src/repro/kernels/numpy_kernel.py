@@ -24,6 +24,7 @@ from repro.kernels.base import (
     VectorStore,
     charge,
 )
+from repro.kernels.bitsets import attribute_word_arrays
 from repro.kernels.tables import RecordTables, TDominanceTables
 from repro.order.intervals import IntervalSet
 
@@ -341,9 +342,16 @@ class NumpyRecordStore(RecordStore):
 
 
 class NumpyTDominanceStore(TDominanceStore):
+    """T-dominance over bitset-packed closures.
+
+    PO preference is answered from the uint64 bitset rows of
+    :mod:`repro.kernels.bitsets` — one word gather plus shift-AND per
+    attribute — instead of gathering from the boolean preference matrices.
+    """
+
     def __init__(self, tables: TDominanceTables) -> None:
         self.tables = tables
-        self._pref = _pref_matrices(tables)
+        self._bits = attribute_word_arrays(tables)
         self._mbi_low, self._mbi_high = _mbi_arrays(tables)
         self._to = _GrowableMatrix(tables.num_total_order, dtype=np.float64)
         self._codes = _GrowableMatrix(max(1, tables.num_partial_order), dtype=np.int64)
@@ -374,27 +382,37 @@ class NumpyTDominanceStore(TDominanceStore):
         for low, high in _target_chunks(len(block_to), dims, len(tgt_to)):
             weak = (block_to[:, None, :] <= tgt_to[None, low:high, :]).all(axis=2)
             for po_index in range(self._num_po):
-                weak &= self._pref[po_index][
+                words = self._bits[po_index]
+                target_codes = tgt_codes[low:high, po_index]
+                gathered = words[
                     block_codes[:, po_index][:, None],
-                    tgt_codes[low:high, po_index][None, :],
+                    (target_codes >> 6)[None, :],
                 ]
+                bits = (target_codes & 63).astype(np.uint64)[None, :]
+                weak &= ((gathered >> bits) & np.uint64(1)).astype(bool)
             out[low:high] = weak.any(axis=0)
         return out.tolist()
 
     def any_weakly_dominates(
-        self, to_values: Sequence[float], po_codes: Sequence[int], counter=None
+        self,
+        to_values: Sequence[float],
+        po_codes: Sequence[int],
+        counter=None,
+        *,
+        start: int = 0,
     ) -> bool:
-        charge(counter, len(self))
-        if not len(self):
+        block_to = self._to.view[start:] if start else self._to.view
+        charge(counter, len(block_to))
+        if not len(block_to):
             return False
-        block_to = self._to.view
-        block_codes = self._codes.view
+        block_codes = self._codes.view[start:] if start else self._codes.view
         mask = (block_to <= np.asarray(to_values, dtype=np.float64)).all(axis=1)
         for po_index in range(self._num_po):
             if not mask.any():
                 return False
-            matrix = self._pref[po_index]
-            mask &= matrix[block_codes[:, po_index], int(po_codes[po_index])]
+            code = int(po_codes[po_index])
+            rows = self._bits[po_index][block_codes[:, po_index], code >> 6]
+            mask &= ((rows >> np.uint64(code & 63)) & np.uint64(1)).astype(bool)
         return bool(mask.any())
 
     def mbb_candidates(
@@ -403,12 +421,14 @@ class NumpyTDominanceStore(TDominanceStore):
         ordinal_low: Sequence[float],
         range_mbis: Sequence[tuple[float, float]],
         counter=None,
+        *,
+        start: int = 0,
     ) -> list[int]:
-        charge(counter, len(self))
-        if not len(self):
+        block_to = self._to.view[start:] if start else self._to.view
+        charge(counter, len(block_to))
+        if not len(block_to):
             return []
-        block_to = self._to.view
-        block_codes = self._codes.view
+        block_codes = self._codes.view[start:] if start else self._codes.view
         mask = (block_to <= np.asarray(to_low, dtype=np.float64)).all(axis=1)
         for po_index in range(self._num_po):
             codes = block_codes[:, po_index]
@@ -416,7 +436,41 @@ class NumpyTDominanceStore(TDominanceStore):
             mask &= codes + 1 <= ordinal_low[po_index]
             mask &= self._mbi_low[po_index][codes] <= mbi_low
             mask &= self._mbi_high[po_index][codes] >= mbi_high
-        return np.flatnonzero(mask).tolist()
+        survivors = np.flatnonzero(mask)
+        if start:
+            survivors = survivors + start
+        return survivors.tolist()
+
+    def mbb_block_candidates(
+        self,
+        to_lows,
+        ordinal_lows,
+        range_mbis_list,
+        counter=None,
+    ) -> list[list[int]]:
+        num_mbbs = len(to_lows)
+        charge(counter, len(self) * num_mbbs)
+        if not len(self) or not num_mbbs:
+            return [[] for _ in range(num_mbbs)]
+        block_to = self._to.view
+        block_codes = self._codes.view
+        lows = _as_to_block(to_lows, self.tables.num_total_order)
+        # (members, mbbs) survivor matrix; fanout is node-capacity bounded,
+        # so the broadcast stays small even against a large skyline store.
+        mask = (block_to[:, None, :] <= lows[None, :, :]).all(axis=2)
+        if self._num_po:
+            ordinals = np.asarray(ordinal_lows, dtype=np.float64).reshape(
+                num_mbbs, self._num_po
+            )
+            mbis = np.asarray(range_mbis_list, dtype=np.float64).reshape(
+                num_mbbs, self._num_po, 2
+            )
+            for po_index in range(self._num_po):
+                codes = block_codes[:, po_index]
+                mask &= (codes[:, None] + 1) <= ordinals[:, po_index][None, :]
+                mask &= self._mbi_low[po_index][codes][:, None] <= mbis[:, po_index, 0][None, :]
+                mask &= self._mbi_high[po_index][codes][:, None] >= mbis[:, po_index, 1][None, :]
+        return [np.flatnonzero(mask[:, column]).tolist() for column in range(num_mbbs)]
 
 
 class NumpyKernel(DominanceKernel):

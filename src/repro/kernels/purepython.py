@@ -162,12 +162,17 @@ class PureTDominanceStore(TDominanceStore):
         return len(self._rows)
 
     def any_weakly_dominates(
-        self, to_values: Sequence[float], po_codes: Sequence[int], counter=None
+        self,
+        to_values: Sequence[float],
+        po_codes: Sequence[int],
+        counter=None,
+        *,
+        start: int = 0,
     ) -> bool:
         tables = self.tables
         checks = 0
         try:
-            for row_to, row_codes in self._rows:
+            for row_to, row_codes in self._rows[start:] if start else self._rows:
                 checks += 1
                 if any(a > b for a, b in zip(row_to, to_values)):
                     continue
@@ -188,11 +193,14 @@ class PureTDominanceStore(TDominanceStore):
         ordinal_low: Sequence[float],
         range_mbis: Sequence[tuple[float, float]],
         counter=None,
+        *,
+        start: int = 0,
     ) -> list[int]:
         tables = self.tables
         survivors: list[int] = []
         checks = 0
-        for index, (row_to, row_codes) in enumerate(self._rows):
+        rows = self._rows[start:] if start else self._rows
+        for index, (row_to, row_codes) in enumerate(rows, start=start):
             checks += 1
             if any(a > b for a, b in zip(row_to, to_low)):
                 continue

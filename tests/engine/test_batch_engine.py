@@ -316,7 +316,14 @@ class TestColumnarEngine:
         # runs fold tree construction into their workers' local phase).
         engine = BatchQueryEngine(dataset, workers=0)
         phases = engine.summary()["phase_seconds"]
-        assert set(phases) == {"encode", "build", "index_build", "query", "merge"}
+        assert set(phases) == {
+            "kernel_warmup",
+            "encode",
+            "build",
+            "index_build",
+            "query",
+            "merge",
+        }
         assert all(value >= 0.0 for value in phases.values())
         baseline_query = phases["query"]
         baseline_index = phases["index_build"]

@@ -148,6 +148,70 @@ class TestNumpyContainment:
         )
         assert report.findings == []
 
+    def test_jit_kernel_imports_numpy_and_numba_freely(self, tmp_path):
+        report = lint_sources(
+            tmp_path,
+            {
+                "src/repro/kernels/jit_kernel.py": (
+                    "import numpy as np\n"
+                    "from numba import njit\n"
+                    "from repro.kernels.numpy_kernel import NumpyKernel\n"
+                )
+            },
+            rules=["numpy-containment"],
+        )
+        assert report.findings == []
+
+    def test_unguarded_numba_import_is_flagged(self, tmp_path):
+        report = lint_sources(
+            tmp_path,
+            {"src/repro/kernels/registry_helper.py": "from numba import njit\n"},
+            rules=["numpy-containment"],
+        )
+        assert rules_fired(report) == {"numpy-containment"}
+        assert "numba" in report.findings[0].message
+
+    def test_numba_outside_allowlist_is_flagged(self, tmp_path):
+        source = (
+            "def f():\n"
+            "    from numba import njit\n"
+            "    return njit\n"
+        )
+        report = lint_sources(
+            tmp_path, {"src/repro/skyline/sfs.py": source}, rules=["numpy-containment"]
+        )
+        assert rules_fired(report) == {"numpy-containment"}
+        assert "numba" in report.findings[0].message
+
+    def test_guarded_numba_probe_is_clean(self, tmp_path):
+        source = (
+            "def _numba_available():\n"
+            "    try:\n"
+            "        import numba  # noqa: F401\n"
+            "    except ImportError:\n"
+            "        return False\n"
+            "    return True\n"
+        )
+        report = lint_sources(
+            tmp_path,
+            {"src/repro/kernels/__init__.py": source},
+            rules=["numpy-containment"],
+        )
+        assert report.findings == []
+
+    def test_module_scope_import_of_jit_kernel_is_flagged(self, tmp_path):
+        report = lint_sources(
+            tmp_path,
+            {
+                "src/repro/engine/batch.py": (
+                    "from repro.kernels.jit_kernel import JitKernel\n"
+                )
+            },
+            rules=["numpy-containment"],
+        )
+        assert rules_fired(report) == {"numpy-containment"}
+        assert "jit_kernel" in report.findings[0].message
+
 
 class TestTypedErrors:
     def test_plane_raising_its_own_error_is_clean(self, tmp_path):

@@ -11,10 +11,14 @@ every suite without NumPy), so:
   (``try: ... except ImportError`` or ``if TYPE_CHECKING``) so importing the
   module never fails on a NumPy-less checkout.  Function-scope imports are
   fine: they only run on NumPy-enabled code paths.
-* :data:`NUMPY_REQUIRED` modules (the NumPy kernel, the flat R-tree) may
-  import NumPy unguarded at module scope — but then *nothing outside that
-  set may import them at module scope* either; they are loaded lazily behind
-  the kernel/index registries' availability probes.
+* :data:`NUMPY_REQUIRED` modules (the NumPy kernel, the JIT kernel, the flat
+  R-tree) may import NumPy unguarded at module scope — but then *nothing
+  outside that set may import them at module scope* either; they are loaded
+  lazily behind the kernel/index registries' availability probes.
+* ``numba`` is held to the same discipline as ``numpy``: it is an optional
+  accelerator, so only allowlisted planes may import it, guarded — except in
+  :data:`NUMPY_REQUIRED` modules (the JIT kernel imports it unguarded and is
+  itself loaded lazily).
 """
 
 from __future__ import annotations
@@ -25,8 +29,18 @@ from collections.abc import Iterable
 from reprolint.engine import Finding, Module, Rule
 
 #: Modules that exist only on the NumPy path and are imported lazily behind a
-#: registry availability probe; unguarded module-scope `import numpy` is fine.
-NUMPY_REQUIRED = frozenset({"repro.kernels.numpy_kernel", "repro.index.flat"})
+#: registry availability probe; unguarded module-scope `import numpy` (and,
+#: for the JIT kernel, `import numba`) is fine.
+NUMPY_REQUIRED = frozenset(
+    {
+        "repro.kernels.numpy_kernel",
+        "repro.kernels.jit_kernel",
+        "repro.index.flat",
+    }
+)
+
+#: Optional accelerator roots held to the containment discipline.
+_ACCELERATOR_ROOTS = frozenset({"numpy", "numba"})
 
 #: Plane prefixes allowed to import numpy (guarded at module scope).
 ALLOWED_PREFIXES = (
@@ -121,12 +135,12 @@ def check(module: Module) -> Iterable[Finding]:
         targets = _imports(stmt)
         for target in targets:
             root = target.split(".", 1)[0]
-            if root == "numpy":
+            if root in _ACCELERATOR_ROOTS:
                 if not allowed:
                     yield module.finding(
                         RULE.name,
                         stmt,
-                        f"numpy import in {module.name} — outside the "
+                        f"{root} import in {module.name} — outside the "
                         "kernel/frame/index/store allowlist; route array work "
                         "through those planes",
                     )
@@ -134,7 +148,7 @@ def check(module: Module) -> Iterable[Finding]:
                     yield module.finding(
                         RULE.name,
                         stmt,
-                        "unguarded module-scope numpy import — wrap in "
+                        f"unguarded module-scope {root} import — wrap in "
                         "try/except ImportError so pure-Python checkouts "
                         "import cleanly",
                     )
